@@ -1,0 +1,143 @@
+// Appendix A: the complexity analysis — test-case generation cost for a
+// synthetic k-pipeline chain, basic framework vs code summary. Each pipe
+// has n possible paths of which m are valid under the previous pipe's
+// output (a Fig. 7-style chained-table pipe), so the basic framework's
+// explored tree grows with k while the summarized cost stays ~linear.
+#include "apps/protocols.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace meissa;
+
+// Builds a chain of `k` pipes. Each pipe has a table matching on the tag
+// written by the previous pipe (n entries; only the chained one is valid)
+// plus a fan table on a fresh symbolic field (f entries, all valid).
+apps::AppBundle make_chain(ir::Context& ctx, int k, int n, int f) {
+  p4::ProgramBuilder b(ctx, "chain");
+  std::vector<p4::FieldDef> fields = {{"tag", 16}};
+  for (int i = 0; i < k; ++i) {
+    fields.push_back({"sel" + std::to_string(i), 16});
+  }
+  b.header("hop", fields);
+  b.header("eth", apps::eth_header().fields);
+
+  p4::RuleSet rules;
+  for (int i = 0; i < k; ++i) {
+    std::string suffix = std::to_string(i);
+    p4::ActionDef set_tag;
+    set_tag.name = "set_tag" + suffix;
+    set_tag.params = {{"t", 16}};
+    set_tag.ops = {p4::ActionOp::assign("hdr.hop.tag",
+                                        b.arg(set_tag.name, "t", 16))};
+    b.action(set_tag);
+    p4::ActionDef nop;
+    nop.name = "nop" + suffix;
+    b.action(nop);
+
+    p4::TableDef chain_tbl;
+    chain_tbl.name = "chain" + suffix;
+    chain_tbl.keys = {{"hdr.hop.tag", p4::MatchKind::kExact}};
+    chain_tbl.actions = {set_tag.name, nop.name};
+    chain_tbl.default_action = nop.name;
+    b.table(chain_tbl);
+
+    p4::TableDef fan_tbl;
+    fan_tbl.name = "fan" + suffix;
+    fan_tbl.keys = {{"hdr.hop.sel" + suffix, p4::MatchKind::kExact}};
+    fan_tbl.actions = {nop.name};
+    fan_tbl.default_action = nop.name;
+    b.table(fan_tbl);
+
+    p4::PipelineDef p;
+    p.name = "pipe" + suffix;
+    p4::ParserState start;
+    start.name = "start";
+    start.extracts = {"eth", "hop"};
+    start.default_next = "accept";
+    p.parser.states = {start};
+    p.control.stmts = {p4::ControlStmt::apply(chain_tbl.name),
+                       p4::ControlStmt::apply(fan_tbl.name)};
+    p.deparser.emit_order = {"eth", "hop"};
+    b.pipeline(p);
+
+    // Chain entries: only tags i*1000+{0,1} are reachable (the entry
+    // point pins tag 0; each hop maps back into {0,1}), so n-2 entries
+    // per pipe are invalid — the redundancy the basic framework re-checks
+    // under every prefix and code summary eliminates once.
+    for (int j = 0; j < n; ++j) {
+      p4::TableEntry e;
+      e.table = chain_tbl.name;
+      e.matches = {p4::KeyMatch::exact(
+          static_cast<uint64_t>(i * 1000 + j))};
+      e.action = set_tag.name;
+      e.args = {static_cast<uint64_t>((i + 1) * 1000 + (j % 2))};
+      rules.add(e);
+    }
+    for (int j = 0; j < f; ++j) {
+      p4::TableEntry e;
+      e.table = fan_tbl.name;
+      e.matches = {p4::KeyMatch::exact(static_cast<uint64_t>(j))};
+      e.action = nop.name;
+      rules.add(e);
+    }
+  }
+
+  apps::AppBundle app;
+  app.name = "chain" + std::to_string(k);
+  app.dp.program = b.build();
+  for (int i = 0; i < k; ++i) {
+    app.dp.topology.instances.push_back(
+        {"p" + std::to_string(i), "pipe" + std::to_string(i), 0});
+    if (i > 0) {
+      app.dp.topology.edges.push_back(
+          {"p" + std::to_string(i - 1), "p" + std::to_string(i), nullptr});
+    }
+  }
+  // Packets enter with tag 0 (the "one packet type at a time" guard).
+  app.dp.topology.entries = {
+      {"p0", ctx.arena.cmp(ir::CmpOp::kEq, ctx.field_var("hdr.hop.tag", 16),
+                           ctx.arena.constant(0, 16))}};
+  app.rules = std::move(rules);
+  return app;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Appendix A: k-pipeline chain, basic vs code summary ==\n");
+  std::printf("   (16 chained entries per pipe, 2 reachable; fan of 2)\n\n");
+  std::printf("%-3s | %12s %10s | %12s %10s | %s\n", "k", "basic time",
+              "basic SMT", "summ. time", "summ. SMT", "templates");
+  for (int k = 1; k <= 8; ++k) {
+    ir::Context c1;
+    apps::AppBundle a1 = make_chain(c1, k, 16, 2);
+    driver::GenOptions basic;
+    basic.code_summary = false;
+    basic.check_every_predicate = true;
+    basic.build.elide_disjoint_negations = false;
+    driver::Generator g1(c1, a1.dp, a1.rules, basic);
+    bench::Timer t1;
+    size_t n1 = g1.generate().size();
+    double s1 = t1.elapsed();
+
+    ir::Context c2;
+    apps::AppBundle a2 = make_chain(c2, k, 16, 2);
+    driver::GenOptions summ;
+    summ.check_every_predicate = true;
+    summ.build.elide_disjoint_negations = false;
+    driver::Generator g2(c2, a2.dp, a2.rules, summ);
+    bench::Timer t2;
+    size_t n2 = g2.generate().size();
+    double s2 = t2.elapsed();
+
+    std::printf("%-3d | %11.3fs %10llu | %11.3fs %10llu | %zu / %zu\n", k, s1,
+                static_cast<unsigned long long>(g1.stats().smt_checks), s2,
+                static_cast<unsigned long long>(g2.stats().smt_checks), n1,
+                n2);
+  }
+  std::printf("\nShape check: the basic framework's SMT calls grow faster\n"
+              "with k than code summary's (O(n^k)-flavored vs O(k*n),\n"
+              "Appendix A), while both report the same template count.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Shared helpers for the evaluation benches (one binary per paper
+// table/figure). Each binary prints a plain-text table mirroring the
+// paper's rows/series plus the shape expectations being reproduced.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "baselines/baseline.hpp"
+#include "sim/toolchain.hpp"
+
+namespace meissa::bench {
+
+// The eight evaluation programs (paper Table 1), sized for a single-core
+// reproduction: structure (pipes/switches/features) matches the paper;
+// absolute rule counts are scaled down.
+inline apps::AppBundle make_program(ir::Context& ctx, const std::string& name,
+                                    int rule_scale = 1) {
+  if (name == "Router") return apps::make_router(ctx, 16 * rule_scale);
+  if (name == "mTag") return apps::make_mtag(ctx, 12 * rule_scale);
+  if (name == "ACL") return apps::make_acl(ctx, 12 * rule_scale, 10);
+  if (name == "switch.p4") {
+    apps::SwitchP4Config cfg;
+    cfg.routes = 12 * rule_scale;
+    return apps::make_switchp4(ctx, cfg);
+  }
+  apps::GwConfig cfg;
+  if (name == "gw-1") cfg.level = 1;
+  if (name == "gw-2") cfg.level = 2;
+  if (name == "gw-3") cfg.level = 3;
+  if (name == "gw-4") cfg.level = 4;
+  // Like the paper: gw-1..gw-3 use parts of the rule sets, gw-4 the full
+  // set family (base 4 keeps the single-core run bounded; rule_scale is
+  // the Figure 10/12 sweep knob).
+  cfg.elastic_ips = apps::elastic_ips_for_set(cfg.level, /*base=*/4) * rule_scale;
+  return apps::make_gateway(ctx, cfg);
+}
+
+inline const std::vector<std::string>& program_names() {
+  static const std::vector<std::string> names = {
+      "Router", "mTag", "ACL", "switch.p4", "gw-1", "gw-2", "gw-3", "gw-4"};
+  return names;
+}
+
+inline bool is_production(const std::string& name) {
+  return name.rfind("gw-", 0) == 0;
+}
+
+// Formats a baseline outcome like the paper's Figure 9 marks:
+// a time, "timeout" (◦), or "no-support" (×).
+inline std::string outcome(const baselines::BaselineResult& r) {
+  if (!r.supported) return "x (no-support)";
+  if (r.timed_out) return "o (timeout)";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2fs", r.seconds);
+  return buf;
+}
+
+inline double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Timer {
+  double t0 = now_seconds();
+  double elapsed() const { return now_seconds() - t0; }
+};
+
+}  // namespace meissa::bench

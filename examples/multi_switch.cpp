@@ -1,0 +1,57 @@
+// Multi-switch multi-pipeline testing (the paper's Fig. 1): gw-4 spreads
+// a gateway across two 4-pipe switches; flow A stays inside switch 0 and
+// flow B crosses to switch 1. This example shows full-coverage generation
+// over the composed topology and how code summary keeps it tractable.
+//
+//   $ ./multi_switch
+#include <cstdio>
+
+#include "apps/apps.hpp"
+#include "sim/toolchain.hpp"
+
+int main() {
+  using namespace meissa;
+
+  ir::Context ctx;
+  apps::GwConfig cfg;
+  cfg.level = 4;
+  cfg.elastic_ips = 8;
+  apps::AppBundle app = apps::make_gateway(ctx, cfg);
+  std::printf("topology: %zu pipeline instances across %d switches\n",
+              app.dp.topology.instances.size(),
+              app.dp.topology.num_switches());
+
+  driver::Meissa meissa(ctx, app.dp, app.rules, {});
+  auto templates = meissa.generate();
+  const driver::GenStats& st = meissa.gen_stats();
+  std::printf("possible paths:   %s (original CFG)\n",
+              st.paths_original.str().c_str());
+  std::printf("after summary:    %s\n", st.paths_summarized.str().c_str());
+  std::printf("valid templates:  %zu  (%.3fs, %llu SMT calls)\n\n",
+              templates.size(), st.total_seconds,
+              static_cast<unsigned long long>(st.smt_checks));
+
+  // Where does traffic leave the data plane? Count per exit instance.
+  std::printf("%-10s %8s\n", "exit", "#paths");
+  for (size_t i = 0; i < meissa.graph().instances().size(); ++i) {
+    size_t n = 0;
+    for (const auto& t : templates) {
+      n += t.exit == cfg::ExitKind::kEmit &&
+           t.emit_instance == static_cast<int>(i);
+    }
+    if (n > 0) {
+      std::printf("%-10s %8zu\n",
+                  meissa.graph().instances()[i].name.c_str(), n);
+    }
+  }
+  size_t drops = 0;
+  for (const auto& t : templates) drops += t.exit == cfg::ExitKind::kDrop;
+  std::printf("%-10s %8zu\n\n", "(dropped)", drops);
+
+  // And the packets really do take those paths on the device.
+  sim::DeviceProgram compiled = sim::compile(app.dp, app.rules, ctx);
+  sim::Device device(compiled, ctx);
+  driver::TestReport report = meissa.test(device, app.intents);
+  std::printf("%s\n", report.str().c_str());
+  return report.all_passed() ? 0 : 1;
+}

@@ -1,0 +1,79 @@
+// ACL: Router plus an access-control table matching src/dst (ternary) and
+// ECN (exact) ahead of routing (paper Table 1 row 3).
+#include "apps/apps.hpp"
+#include "apps/protocols.hpp"
+#include "apps/rulegen.hpp"
+
+namespace meissa::apps {
+
+using p4::ActionDef;
+using p4::ActionOp;
+using p4::ControlStmt;
+using p4::KeyMatch;
+using p4::MatchKind;
+using p4::TableDef;
+using p4::TableEntry;
+
+AppBundle make_acl(ir::Context& ctx, int n_routes, int n_acls, uint64_t seed) {
+  // Start from the Router program and add the ACL stage.
+  AppBundle app = make_router(ctx, n_routes, seed);
+  app.name = "ACL";
+  p4::Program& prog = app.dp.program;
+
+  prog.metadata.push_back({"meta.acl_hit", 8});
+  ctx.fields.intern("meta.acl_hit", 8);
+
+  ActionDef permit;
+  permit.name = "acl_permit";
+  permit.ops = {ActionOp::assign("meta.acl_hit", ctx.arena.constant(1, 8))};
+  ActionDef deny;
+  deny.name = "acl_deny";
+  deny.ops = {
+      ActionOp::assign("meta.acl_hit", ctx.arena.constant(2, 8)),
+      ActionOp::assign(std::string(p4::kDropFlag), ctx.arena.constant(1, 1)),
+  };
+  prog.actions.push_back(permit);
+  prog.actions.push_back(deny);
+
+  TableDef acl;
+  acl.name = "acl";
+  acl.keys = {{"hdr.ipv4.src", MatchKind::kTernary},
+              {"hdr.ipv4.dst", MatchKind::kTernary},
+              {"hdr.ipv4.ecn", MatchKind::kExact}};
+  acl.actions = {"acl_permit", "acl_deny"};
+  acl.default_action = "acl_permit";
+  prog.tables.push_back(acl);
+
+  // Prepend the ACL to the routed (validity-guarded) branch.
+  p4::ControlBlock& routed = prog.pipelines[0].control.stmts[0].then_block;
+  p4::ControlBlock with_acl;
+  with_acl.stmts.push_back(ControlStmt::apply("acl"));
+  for (ControlStmt& s : routed.stmts) with_acl.stmts.push_back(s);
+  routed = with_acl;
+  p4::validate(prog, ctx);
+
+  util::Rng rng(seed * 31 + 7);
+  for (int i = 0; i < n_acls; ++i) {
+    TableEntry e;
+    e.table = "acl";
+    int src_len = static_cast<int>(rng.range(8, 24));
+    int dst_len = static_cast<int>(rng.range(8, 24));
+    uint64_t src_mask =
+        (util::mask_bits(32) << (32 - src_len)) & util::mask_bits(32);
+    uint64_t dst_mask =
+        (util::mask_bits(32) << (32 - dst_len)) & util::mask_bits(32);
+    e.matches = {
+        KeyMatch::ternary(random_prefix(rng, src_len), src_mask),
+        KeyMatch::ternary(random_prefix(rng, dst_len), dst_mask),
+        KeyMatch::exact(rng.bits(2)),
+    };
+    e.action = rng.chance(1, 2) ? "acl_deny" : "acl_permit";
+    e.args = {};
+    e.priority = i;
+    app.rules.add(e);
+  }
+  app.rules.name = "acl-rules";
+  return app;
+}
+
+}  // namespace meissa::apps

@@ -1,0 +1,664 @@
+// The Table 2 bug corpus: six code bugs (1-6) in source programs and ten
+// non-code bugs (7-16) injected by the toolchain. Each scenario carries
+// the intents an operator would have written for that feature and the
+// handwritten PTA unit tests engineers maintained for the P4-14 programs.
+#include "apps/apps.hpp"
+#include "apps/protocols.hpp"
+#include "sim/toolchain.hpp"
+
+namespace meissa::apps {
+
+using p4::ActionDef;
+using p4::ActionOp;
+using p4::ControlStmt;
+using p4::KeyMatch;
+using p4::MatchKind;
+using p4::ParserState;
+using p4::TableDef;
+using p4::TableEntry;
+
+namespace {
+
+// ------------------------- mini programs for compiler-bug scenarios -----
+//
+// Small, single-pipeline P4-16 programs in the style of the Gauntlet bug
+// corpus: each makes one construct observable on the wire so a toolchain
+// mutation of that construct diverges from the source semantics.
+
+// Bug 7 substrate: forwarding decided by a parser select.
+AppBundle mini_classifier(ir::Context& ctx) {
+  p4::ProgramBuilder b(ctx, "mini-classifier");
+  b.header("eth", eth_header().fields);
+  b.header("ipv4", ipv4_header().fields);
+  p4::PipelineDef p;
+  p.name = "pipe";
+  ParserState start;
+  start.name = "start";
+  start.extracts = {"eth"};
+  start.select_field = "hdr.eth.type";
+  start.cases = {{kEthIpv4, 0xffff, "parse_ipv4"}};
+  start.default_next = "accept";
+  ParserState ipv4;
+  ipv4.name = "parse_ipv4";
+  ipv4.extracts = {"ipv4"};
+  ipv4.default_next = "accept";
+  p.parser.states = {start, ipv4};
+  p4::ControlBlock ip_out, other_out;
+  ip_out.stmts = {ControlStmt::inline_op(ActionOp::assign(
+      std::string(p4::kEgressSpec), ctx.arena.constant(7, 9)))};
+  other_out.stmts = {ControlStmt::inline_op(ActionOp::assign(
+      std::string(p4::kEgressSpec), ctx.arena.constant(9, 9)))};
+  p.control.stmts = {ControlStmt::if_else(
+      ctx.arena.cmp(ir::CmpOp::kEq,
+                    ctx.field_var(p4::validity_field("ipv4"), 1),
+                    ctx.arena.constant(1, 1)),
+      ip_out, other_out)};
+  p.deparser.emit_order = {"eth", "ipv4"};
+  b.pipeline(p);
+  AppBundle app;
+  app.name = "mini-classifier";
+  app.dp.program = b.build();
+  app.dp.topology.instances = {{"sw0.p", "pipe", 0}};
+  app.dp.topology.entries = {{"sw0.p", nullptr}};
+  return app;
+}
+
+// Bug 8 substrate: a ternary table whose mask matters.
+AppBundle mini_ternary(ir::Context& ctx) {
+  p4::ProgramBuilder b(ctx, "mini-ternary");
+  b.header("eth", eth_header().fields);
+  b.header("ipv4", ipv4_header().fields);
+  b.header("tcp", tcp_header().fields);
+  b.header("udp", udp_header().fields);
+  ActionDef mark;
+  mark.name = "mark";
+  mark.ops = {ActionOp::assign(std::string(p4::kEgressSpec),
+                               ctx.arena.constant(5, 9))};
+  b.action(mark);
+  ActionDef nop;
+  nop.name = "nop";
+  b.action(nop);
+  TableDef t;
+  t.name = "classify";
+  t.keys = {{"hdr.ipv4.dst", MatchKind::kTernary}};
+  t.actions = {"mark", "nop"};
+  t.default_action = "nop";
+  b.table(t);
+  p4::PipelineDef p;
+  p.name = "pipe";
+  // A masked select case: any 0x08xx ethertype is treated as IPv4-like
+  // (the written value carries bits outside the mask).
+  ParserState start;
+  start.name = "start";
+  start.extracts = {"eth"};
+  start.select_field = "hdr.eth.type";
+  start.cases = {{0x08aa, 0xff00, "parse_ipv4"}};
+  start.default_next = "accept";
+  ParserState pipv4;
+  pipv4.name = "parse_ipv4";
+  pipv4.extracts = {"ipv4"};
+  pipv4.default_next = "accept";
+  p.parser.states = {start, pipv4};
+  p4::ControlBlock as_ip, as_other;
+  as_ip.stmts = {ControlStmt::apply("classify"),
+                 ControlStmt::inline_op(ActionOp::assign(
+                     std::string(p4::kEgressSpec), ctx.arena.constant(7, 9)))};
+  as_other.stmts = {ControlStmt::inline_op(ActionOp::assign(
+      std::string(p4::kEgressSpec), ctx.arena.constant(9, 9)))};
+  p.control.stmts = {ControlStmt::if_else(
+      ctx.arena.cmp(ir::CmpOp::kEq,
+                    ctx.field_var(p4::validity_field("ipv4"), 1),
+                    ctx.arena.constant(1, 1)),
+      as_ip, as_other)};
+  p.deparser.emit_order = {"eth", "ipv4", "tcp", "udp"};
+  b.pipeline(p);
+  AppBundle app;
+  app.name = "mini-ternary";
+  app.dp.program = b.build();
+  app.dp.topology.instances = {{"sw0.p", "pipe", 0}};
+  app.dp.topology.entries = {{"sw0.p", nullptr}};
+  TableEntry e;
+  e.table = "classify";
+  // Value has bits outside the mask: the mask-fold miscompile makes the
+  // device require them while the source matches on the prefix only.
+  e.matches = {KeyMatch::ternary(0x12345678u, 0xffff0000u)};
+  e.action = "mark";
+  app.rules.add(e);
+  return app;
+}
+
+// Bug 9/10 substrate: a table whose hit action rewrites two fields and
+// whose default action sets a known port.
+AppBundle mini_rewrite(ir::Context& ctx) {
+  p4::ProgramBuilder b(ctx, "mini-rewrite");
+  b.header("eth", eth_header().fields);
+  b.header("ipv4", ipv4_header().fields);
+  b.header("tcp", tcp_header().fields);
+  b.header("udp", udp_header().fields);
+  ActionDef rewrite;
+  rewrite.name = "rewrite";
+  rewrite.params = {{"mac", 48}, {"port", p4::kPortWidth}};
+  rewrite.ops = {
+      ActionOp::assign("hdr.eth.dst", b.arg("rewrite", "mac", 48)),
+      ActionOp::assign(std::string(p4::kEgressSpec),
+                       b.arg("rewrite", "port", p4::kPortWidth)),
+  };
+  b.action(rewrite);
+  ActionDef to_cpu;
+  to_cpu.name = "to_cpu";
+  to_cpu.ops = {ActionOp::assign(std::string(p4::kEgressSpec),
+                                 ctx.arena.constant(63, 9))};
+  b.action(to_cpu);
+  TableDef t;
+  t.name = "rw";
+  t.keys = {{"hdr.ipv4.dst", MatchKind::kExact}};
+  t.actions = {"rewrite", "to_cpu"};
+  t.default_action = "to_cpu";
+  b.table(t);
+  p4::PipelineDef p;
+  p.name = "pipe";
+  p.parser.states = l3l4_parser("reject");
+  p.control.stmts = {ControlStmt::apply("rw")};
+  p.deparser.emit_order = {"eth", "ipv4", "tcp", "udp"};
+  b.pipeline(p);
+  AppBundle app;
+  app.name = "mini-rewrite";
+  app.dp.program = b.build();
+  app.dp.topology.instances = {{"sw0.p", "pipe", 0}};
+  app.dp.topology.entries = {{"sw0.p", nullptr}};
+  TableEntry e;
+  e.table = "rw";
+  e.matches = {KeyMatch::exact(0x0a0a0a0au)};
+  e.action = "rewrite";
+  e.args = {0x02aabbccddeeull, 17};
+  app.rules.add(e);
+  return app;
+}
+
+// Bug 11 substrate: an 8-bit addition that provably carries (the table
+// entry pins the operand), next to a sibling field in the same container.
+AppBundle mini_adder(ir::Context& ctx) {
+  p4::ProgramBuilder b(ctx, "mini-adder");
+  b.header("eth", eth_header().fields);
+  b.header("pair", {{"a", 8}, {"b", 8}});
+  ActionDef bump;
+  bump.name = "bump";
+  bump.ops = {ActionOp::assign(
+      "hdr.pair.a", ctx.arena.arith(ir::ArithOp::kAdd,
+                                    ctx.field_var("hdr.pair.a", 8),
+                                    ctx.arena.constant(200, 8)))};
+  b.action(bump);
+  ActionDef nop;
+  nop.name = "nop";
+  b.action(nop);
+  TableDef t;
+  t.name = "bump_tbl";
+  t.keys = {{"hdr.pair.a", MatchKind::kExact}};
+  t.actions = {"bump", "nop"};
+  t.default_action = "nop";
+  b.table(t);
+  p4::PipelineDef p;
+  p.name = "pipe";
+  ParserState start;
+  start.name = "start";
+  start.extracts = {"eth", "pair"};
+  start.default_next = "accept";
+  p.parser.states = {start};
+  p.control.stmts = {ControlStmt::apply("bump_tbl")};
+  p.deparser.emit_order = {"eth", "pair"};
+  b.pipeline(p);
+  AppBundle app;
+  app.name = "mini-adder";
+  app.dp.program = b.build();
+  app.dp.topology.instances = {{"sw0.p", "pipe", 0}};
+  app.dp.topology.entries = {{"sw0.p", nullptr}};
+  TableEntry e;
+  e.table = "bump_tbl";
+  e.matches = {KeyMatch::exact(100)};  // 100 + 200 carries in 8 bits
+  e.action = "bump";
+  app.rules.add(e);
+  return app;
+}
+
+// Bug 12 helper: add a 32-bit blocklist comparison to the gateway ingress.
+void add_blocklist_guard(ir::Context& ctx, AppBundle& app) {
+  p4::Program& prog = app.dp.program;
+  for (p4::PipelineDef& p : prog.pipelines) {
+    if (p.name != "gw_ingress") continue;
+    p4::ControlBlock blocked;
+    blocked.stmts = {ControlStmt::inline_op(ActionOp::assign(
+        std::string(p4::kDropFlag), ctx.arena.constant(1, 1)))};
+    p4::ControlBlock guarded;
+    guarded.stmts.push_back(ControlStmt::if_else(
+        ctx.arena.cmp(ir::CmpOp::kEq, ctx.field_var("hdr.ipv4.dst", 32),
+                      ctx.arena.constant(0xdead0000u, 32)),
+        blocked));
+    for (ControlStmt& s : p.control.stmts) guarded.stmts.push_back(s);
+    p.control = guarded;
+  }
+  p4::validate(prog, ctx);
+}
+
+// Bug 13 helper: a two-constant-assignment action applied on every packet
+// (via an empty table's default action).
+void add_tos_stamp(ir::Context& ctx, AppBundle& app) {
+  p4::Program& prog = app.dp.program;
+  ActionDef stamp;
+  stamp.name = "tos_stamp";
+  stamp.ops = {
+      ActionOp::assign("hdr.ipv4.dscp", ctx.arena.constant(46, 6)),
+      ActionOp::assign("hdr.ipv4.ecn", ctx.arena.constant(1, 2)),
+  };
+  prog.actions.push_back(stamp);
+  TableDef t;
+  t.name = "tos_tbl";
+  t.keys = {{"hdr.ipv4.dscp", MatchKind::kExact}};
+  t.actions = {"tos_stamp"};
+  t.default_action = "tos_stamp";
+  prog.tables.push_back(t);
+  for (p4::PipelineDef& p : prog.pipelines) {
+    if (p.name == "gw_ingress") {
+      p.control.stmts.push_back(ControlStmt::apply("tos_tbl"));
+    }
+  }
+  p4::validate(prog, ctx);
+}
+
+// Bug 16 helper: the switch-ingress pipe branches on metadata it assumes
+// the toolchain zero-initialized.
+void add_tenant_guard(ir::Context& ctx, AppBundle& app) {
+  p4::Program& prog = app.dp.program;
+  for (p4::PipelineDef& p : prog.pipelines) {
+    if (p.name != "sw_ingress") continue;
+    p4::ControlBlock spill;
+    spill.stmts = {ControlStmt::inline_op(ActionOp::assign(
+        std::string(p4::kDropFlag), ctx.arena.constant(1, 1)))};
+    p4::ControlBlock guarded;
+    guarded.stmts.push_back(ControlStmt::if_else(
+        ctx.arena.cmp(ir::CmpOp::kGt, ctx.field_var("meta.tenant", 24),
+                      ctx.arena.constant(500000, 24)),
+        spill));
+    for (ControlStmt& s : p.control.stmts) guarded.stmts.push_back(s);
+    p.control = guarded;
+  }
+  p4::validate(prog, ctx);
+}
+
+
+// Deterministic router rules for the code-bug scenarios: /16 routes with
+// known nexthops, so intents can name concrete destinations.
+p4::RuleSet fixed_router_rules() {
+  p4::RuleSet rules;
+  rules.name = "router-fixed";
+  for (int i = 0; i < 4; ++i) {
+    TableEntry route;
+    route.table = "ipv4_lpm";
+    route.matches = {
+        KeyMatch::lpm(0x0a000000u + (static_cast<uint64_t>(i + 1) << 16), 16)};
+    route.action = "set_nexthop";
+    route.args = {static_cast<uint64_t>(i + 1),
+                  static_cast<uint64_t>(10 + i)};
+    rules.add(route);
+    TableEntry nh;
+    nh.table = "nexthop";
+    nh.matches = {KeyMatch::exact(static_cast<uint64_t>(i + 1))};
+    nh.action = "rewrite_macs";
+    nh.args = {0x020000000000ull + static_cast<uint64_t>(i),
+               0x040000000000ull + static_cast<uint64_t>(i)};
+    rules.add(nh);
+  }
+  return rules;
+}
+
+// A minimal IPv4 packet for the handwritten PTA suites.
+packet::Packet pta_ipv4_packet(const p4::Program& prog, uint64_t eth_type,
+                               uint64_t dst, uint64_t ttl, uint64_t src) {
+  packet::Packet p;
+  packet::HeaderValues eth;
+  eth.header = "eth";
+  eth.values = {0x0200000000ffull, 0x0400000000ffull, eth_type};
+  p.headers.push_back(eth);
+  if (eth_type == kEthIpv4) {
+    const p4::HeaderDef* def = prog.find_header("ipv4");
+    packet::HeaderValues ipv4;
+    ipv4.header = "ipv4";
+    ipv4.values.assign(def->fields.size(), 0);
+    ipv4.set_field(*def, "ver_ihl", 0x45);
+    ipv4.set_field(*def, "ttl", ttl);
+    ipv4.set_field(*def, "src", src);
+    ipv4.set_field(*def, "dst", dst);
+    p.headers.push_back(ipv4);
+  }
+  for (int i = 0; i < 16; ++i) p.payload.push_back(static_cast<uint8_t>(i));
+  return p;
+}
+
+// Builds the handwritten suite: injects each input into a device compiled
+// from the *intended* (bug-free) bundle and records expectations.
+void fill_pta_expectations(BugScenario& bug, ir::Context& ctx,
+                           const AppBundle& intended,
+                           const std::vector<sim::DeviceInput>& inputs) {
+  sim::DeviceProgram clean = sim::compile(intended.dp, intended.rules, ctx);
+  sim::Device device(clean, ctx);
+  for (const sim::DeviceInput& in : inputs) {
+    sim::DeviceOutput out = device.inject(in);
+    bug.pta_inputs.push_back({in, out.dropped});
+    bug.pta_expect.push_back({out.port, out.bytes});
+  }
+}
+
+// Intent: IPv4 to 10.<k>.x.x with ttl > 1 leaves on the route's port with
+// rewritten MACs.
+spec::Intent route_intent(ir::Context& ctx, const p4::Program& prog, int k,
+                          uint64_t port) {
+  spec::IntentBuilder ib(ctx, prog, "route-10." + std::to_string(k));
+  ib.assume(ctx.arena.cmp(ir::CmpOp::kEq, ib.in("hdr.eth.type"),
+                          ib.num(kEthIpv4, 16)));
+  ib.assume(ctx.arena.masked_eq(ib.in("hdr.ipv4.dst"), 0xffff0000u,
+                                0x0a000000u + (static_cast<uint64_t>(k) << 16)));
+  ib.assume(ctx.arena.cmp(ir::CmpOp::kGt, ib.in("hdr.ipv4.ttl"),
+                          ib.num(1, 8)));
+  ib.expect_delivered();
+  ib.expect(ctx.arena.cmp(ir::CmpOp::kEq, ib.out_port(),
+                          ib.num(port, p4::kPortWidth)));
+  return ib.build();
+}
+
+}  // namespace
+
+BugScenario make_bug(ir::Context& ctx, int index) {
+  BugScenario bug;
+  bug.index = index;
+  switch (index) {
+    // =================================================== code bugs (1-6)
+    case 1: {
+      // Routing misconfiguration: route 10.1/16 installed with the wrong
+      // egress port (11 instead of 10).
+      bug.name = "routing misconfiguration";
+      bug.bundle = make_router(ctx, 0);
+      bug.bundle.rules = fixed_router_rules();
+      bug.bundle.rules.entries[0].args[1] = 11;  // wrong port
+      bug.bundle.intents = {route_intent(ctx, bug.bundle.dp.program, 1, 10),
+                            route_intent(ctx, bug.bundle.dp.program, 2, 11)};
+      // Handwritten suite only covers route 2 (incomplete, as in practice).
+      std::vector<sim::DeviceInput> inputs = {
+          {0, packet::serialize(bug.bundle.dp.program,
+                                pta_ipv4_packet(bug.bundle.dp.program,
+                                                kEthIpv4, 0x0a020101, 64,
+                                                0x0b000001))}};
+      AppBundle intended = bug.bundle;
+      intended.rules = fixed_router_rules();  // correct rules
+      fill_pta_expectations(bug, ctx, intended, inputs);
+      break;
+    }
+    case 2: {
+      // Unrestricted ACL: the deny rule for 203.0.113/24 is shadowed by a
+      // catch-all permit installed at higher priority.
+      bug.name = "unrestricted ACL rules";
+      bug.bundle = make_acl(ctx, 0, 0);
+      bug.bundle.rules = fixed_router_rules();
+      TableEntry permit;
+      permit.table = "acl";
+      permit.matches = {KeyMatch::wildcard(), KeyMatch::wildcard(),
+                        KeyMatch::exact(0)};
+      permit.action = "acl_permit";
+      permit.priority = 0;  // shadows the deny below
+      bug.bundle.rules.add(permit);
+      TableEntry deny;
+      deny.table = "acl";
+      deny.matches = {KeyMatch::ternary(0xcb007100u, 0xffffff00u),
+                      KeyMatch::wildcard(), KeyMatch::exact(0)};
+      deny.action = "acl_deny";
+      deny.priority = 1;
+      bug.bundle.rules.add(deny);
+      spec::IntentBuilder ib(ctx, bug.bundle.dp.program, "acl-deny-203");
+      ib.assume(ctx.arena.cmp(ir::CmpOp::kEq, ib.in("hdr.eth.type"),
+                              ib.num(kEthIpv4, 16)));
+      ib.assume(ctx.arena.masked_eq(ib.in("hdr.ipv4.src"), 0xffffff00u,
+                                    0xcb007100u));
+      ib.assume(ctx.arena.cmp(ir::CmpOp::kEq, ib.in("hdr.ipv4.ecn"),
+                              ib.num(0, 2)));
+      ib.expect_dropped();
+      bug.bundle.intents = {ib.build()};
+      // Handwritten suite checks permitted traffic only.
+      std::vector<sim::DeviceInput> inputs = {
+          {0, packet::serialize(bug.bundle.dp.program,
+                                pta_ipv4_packet(bug.bundle.dp.program,
+                                                kEthIpv4, 0x0a010101, 64,
+                                                0x0b000001))}};
+      fill_pta_expectations(bug, ctx, bug.bundle, inputs);
+      break;
+    }
+    case 3: {
+      // Parser wrong logic: the IPv4 select case is typo'd (0x0080), so
+      // IPv4 is never parsed — yet the control reads ipv4.ttl untguarded.
+      bug.name = "parser wrong logic";
+      bug.bundle = make_router(ctx, 0);
+      bug.bundle.rules = fixed_router_rules();
+      p4::Program& prog = bug.bundle.dp.program;
+      prog.pipelines[0].parser.states[0].cases[0].value = 0x0080;  // typo
+      // The (sloppy) control relied on the parser: guard only on TTL.
+      p4::ControlBlock& c = prog.pipelines[0].control;
+      c.stmts[0].cond = ctx.arena.cmp(
+          ir::CmpOp::kGt, ctx.field_var("hdr.ipv4.ttl", 8),
+          ctx.arena.constant(1, 8));
+      p4::validate(prog, ctx);
+      bug.bundle.intents = {route_intent(ctx, prog, 1, 10)};
+      std::vector<sim::DeviceInput> inputs = {
+          {0, packet::serialize(prog, pta_ipv4_packet(prog, kEthIpv4,
+                                                      0x0a010101, 64,
+                                                      0x0b000001))}};
+      AppBundle intended = make_router(ctx, 0, /*seed=*/99);
+      intended.rules = fixed_router_rules();
+      fill_pta_expectations(bug, ctx, intended, inputs);
+      break;
+    }
+    case 4: {
+      // Ingress wrong logic: the validity test is inverted, routing
+      // non-IPv4 packets (invalid-header reads) and dropping IPv4.
+      bug.name = "ingress wrong logic";
+      bug.bundle = make_router(ctx, 0);
+      bug.bundle.rules = fixed_router_rules();
+      p4::Program& prog = bug.bundle.dp.program;
+      // The then/else blocks were swapped during a refactor: routing now
+      // runs exactly when the packet is NOT routable (reading invalid
+      // IPv4 fields), and good traffic is dropped.
+      p4::ControlBlock& c = prog.pipelines[0].control;
+      std::swap(c.stmts[0].then_block, c.stmts[0].else_block);
+      // The routed (now else) branch decrements TTL inline, unguarded.
+      c.stmts[0].else_block.stmts.push_back(ControlStmt::inline_op(
+          ActionOp::assign("hdr.ipv4.ttl",
+                           ctx.arena.arith(ir::ArithOp::kSub,
+                                           ctx.field_var("hdr.ipv4.ttl", 8),
+                                           ctx.arena.constant(1, 8)))));
+      p4::validate(prog, ctx);
+      bug.bundle.intents = {route_intent(ctx, prog, 1, 10)};
+      std::vector<sim::DeviceInput> inputs = {
+          {0, packet::serialize(prog, pta_ipv4_packet(prog, kEthIpv4,
+                                                      0x0a010101, 64,
+                                                      0x0b000001))}};
+      AppBundle intended = make_router(ctx, 0, /*seed=*/98);
+      intended.rules = fixed_router_rules();
+      fill_pta_expectations(bug, ctx, intended, inputs);
+      break;
+    }
+    case 5: {
+      // Wrong deparser emit: the mTag edge forgets to emit the tag, so
+      // upstream packets leave untagged.
+      bug.name = "wrong deparser emit";
+      bug.bundle = make_mtag(ctx, 3);
+      p4::Program& prog = bug.bundle.dp.program;
+      auto& emit = prog.pipelines[0].deparser.emit_order;
+      emit.erase(std::remove(emit.begin(), emit.end(), "mtag"), emit.end());
+      p4::validate(prog, ctx);
+      // The bundle's default intents already require the tag upstream.
+      // Handwritten suite: a host-side packet to a known MAC must come out
+      // tagged (computed against the intended program).
+      AppBundle intended = make_mtag(ctx, 3, /*seed=*/2);
+      packet::Packet in;
+      packet::HeaderValues eth;
+      eth.header = "eth";
+      eth.values = {intended.rules.entries[0].matches[0].value,
+                    0x0400000000ffull, 0x1234};
+      in.headers.push_back(eth);
+      for (int i = 0; i < 16; ++i) in.payload.push_back(0x55);
+      std::vector<sim::DeviceInput> inputs = {
+          {0, packet::serialize(prog, in)}};
+      fill_pta_expectations(bug, ctx, intended, inputs);
+      break;
+    }
+    case 6: {
+      // Checksum fail-to-update: the gateway egress parser forgot the
+      // inner-TCP state, so the inner L4 checksum is never finalized.
+      bug.name = "checksum fail-to-update";
+      GwConfig cfg;
+      cfg.level = 2;
+      cfg.elastic_ips = 4;
+      bug.bundle = make_gateway(ctx, cfg);
+      p4::Program& prog = bug.bundle.dp.program;
+      for (p4::PipelineDef& p : prog.pipelines) {
+        if (p.name == "gw_egress") {
+          p.parser.states = tunnel_parser(/*parse_inner_tcp=*/false);
+        }
+      }
+      p4::validate(prog, ctx);
+      // Operator spec for this sub-case: outbound NAT'd TCP must leave
+      // with a correct inner checksum (nothing about header layout).
+      spec::IntentBuilder ib(ctx, prog, "gw-inner-csum");
+      ib.assume(ctx.arena.cmp(ir::CmpOp::kLt, ib.in_port(), ib.num(32, 9)));
+      ib.assume(ctx.arena.cmp(ir::CmpOp::kEq, ib.in("hdr.eth.type"),
+                              ib.num(kEthIpv4, 16)));
+      ib.assume(ctx.arena.cmp(ir::CmpOp::kEq, ib.in("hdr.ipv4.proto"),
+                              ib.num(kProtoTcp, 8)));
+      ib.assume(ctx.arena.cmp(ir::CmpOp::kEq, ib.in("hdr.ipv4.src"),
+                              ib.num(0x0a000000, 32)));
+      ib.expect_delivered();
+      ib.expect_checksum("hdr.inner_tcp.csum",
+                         {"hdr.inner_ipv4.src", "hdr.inner_ipv4.dst",
+                          "hdr.inner_ipv4.proto", "hdr.inner_tcp.sport",
+                          "hdr.inner_tcp.dport"});
+      bug.bundle.intents = {ib.build()};
+      break;
+    }
+    // ============================================ non-code bugs (7-16)
+    case 7: {
+      // p4c frontend bug 2147 analog: a parser select compiled away.
+      bug.name = "p4c frontend bug 2147 (parser select dropped)";
+      bug.code_bug = false;
+      bug.bundle = mini_classifier(ctx);
+      bug.fault.kind = sim::FaultKind::kParserSkipSelect;
+      bug.fault.parser_state = "start";
+      break;
+    }
+    case 8: {
+      // p4c frontend bug 2343 analog: ternary masks folded out.
+      bug.name = "p4c frontend bug 2343 (mask folded)";
+      bug.code_bug = false;
+      bug.bundle = mini_ternary(ctx);
+      bug.fault.kind = sim::FaultKind::kMaskFoldBug;
+      break;
+    }
+    case 9: {
+      // bf-p4c backend bug 1 analog: assignment dropped from an action.
+      bug.name = "bf-p4c backend bug 1 (dropped assignment)";
+      bug.code_bug = false;
+      bug.bundle = mini_rewrite(ctx);
+      bug.fault.kind = sim::FaultKind::kDropAssignment;
+      bug.fault.action = "rewrite";
+      break;
+    }
+    case 10: {
+      // bf-p4c backend bug 3 analog: default action not applied on miss.
+      bug.name = "bf-p4c backend bug 3 (wrong default action)";
+      bug.code_bug = false;
+      bug.bundle = mini_rewrite(ctx);
+      bug.fault.kind = sim::FaultKind::kWrongDefaultAction;
+      bug.fault.table = "rw";
+      break;
+    }
+    case 11: {
+      // bf-p4c backend bug 6 analog: additions leak their carry bit.
+      bug.name = "bf-p4c backend bug 6 (carry leak)";
+      bug.code_bug = false;
+      bug.bundle = mini_adder(ctx);
+      bug.fault.kind = sim::FaultKind::kAddCarryLeak;
+      bug.fault.field_b = "hdr.pair.b";
+      break;
+    }
+    case 12: {
+      // bf-p4c backend bug A: 32-bit comparison lowered to 16 bits.
+      bug.name = "bf-p4c backend bug A (incorrect arithmetic comparison)";
+      bug.code_bug = false;
+      GwConfig cfg;
+      cfg.level = 1;
+      cfg.elastic_ips = 4;
+      bug.bundle = make_gateway(ctx, cfg);
+      add_blocklist_guard(ctx, bug.bundle);
+      // The operator's sub-cases exclude the (documented) blocked address.
+      for (spec::Intent& intent : bug.bundle.intents) {
+        intent.assumes.push_back(
+            ctx.arena.cmp(ir::CmpOp::kNe, ctx.field_var("in.hdr.ipv4.dst", 32),
+                          ctx.arena.constant(0xdead0000u, 32)));
+      }
+      bug.fault.kind = sim::FaultKind::kWrongCompareWidth;
+      bug.fault.field = "hdr.ipv4.dst";
+      break;
+    }
+    case 13: {
+      // bf-p4c backend bug B: swapped assignment destinations.
+      bug.name = "bf-p4c backend bug B (incorrect assignment)";
+      bug.code_bug = false;
+      GwConfig cfg;
+      cfg.level = 1;
+      cfg.elastic_ips = 4;
+      bug.bundle = make_gateway(ctx, cfg);
+      add_tos_stamp(ctx, bug.bundle);
+      bug.fault.kind = sim::FaultKind::kSwappedAssignments;
+      bug.fault.action = "tos_stamp";
+      break;
+    }
+    case 14: {
+      // bf-p4c backend bug C: setValid(vxlan) does not take effect.
+      bug.name = "bf-p4c backend bug C (setValid)";
+      bug.code_bug = false;
+      GwConfig cfg;
+      cfg.level = 1;
+      cfg.elastic_ips = 4;
+      bug.bundle = make_gateway(ctx, cfg);
+      bug.fault.kind = sim::FaultKind::kDropSetValid;
+      bug.fault.header = "vxlan";
+      break;
+    }
+    case 15: {
+      // Misuse of optimization pragmas: inner_ipv4.src and tcp.ackno share
+      // a PHV container; nat_encap then propagates the clobbered ackno.
+      bug.name = "misuse of optimization pragmas";
+      bug.code_bug = false;
+      GwConfig cfg;
+      cfg.level = 2;
+      cfg.elastic_ips = 4;
+      bug.bundle = make_gateway(ctx, cfg);
+      bug.fault.kind = sim::FaultKind::kFieldOverlap;
+      bug.fault.field_a = "hdr.inner_ipv4.src";
+      bug.fault.field_b = "hdr.tcp.ackno";
+      break;
+    }
+    case 16: {
+      // Missing compilation flags: metadata is not zero-initialized.
+      bug.name = "missing compilation flags";
+      bug.code_bug = false;
+      GwConfig cfg;
+      cfg.level = 3;
+      cfg.elastic_ips = 4;
+      bug.bundle = make_gateway(ctx, cfg);
+      add_tenant_guard(ctx, bug.bundle);
+      bug.fault.kind = sim::FaultKind::kSkipMetadataZero;
+      break;
+    }
+    default:
+      throw util::ValidationError("make_bug: index out of range");
+  }
+  return bug;
+}
+
+}  // namespace meissa::apps

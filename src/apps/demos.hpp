@@ -1,0 +1,19 @@
+// Demo data planes (paper Fig. 7 / Fig. 8) shared by examples, benches
+// and tests.
+#pragma once
+
+#include "p4/rules.hpp"
+
+namespace meissa::apps::demos {
+
+// Fig. 7: table ipv4_host (dstIP -> egressPort) chained into mac_agent
+// (egressPort -> dstMAC); single pipeline.
+p4::DataPlane make_fig7_plane(ir::Context& ctx);
+p4::RuleSet fig7_rules(int n_hosts);
+
+// Fig. 8: ingress routes TCP to the egress pipeline, whose TCP/UDP branch
+// is filtered by the public pre-condition proto == TCP.
+p4::DataPlane make_fig8_plane(ir::Context& ctx);
+p4::RuleSet fig8_rules();
+
+}  // namespace meissa::apps::demos

@@ -1,0 +1,157 @@
+// mTag edge switch (Bosshart et al. 2014, the paper's open-source row 2):
+// host-facing ports add a two-level routing tag; core-facing ports strip
+// it and forward by the tag.
+#include "apps/apps.hpp"
+#include "apps/protocols.hpp"
+#include "apps/rulegen.hpp"
+
+namespace meissa::apps {
+
+using p4::ActionDef;
+using p4::ActionOp;
+using p4::ControlStmt;
+using p4::KeyMatch;
+using p4::MatchKind;
+using p4::ParserState;
+using p4::TableDef;
+using p4::TableEntry;
+
+AppBundle make_mtag(ir::Context& ctx, int n_hosts, uint64_t seed) {
+  p4::ProgramBuilder b(ctx, "mtag");
+  b.header("eth", eth_header().fields);
+  b.header("mtag", mtag_header().fields);
+  b.header("ipv4", ipv4_header().fields);
+
+  // Host->core: insert the tag and send out the core uplink.
+  ActionDef add_mtag;
+  add_mtag.name = "add_mtag";
+  add_mtag.params = {{"up1", 8}, {"up2", 8}, {"down1", 8}, {"down2", 8},
+                     {"port", p4::kPortWidth}};
+  add_mtag.ops = {
+      ActionOp::set_valid("mtag"),
+      ActionOp::assign("hdr.mtag.up1", b.arg("add_mtag", "up1", 8)),
+      ActionOp::assign("hdr.mtag.up2", b.arg("add_mtag", "up2", 8)),
+      ActionOp::assign("hdr.mtag.down1", b.arg("add_mtag", "down1", 8)),
+      ActionOp::assign("hdr.mtag.down2", b.arg("add_mtag", "down2", 8)),
+      // The tag carries the original ethertype; eth.type becomes mtag.
+      ActionOp::assign("hdr.mtag.type", b.var("hdr.eth.type")),
+      ActionOp::assign("hdr.eth.type", b.num(kEthMtag, 16)),
+      ActionOp::assign(std::string(p4::kEgressSpec),
+                       b.arg("add_mtag", "port", p4::kPortWidth)),
+  };
+  b.action(add_mtag);
+
+  // Core->host: strip the tag and deliver on the downstream port.
+  ActionDef remove_mtag;
+  remove_mtag.name = "remove_mtag";
+  remove_mtag.params = {{"port", p4::kPortWidth}};
+  remove_mtag.ops = {
+      ActionOp::assign("hdr.eth.type", b.var("hdr.mtag.type")),
+      ActionOp::set_invalid("mtag"),
+      ActionOp::assign(std::string(p4::kEgressSpec),
+                       b.arg("remove_mtag", "port", p4::kPortWidth)),
+  };
+  b.action(remove_mtag);
+
+  ActionDef drop;
+  drop.name = "drop";
+  drop.ops = {ActionOp::assign(std::string(p4::kDropFlag), b.num(1, 1))};
+  b.action(drop);
+
+  TableDef up;
+  up.name = "mtag_up";
+  up.keys = {{"hdr.eth.dst", MatchKind::kExact}};
+  up.actions = {"add_mtag", "drop"};
+  up.default_action = "drop";
+  b.table(up);
+
+  TableDef down;
+  down.name = "mtag_down";
+  down.keys = {{"hdr.mtag.down1", MatchKind::kExact},
+               {"hdr.mtag.down2", MatchKind::kExact}};
+  down.actions = {"remove_mtag", "drop"};
+  down.default_action = "drop";
+  b.table(down);
+
+  p4::PipelineDef p;
+  p.name = "edge";
+  p.parser.start = "start";
+  ParserState start;
+  start.name = "start";
+  start.extracts = {"eth"};
+  start.select_field = "hdr.eth.type";
+  start.cases = {{kEthMtag, 0xffff, "parse_mtag"},
+                 {kEthIpv4, 0xffff, "parse_ipv4"}};
+  start.default_next = "accept";
+  ParserState mtag;
+  mtag.name = "parse_mtag";
+  mtag.extracts = {"mtag"};
+  mtag.select_field = "hdr.mtag.type";
+  mtag.cases = {{kEthIpv4, 0xffff, "parse_ipv4"}};
+  mtag.default_next = "accept";
+  ParserState ipv4;
+  ipv4.name = "parse_ipv4";
+  ipv4.extracts = {"ipv4"};
+  ipv4.default_next = "accept";
+  p.parser.states = {start, mtag, ipv4};
+
+  // Ports 0..7 face hosts (add tags), the rest face the core (strip).
+  p4::ControlBlock upward;
+  upward.stmts = {ControlStmt::apply("mtag_up")};
+  p4::ControlBlock downward;
+  p4::ControlBlock dead;
+  dead.stmts = {ControlStmt::inline_op(
+      ActionOp::assign(std::string(p4::kDropFlag), b.num(1, 1)))};
+  downward.stmts = {ControlStmt::if_else(b.is_valid("mtag"),
+                                         {{ControlStmt::apply("mtag_down")}},
+                                         dead)};
+  p.control.stmts = {ControlStmt::if_else(
+      ctx.arena.cmp(ir::CmpOp::kLt, b.var(p4::kIngressPort), b.num(8, 9)),
+      upward, downward)};
+  p.deparser.emit_order = {"eth", "mtag", "ipv4"};
+  b.pipeline(p);
+
+  AppBundle app;
+  app.name = "mTag";
+  app.p4_14 = true;
+  app.dp.program = b.build();
+  app.dp.topology.instances = {{"sw0.edge", "edge", 0}};
+  app.dp.topology.entries = {{"sw0.edge", nullptr}};
+
+  util::Rng rng(seed);
+  app.rules.name = "mtag-rules";
+  for (int i = 0; i < n_hosts; ++i) {
+    uint64_t up1 = rng.bits(8), up2 = rng.bits(8);
+    uint64_t down1 = rng.bits(8), down2 = rng.bits(8);
+    TableEntry to_core;
+    to_core.table = "mtag_up";
+    to_core.matches = {KeyMatch::exact(random_mac(rng))};
+    to_core.action = "add_mtag";
+    to_core.args = {up1, up2, down1, down2, rng.range(8, 15)};
+    app.rules.add(to_core);
+
+    TableEntry to_host;
+    to_host.table = "mtag_down";
+    to_host.matches = {KeyMatch::exact(down1), KeyMatch::exact(down2)};
+    to_host.action = "remove_mtag";
+    to_host.args = {rng.range(0, 7)};
+    app.rules.add(to_host);
+  }
+
+  // Intent: whatever leaves this edge switch toward a host carries no tag.
+  spec::IntentBuilder no_tag(ctx, app.dp.program, "mtag-stripped-downstream");
+  no_tag.assume(ctx.arena.cmp(ir::CmpOp::kGe, no_tag.in_port(),
+                              no_tag.num(8, 9)));
+  no_tag.expect_header("mtag", /*present=*/false);
+  app.intents.push_back(no_tag.build());
+
+  // Intent: upstream packets get tagged.
+  spec::IntentBuilder tagged(ctx, app.dp.program, "mtag-added-upstream");
+  tagged.assume(ctx.arena.cmp(ir::CmpOp::kLt, tagged.in_port(),
+                              tagged.num(8, 9)));
+  tagged.expect_header("mtag", /*present=*/true);
+  app.intents.push_back(tagged.build());
+  return app;
+}
+
+}  // namespace meissa::apps

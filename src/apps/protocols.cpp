@@ -1,0 +1,178 @@
+#include "apps/protocols.hpp"
+
+namespace meissa::apps {
+
+p4::HeaderDef eth_header() {
+  return {"eth", {{"dst", 48}, {"src", 48}, {"type", 16}}};
+}
+
+p4::HeaderDef ipv4_header(std::string name) {
+  return {std::move(name),
+          {{"ver_ihl", 8},
+           {"dscp", 6},
+           {"ecn", 2},
+           {"len", 16},
+           {"id", 16},
+           {"frag", 16},
+           {"ttl", 8},
+           {"proto", 8},
+           {"csum", 16},
+           {"src", 32},
+           {"dst", 32}}};
+}
+
+p4::HeaderDef tcp_header(std::string name) {
+  return {std::move(name),
+          {{"sport", 16},
+           {"dport", 16},
+           {"seqno", 32},
+           {"ackno", 32},
+           {"flags", 16},
+           {"window", 16},
+           {"csum", 16},
+           {"urgent", 16}}};
+}
+
+p4::HeaderDef udp_header(std::string name) {
+  return {std::move(name),
+          {{"sport", 16}, {"dport", 16}, {"len", 16}, {"csum", 16}}};
+}
+
+p4::HeaderDef vxlan_header() {
+  return {"vxlan", {{"flags", 8}, {"rsvd1", 24}, {"vni", 24}, {"rsvd2", 8}}};
+}
+
+p4::HeaderDef mtag_header() {
+  return {"mtag",
+          {{"up1", 8}, {"up2", 8}, {"down1", 8}, {"down2", 8}, {"type", 16}}};
+}
+
+p4::HeaderDef mpls_header() {
+  return {"mpls", {{"label", 20}, {"tc", 3}, {"bos", 1}, {"ttl", 8}}};
+}
+
+p4::HeaderDef prop_header() {
+  // Proprietary gateway metadata header (flow class, tenant, sequence).
+  return {"prop",
+          {{"magic", 16}, {"flow_class", 8}, {"tenant", 24}, {"seq", 16}}};
+}
+
+std::vector<p4::ParserState> l3l4_parser(const std::string& on_other) {
+  p4::ParserState start;
+  start.name = "start";
+  start.extracts = {"eth"};
+  start.select_field = "hdr.eth.type";
+  start.cases = {{kEthIpv4, 0xffff, "parse_ipv4"}};
+  start.default_next = on_other;
+
+  p4::ParserState ipv4;
+  ipv4.name = "parse_ipv4";
+  ipv4.extracts = {"ipv4"};
+  ipv4.select_field = "hdr.ipv4.proto";
+  ipv4.cases = {{kProtoTcp, 0xff, "parse_tcp"},
+                {kProtoUdp, 0xff, "parse_udp"}};
+  ipv4.default_next = "accept";
+
+  p4::ParserState tcp;
+  tcp.name = "parse_tcp";
+  tcp.extracts = {"tcp"};
+  tcp.default_next = "accept";
+
+  p4::ParserState udp;
+  udp.name = "parse_udp";
+  udp.extracts = {"udp"};
+  udp.default_next = "accept";
+
+  return {start, ipv4, tcp, udp};
+}
+
+std::vector<p4::ParserState> tunnel_parser(bool parse_inner_tcp,
+                                           bool with_prop) {
+  p4::ParserState start;
+  start.name = "start";
+  start.extracts = {"eth"};
+  start.select_field = "hdr.eth.type";
+  start.cases = {{kEthIpv4, 0xffff, "parse_ipv4"}};
+  if (with_prop) start.cases.push_back({kEthProp, 0xffff, "parse_prop"});
+  start.default_next = "reject";
+
+  p4::ParserState ipv4;
+  ipv4.name = "parse_ipv4";
+  ipv4.extracts = {"ipv4"};
+  ipv4.select_field = "hdr.ipv4.proto";
+  ipv4.cases = {{kProtoUdp, 0xff, "parse_udp"},
+                {kProtoTcp, 0xff, "parse_tcp"}};
+  ipv4.default_next = "accept";
+
+  p4::ParserState tcp;
+  tcp.name = "parse_tcp";
+  tcp.extracts = {"tcp"};
+  tcp.default_next = "accept";
+
+  p4::ParserState udp;
+  udp.name = "parse_udp";
+  udp.extracts = {"udp"};
+  udp.select_field = "hdr.udp.dport";
+  udp.cases = {{kUdpVxlan, 0xffff, "parse_vxlan"}};
+  udp.default_next = "accept";
+
+  p4::ParserState vxlan;
+  vxlan.name = "parse_vxlan";
+  vxlan.extracts = {"vxlan"};
+  vxlan.default_next = "parse_inner_ipv4";
+
+  p4::ParserState inner_ipv4;
+  inner_ipv4.name = "parse_inner_ipv4";
+  inner_ipv4.extracts = {"inner_ipv4"};
+  if (parse_inner_tcp) {
+    inner_ipv4.select_field = "hdr.inner_ipv4.proto";
+    inner_ipv4.cases = {{kProtoTcp, 0xff, "parse_inner_tcp"}};
+  }
+  inner_ipv4.default_next = "accept";
+
+  std::vector<p4::ParserState> states = {start, ipv4, tcp, udp, vxlan,
+                                         inner_ipv4};
+  if (with_prop) {
+    // prop.magic carries the original ethertype (an ethertype chain).
+    p4::ParserState prop;
+    prop.name = "parse_prop";
+    prop.extracts = {"prop"};
+    prop.select_field = "hdr.prop.magic";
+    prop.cases = {{kEthIpv4, 0xffff, "parse_ipv4"}};
+    prop.default_next = "accept";
+    states.push_back(prop);
+  }
+  if (parse_inner_tcp) {
+    p4::ParserState inner_tcp;
+    inner_tcp.name = "parse_inner_tcp";
+    inner_tcp.extracts = {"inner_tcp"};
+    inner_tcp.default_next = "accept";
+    states.push_back(inner_tcp);
+  }
+  return states;
+}
+
+p4::ChecksumUpdate ipv4_checksum(std::string header) {
+  p4::ChecksumUpdate u;
+  u.dest = p4::content_field(header, "csum");
+  u.guard_header = header;
+  u.algo = p4::HashAlgo::kCsum16;
+  for (const char* f : {"ver_ihl", "dscp", "ecn", "len", "id", "frag", "ttl",
+                        "proto", "src", "dst"}) {
+    u.sources.push_back(p4::content_field(header, f));
+  }
+  return u;
+}
+
+p4::ChecksumUpdate l4_checksum(const std::string& ip, const std::string& l4) {
+  p4::ChecksumUpdate u;
+  u.dest = p4::content_field(l4, "csum");
+  u.guard_header = l4;
+  u.algo = p4::HashAlgo::kCsum16;
+  u.sources = {p4::content_field(ip, "src"), p4::content_field(ip, "dst"),
+               p4::content_field(ip, "proto"), p4::content_field(l4, "sport"),
+               p4::content_field(l4, "dport")};
+  return u;
+}
+
+}  // namespace meissa::apps

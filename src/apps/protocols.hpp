@@ -1,0 +1,48 @@
+// Standard protocol building blocks shared by the app corpus: header
+// layouts (wire-accurate field widths) and parser-state templates.
+#pragma once
+
+#include "p4/program.hpp"
+
+namespace meissa::apps {
+
+// Ether types / protocol numbers used across the corpus.
+inline constexpr uint64_t kEthIpv4 = 0x0800;
+inline constexpr uint64_t kEthMtag = 0xaaaa;
+inline constexpr uint64_t kEthMpls = 0x8847;
+inline constexpr uint64_t kProtoTcp = 6;
+inline constexpr uint64_t kProtoUdp = 17;
+inline constexpr uint64_t kUdpVxlan = 4789;
+inline constexpr uint64_t kEthProp = 0xa99a;  // proprietary transit header
+
+// Header layouts. IPv4 splits tos into dscp/ecn so ACLs can match ECN.
+p4::HeaderDef eth_header();
+p4::HeaderDef ipv4_header(std::string name = "ipv4");
+p4::HeaderDef tcp_header(std::string name = "tcp");
+p4::HeaderDef udp_header(std::string name = "udp");
+p4::HeaderDef vxlan_header();
+p4::HeaderDef mtag_header();
+p4::HeaderDef mpls_header();
+// Proprietary gateway header (gw-3/gw-4 "proprietary protocols").
+p4::HeaderDef prop_header();
+
+// Parser fragments. Each returns states to append; the caller wires start.
+// eth -> (ipv4 -> (tcp|udp)) with everything else going to `on_other`
+// ("accept" or "reject").
+std::vector<p4::ParserState> l3l4_parser(const std::string& on_other);
+
+// Full tunnel parser: eth/ipv4/udp -> vxlan -> inner_ipv4 -> inner_tcp.
+// `parse_inner_tcp` = false reproduces the bug-6 egress parser.
+// `with_prop` adds the proprietary transit header (ethertype kEthProp,
+// carrying the original ethertype in prop.magic).
+std::vector<p4::ParserState> tunnel_parser(bool parse_inner_tcp,
+                                           bool with_prop = false);
+
+// The IPv4 header-checksum update (sources = all fields except csum).
+p4::ChecksumUpdate ipv4_checksum(std::string header = "ipv4");
+
+// An L4-over-IPv4 checksum update for `l4`.csum over addresses and ports
+// (a simplified pseudo-header: enough to regress stale-checksum bugs).
+p4::ChecksumUpdate l4_checksum(const std::string& ip, const std::string& l4);
+
+}  // namespace meissa::apps

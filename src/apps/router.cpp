@@ -1,0 +1,145 @@
+// Router: layer-3 routing only (Table 1 row 1). IPv4 LPM -> nexthop MAC
+// rewrite, TTL decrement, header-checksum update.
+#include "apps/apps.hpp"
+#include "apps/protocols.hpp"
+#include "apps/rulegen.hpp"
+
+namespace meissa::apps {
+
+using p4::ActionDef;
+using p4::ActionOp;
+using p4::ControlStmt;
+using p4::KeyMatch;
+using p4::MatchKind;
+using p4::TableDef;
+using p4::TableEntry;
+
+AppBundle make_router(ir::Context& ctx, int n_routes, uint64_t seed) {
+  p4::ProgramBuilder b(ctx, "router");
+  b.header("eth", eth_header().fields);
+  b.header("ipv4", ipv4_header().fields);
+  b.header("tcp", tcp_header().fields);
+  b.header("udp", udp_header().fields);
+  b.metadata_field("meta.nexthop", 16);
+
+  ActionDef set_nexthop;
+  set_nexthop.name = "set_nexthop";
+  set_nexthop.params = {{"nh", 16}, {"port", p4::kPortWidth}};
+  set_nexthop.ops = {
+      ActionOp::assign("meta.nexthop", b.arg("set_nexthop", "nh", 16)),
+      ActionOp::assign(std::string(p4::kEgressSpec),
+                       b.arg("set_nexthop", "port", p4::kPortWidth)),
+      // TTL decrement happens on the routed path.
+      ActionOp::assign("hdr.ipv4.ttl",
+                       ctx.arena.arith(ir::ArithOp::kSub,
+                                       b.var("hdr.ipv4.ttl"), b.num(1, 8))),
+  };
+  b.action(set_nexthop);
+
+  ActionDef rewrite_macs;
+  rewrite_macs.name = "rewrite_macs";
+  rewrite_macs.params = {{"dmac", 48}, {"smac", 48}};
+  rewrite_macs.ops = {
+      ActionOp::assign("hdr.eth.dst", b.arg("rewrite_macs", "dmac", 48)),
+      ActionOp::assign("hdr.eth.src", b.arg("rewrite_macs", "smac", 48)),
+  };
+  b.action(rewrite_macs);
+
+  ActionDef drop;
+  drop.name = "drop";
+  drop.ops = {ActionOp::assign(std::string(p4::kDropFlag), b.num(1, 1))};
+  b.action(drop);
+
+  ActionDef nop;
+  nop.name = "nop";
+  b.action(nop);
+
+  TableDef lpm;
+  lpm.name = "ipv4_lpm";
+  lpm.keys = {{"hdr.ipv4.dst", MatchKind::kLpm}};
+  lpm.actions = {"set_nexthop", "drop"};
+  lpm.default_action = "drop";
+  b.table(lpm);
+
+  TableDef nexthop;
+  nexthop.name = "nexthop";
+  nexthop.keys = {{"meta.nexthop", MatchKind::kExact}};
+  nexthop.actions = {"rewrite_macs", "nop"};
+  nexthop.default_action = "nop";
+  b.table(nexthop);
+
+  p4::PipelineDef p;
+  p.name = "ingress";
+  p.parser.start = "start";
+  p.parser.states = l3l4_parser("accept");
+  p4::ControlBlock routed;
+  routed.stmts = {ControlStmt::apply("ipv4_lpm"), ControlStmt::apply("nexthop")};
+  p4::ControlBlock dropped;
+  dropped.stmts = {ControlStmt::inline_op(
+      ActionOp::assign(std::string(p4::kDropFlag), b.num(1, 1)))};
+  // Route IPv4 with TTL > 1; everything else is dropped by this router.
+  p.control.stmts = {ControlStmt::if_else(
+      ctx.arena.band(b.is_valid("ipv4"),
+                     ctx.arena.cmp(ir::CmpOp::kGt, b.var("hdr.ipv4.ttl"),
+                                   b.num(1, 8))),
+      routed, dropped)};
+  p.deparser.emit_order = {"eth", "ipv4", "tcp", "udp"};
+  p.deparser.checksum_updates = {ipv4_checksum()};
+  b.pipeline(p);
+
+  AppBundle app;
+  app.name = "Router";
+  app.p4_14 = true;
+  app.dp.program = b.build();
+  app.dp.topology.instances = {{"sw0.ig", "ingress", 0}};
+  app.dp.topology.entries = {{"sw0.ig", nullptr}};
+
+  // Random routes: /16../28 prefixes with distinct nexthops.
+  util::Rng rng(seed);
+  app.rules.name = "router-rules";
+  for (int i = 0; i < n_routes; ++i) {
+    int len = static_cast<int>(rng.range(16, 28));
+    TableEntry route;
+    route.table = "ipv4_lpm";
+    route.matches = {KeyMatch::lpm(random_prefix(rng, len), len)};
+    route.action = "set_nexthop";
+    route.args = {static_cast<uint64_t>(i + 1),
+                  rng.range(1, 48)};
+    app.rules.add(route);
+
+    TableEntry nh;
+    nh.table = "nexthop";
+    nh.matches = {KeyMatch::exact(static_cast<uint64_t>(i + 1))};
+    nh.action = "rewrite_macs";
+    nh.args = {random_mac(rng), random_mac(rng)};
+    app.rules.add(nh);
+  }
+
+  // Intents: routed IPv4 must have its TTL decremented and keep addresses.
+  spec::IntentBuilder ttl(ctx, app.dp.program, "router-ttl-decrement");
+  ttl.assume(ctx.arena.cmp(ir::CmpOp::kEq, ttl.in("hdr.eth.type"),
+                           ttl.num(kEthIpv4, 16)));
+  ttl.assume(ctx.arena.cmp(ir::CmpOp::kGt, ttl.in("hdr.ipv4.ttl"),
+                           ttl.num(1, 8)));
+  ttl.expect(ctx.arena.bor(
+      // either dropped (no route) — vacuous here — or TTL decremented:
+      ctx.arena.cmp(ir::CmpOp::kEq, ttl.out("hdr.ipv4.ttl"),
+                    ctx.arena.arith(ir::ArithOp::kSub,
+                                    ttl.in("hdr.ipv4.ttl"), ttl.num(1, 8))),
+      ctx.arena.cmp(ir::CmpOp::kEq, ttl.out("hdr.ipv4.ttl"),
+                    ttl.in("hdr.ipv4.ttl"))));
+  ttl.expect(ctx.arena.cmp(ir::CmpOp::kEq, ttl.out("hdr.ipv4.dst"),
+                           ttl.in("hdr.ipv4.dst")));
+  app.intents.push_back(ttl.build());
+
+  spec::IntentBuilder expire(ctx, app.dp.program, "router-ttl-expiry");
+  expire.assume(ctx.arena.cmp(ir::CmpOp::kEq, expire.in("hdr.eth.type"),
+                              expire.num(kEthIpv4, 16)));
+  expire.assume(ctx.arena.cmp(ir::CmpOp::kLe, expire.in("hdr.ipv4.ttl"),
+                              expire.num(1, 8)));
+  expire.expect_dropped();
+  app.intents.push_back(expire.build());
+  return app;
+}
+
+}  // namespace meissa::apps

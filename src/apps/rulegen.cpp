@@ -1,0 +1,23 @@
+#include "apps/rulegen.hpp"
+
+#include "apps/apps.hpp"
+
+namespace meissa::apps {
+
+uint64_t random_ipv4(util::Rng& rng) { return rng.bits(32); }
+
+uint64_t random_mac(util::Rng& rng) { return rng.bits(48); }
+
+uint64_t random_prefix(util::Rng& rng, int len) {
+  uint64_t v = rng.bits(32);
+  uint64_t mask = len == 0 ? 0 : (util::mask_bits(32) << (32 - len)) & util::mask_bits(32);
+  return v & mask;
+}
+
+int elastic_ips_for_set(int set_index, int base) {
+  int e = base;
+  for (int i = 1; i < set_index; ++i) e *= 2;
+  return e;
+}
+
+}  // namespace meissa::apps

@@ -1,0 +1,17 @@
+// Shared helpers for generating random-but-reproducible rule sets
+// (the paper's "We generate random table rule sets for Router, mTag, ACL
+// and switch.p4", §5.1).
+#pragma once
+
+#include "p4/rules.hpp"
+#include "util/rng.hpp"
+
+namespace meissa::apps {
+
+// Random values shaped like real identifiers.
+uint64_t random_ipv4(util::Rng& rng);
+uint64_t random_mac(util::Rng& rng);
+// A /len prefix value whose host bits are zero.
+uint64_t random_prefix(util::Rng& rng, int len);
+
+}  // namespace meissa::apps

@@ -1,0 +1,358 @@
+// switch.p4-style multifunctional program (Table 1 row 4): L2 switching
+// (SMAC check + DMAC forwarding), L3 routing with ECMP over a 5-tuple
+// hash, MPLS, VXLAN tunnel termination, ingress/egress ACLs, and a stats
+// stage. Single pipeline, like the original.
+#include "apps/apps.hpp"
+#include "apps/protocols.hpp"
+#include "apps/rulegen.hpp"
+
+namespace meissa::apps {
+
+using p4::ActionDef;
+using p4::ActionOp;
+using p4::ControlStmt;
+using p4::KeyMatch;
+using p4::MatchKind;
+using p4::ParserState;
+using p4::TableDef;
+using p4::TableEntry;
+
+AppBundle make_switchp4(ir::Context& ctx, const SwitchP4Config& cfg) {
+  p4::ProgramBuilder b(ctx, "switchp4");
+  b.header("eth", eth_header().fields);
+  b.header("mpls", mpls_header().fields);
+  b.header("ipv4", ipv4_header().fields);
+  b.header("tcp", tcp_header().fields);
+  b.header("udp", udp_header().fields);
+  b.header("vxlan", vxlan_header().fields);
+  b.header("inner_ipv4", ipv4_header("inner_ipv4").fields);
+  b.metadata_field("meta.l2_ok", 1);
+  b.metadata_field("meta.nexthop", 16);
+  b.metadata_field("meta.ecmp_hash", 16);
+  b.metadata_field("meta.tunnel_terminated", 1);
+  b.metadata_field("meta.pkt_count", 32);
+
+  // ---- actions -----------------------------------------------------------
+  ActionDef smac_ok;
+  smac_ok.name = "smac_ok";
+  smac_ok.ops = {ActionOp::assign("meta.l2_ok", b.num(1, 1))};
+  b.action(smac_ok);
+
+  ActionDef l2_forward;
+  l2_forward.name = "l2_forward";
+  l2_forward.params = {{"port", p4::kPortWidth}};
+  l2_forward.ops = {ActionOp::assign(
+      std::string(p4::kEgressSpec), b.arg("l2_forward", "port", p4::kPortWidth))};
+  b.action(l2_forward);
+
+  ActionDef set_nexthop;
+  set_nexthop.name = "set_nexthop";
+  set_nexthop.params = {{"nh", 16}};
+  set_nexthop.ops = {
+      ActionOp::assign("meta.nexthop", b.arg("set_nexthop", "nh", 16)),
+      ActionOp::assign("hdr.ipv4.ttl",
+                       ctx.arena.arith(ir::ArithOp::kSub,
+                                       b.var("hdr.ipv4.ttl"), b.num(1, 8))),
+  };
+  b.action(set_nexthop);
+
+  ActionDef ecmp_select;
+  ecmp_select.name = "ecmp_select";
+  ecmp_select.ops = {ActionOp::hash(
+      "meta.ecmp_hash", p4::HashAlgo::kCrc16,
+      {"hdr.ipv4.src", "hdr.ipv4.dst", "hdr.ipv4.proto"})};
+  b.action(ecmp_select);
+
+  ActionDef nexthop_out;
+  nexthop_out.name = "nexthop_out";
+  nexthop_out.params = {{"dmac", 48}, {"port", p4::kPortWidth}};
+  nexthop_out.ops = {
+      ActionOp::assign("hdr.eth.dst", b.arg("nexthop_out", "dmac", 48)),
+      ActionOp::assign(std::string(p4::kEgressSpec),
+                       b.arg("nexthop_out", "port", p4::kPortWidth)),
+  };
+  b.action(nexthop_out);
+
+  ActionDef mpls_pop;
+  mpls_pop.name = "mpls_pop";
+  mpls_pop.ops = {
+      ActionOp::set_invalid("mpls"),
+      ActionOp::assign("hdr.eth.type", b.num(kEthIpv4, 16)),
+  };
+  b.action(mpls_pop);
+
+  ActionDef mpls_swap;
+  mpls_swap.name = "mpls_swap";
+  mpls_swap.params = {{"label", 20}, {"port", p4::kPortWidth}};
+  mpls_swap.ops = {
+      ActionOp::assign("hdr.mpls.label", b.arg("mpls_swap", "label", 20)),
+      ActionOp::assign("hdr.mpls.ttl",
+                       ctx.arena.arith(ir::ArithOp::kSub,
+                                       b.var("hdr.mpls.ttl"), b.num(1, 8))),
+      ActionOp::assign(std::string(p4::kEgressSpec),
+                       b.arg("mpls_swap", "port", p4::kPortWidth)),
+  };
+  b.action(mpls_swap);
+
+  ActionDef tunnel_term;
+  tunnel_term.name = "tunnel_term";
+  tunnel_term.ops = {
+      ActionOp::assign("meta.tunnel_terminated", b.num(1, 1)),
+      // Decap: the inner packet becomes the packet.
+      ActionOp::assign("hdr.ipv4.src", b.var("hdr.inner_ipv4.src")),
+      ActionOp::assign("hdr.ipv4.dst", b.var("hdr.inner_ipv4.dst")),
+      ActionOp::assign("hdr.ipv4.proto", b.var("hdr.inner_ipv4.proto")),
+      ActionOp::set_invalid("vxlan"),
+      ActionOp::set_invalid("udp"),
+      ActionOp::set_invalid("inner_ipv4"),
+  };
+  b.action(tunnel_term);
+
+  ActionDef count_pkt;
+  count_pkt.name = "count_pkt";
+  count_pkt.ops = {ActionOp::assign(
+      "meta.pkt_count",
+      ctx.arena.arith(ir::ArithOp::kAdd, b.var("meta.pkt_count"),
+                      b.num(1, 32)))};
+  b.action(count_pkt);
+
+  ActionDef acl_deny;
+  acl_deny.name = "acl_deny";
+  acl_deny.ops = {ActionOp::assign(std::string(p4::kDropFlag), b.num(1, 1))};
+  b.action(acl_deny);
+
+  ActionDef drop;
+  drop.name = "drop";
+  drop.ops = {ActionOp::assign(std::string(p4::kDropFlag), b.num(1, 1))};
+  b.action(drop);
+
+  ActionDef nop;
+  nop.name = "nop";
+  b.action(nop);
+
+  // ---- tables ------------------------------------------------------------
+  TableDef smac;
+  smac.name = "smac";
+  smac.keys = {{"hdr.eth.src", MatchKind::kExact}};
+  smac.actions = {"smac_ok", "nop"};
+  smac.default_action = "nop";
+  b.table(smac);
+
+  TableDef dmac;
+  dmac.name = "dmac";
+  dmac.keys = {{"hdr.eth.dst", MatchKind::kExact}};
+  dmac.actions = {"l2_forward", "nop"};
+  dmac.default_action = "nop";
+  b.table(dmac);
+
+  TableDef ipv4_lpm;
+  ipv4_lpm.name = "ipv4_lpm";
+  ipv4_lpm.keys = {{"hdr.ipv4.dst", MatchKind::kLpm}};
+  ipv4_lpm.actions = {"set_nexthop", "drop"};
+  ipv4_lpm.default_action = "drop";
+  b.table(ipv4_lpm);
+
+  TableDef ecmp;
+  ecmp.name = "ecmp_group";
+  ecmp.keys = {{"meta.nexthop", MatchKind::kExact},
+               {"meta.ecmp_hash", MatchKind::kRange}};
+  ecmp.actions = {"nexthop_out", "nop"};
+  ecmp.default_action = "nop";
+  b.table(ecmp);
+
+  TableDef mpls;
+  mpls.name = "mpls_fib";
+  mpls.keys = {{"hdr.mpls.label", MatchKind::kExact}};
+  mpls.actions = {"mpls_pop", "mpls_swap", "drop"};
+  mpls.default_action = "drop";
+  b.table(mpls);
+
+  TableDef tunnel;
+  tunnel.name = "tunnel_decap";
+  tunnel.keys = {{"hdr.vxlan.vni", MatchKind::kExact}};
+  tunnel.actions = {"tunnel_term", "nop"};
+  tunnel.default_action = "nop";
+  b.table(tunnel);
+
+  TableDef iacl;
+  iacl.name = "ingress_acl";
+  iacl.keys = {{"hdr.ipv4.src", MatchKind::kTernary},
+               {"hdr.ipv4.dst", MatchKind::kTernary}};
+  iacl.actions = {"acl_deny", "nop"};
+  iacl.default_action = "nop";
+  b.table(iacl);
+
+  TableDef stats;
+  stats.name = "stats";
+  stats.keys = {{std::string(p4::kEgressSpec), MatchKind::kTernary}};
+  stats.actions = {"count_pkt", "nop"};
+  stats.default_action = "nop";
+  b.table(stats);
+
+  // ---- parser & control ----------------------------------------------------
+  p4::PipelineDef p;
+  p.name = "pipe";
+  p.parser.start = "start";
+  {
+    ParserState start;
+    start.name = "start";
+    start.extracts = {"eth"};
+    start.select_field = "hdr.eth.type";
+    start.cases = {{kEthIpv4, 0xffff, "parse_ipv4"},
+                   {kEthMpls, 0xffff, "parse_mpls"}};
+    start.default_next = "accept";
+    ParserState pmpls;
+    pmpls.name = "parse_mpls";
+    pmpls.extracts = {"mpls"};
+    pmpls.default_next = "accept";
+    ParserState pipv4;
+    pipv4.name = "parse_ipv4";
+    pipv4.extracts = {"ipv4"};
+    pipv4.select_field = "hdr.ipv4.proto";
+    pipv4.cases = {{kProtoTcp, 0xff, "parse_tcp"},
+                   {kProtoUdp, 0xff, "parse_udp"}};
+    pipv4.default_next = "accept";
+    ParserState ptcp;
+    ptcp.name = "parse_tcp";
+    ptcp.extracts = {"tcp"};
+    ptcp.default_next = "accept";
+    ParserState pudp;
+    pudp.name = "parse_udp";
+    pudp.extracts = {"udp"};
+    pudp.select_field = "hdr.udp.dport";
+    pudp.cases = {{kUdpVxlan, 0xffff, "parse_vxlan"}};
+    pudp.default_next = "accept";
+    ParserState pvxlan;
+    pvxlan.name = "parse_vxlan";
+    pvxlan.extracts = {"vxlan"};
+    pvxlan.default_next = "parse_inner";
+    ParserState pinner;
+    pinner.name = "parse_inner";
+    pinner.extracts = {"inner_ipv4"};
+    pinner.default_next = "accept";
+    p.parser.states = {start, pmpls, pipv4, ptcp, pudp, pvxlan, pinner};
+  }
+
+  p4::ControlBlock mpls_path;
+  mpls_path.stmts = {ControlStmt::apply("mpls_fib")};
+  p4::ControlBlock l3_path;
+  l3_path.stmts = {
+      ControlStmt::if_else(b.is_valid("vxlan"),
+                           {{ControlStmt::apply("tunnel_decap")}}),
+      ControlStmt::apply("ingress_acl"),
+      ControlStmt::apply("ipv4_lpm"),
+      ControlStmt::inline_op(ActionOp::hash(
+          "meta.ecmp_hash", p4::HashAlgo::kCrc16,
+          {"hdr.ipv4.src", "hdr.ipv4.dst", "hdr.ipv4.proto"})),
+      ControlStmt::apply("ecmp_group"),
+  };
+  p4::ControlBlock l2_path;
+  l2_path.stmts = {ControlStmt::apply("smac"), ControlStmt::apply("dmac")};
+
+  p.control.stmts = {
+      ControlStmt::if_else(b.is_valid("mpls"), mpls_path,
+                           {{ControlStmt::if_else(
+                               ctx.arena.band(
+                                   b.is_valid("ipv4"),
+                                   ctx.arena.cmp(ir::CmpOp::kGt,
+                                                 b.var("hdr.ipv4.ttl"),
+                                                 b.num(1, 8))),
+                               l3_path, l2_path)}}),
+      ControlStmt::apply("stats"),
+  };
+  p.deparser.emit_order = {"eth",   "mpls",  "ipv4",       "tcp",
+                           "udp",   "vxlan", "inner_ipv4"};
+  p.deparser.checksum_updates = {ipv4_checksum()};
+  b.pipeline(p);
+
+  AppBundle app;
+  app.name = "switch.p4";
+  app.p4_14 = false;
+  app.dp.program = b.build();
+  app.dp.topology.instances = {{"sw0.pipe", "pipe", 0}};
+  app.dp.topology.entries = {{"sw0.pipe", nullptr}};
+
+  // ---- rules ---------------------------------------------------------------
+  util::Rng rng(cfg.seed);
+  app.rules.name = "switchp4-rules";
+  for (int i = 0; i < cfg.l2_hosts; ++i) {
+    TableEntry s;
+    s.table = "smac";
+    s.matches = {KeyMatch::exact(random_mac(rng))};
+    s.action = "smac_ok";
+    app.rules.add(s);
+    TableEntry d;
+    d.table = "dmac";
+    d.matches = {KeyMatch::exact(random_mac(rng))};
+    d.action = "l2_forward";
+    d.args = {rng.range(1, 60)};
+    app.rules.add(d);
+  }
+  const uint64_t kSpan = 0x10000 / static_cast<uint64_t>(cfg.ecmp_ways);
+  for (int i = 0; i < cfg.routes; ++i) {
+    int len = static_cast<int>(rng.range(12, 30));
+    TableEntry route;
+    route.table = "ipv4_lpm";
+    route.matches = {KeyMatch::lpm(random_prefix(rng, len), len)};
+    route.action = "set_nexthop";
+    route.args = {static_cast<uint64_t>(i + 1)};
+    app.rules.add(route);
+    for (int w = 0; w < cfg.ecmp_ways; ++w) {
+      TableEntry way;
+      way.table = "ecmp_group";
+      way.matches = {
+          KeyMatch::exact(static_cast<uint64_t>(i + 1)),
+          KeyMatch::range(static_cast<uint64_t>(w) * kSpan,
+                          (static_cast<uint64_t>(w) + 1) * kSpan - 1)};
+      way.action = "nexthop_out";
+      way.args = {random_mac(rng), rng.range(1, 60)};
+      app.rules.add(way);
+    }
+  }
+  for (int i = 0; i < cfg.mpls_labels; ++i) {
+    TableEntry m;
+    m.table = "mpls_fib";
+    m.matches = {KeyMatch::exact(rng.bits(20))};
+    if (rng.chance(1, 3)) {
+      m.action = "mpls_pop";
+      m.args = {};
+    } else {
+      m.action = "mpls_swap";
+      m.args = {rng.bits(20), rng.range(1, 60)};
+    }
+    app.rules.add(m);
+  }
+  for (int i = 0; i < cfg.acls; ++i) {
+    TableEntry a;
+    a.table = "ingress_acl";
+    int len = static_cast<int>(rng.range(8, 24));
+    uint64_t mask = (util::mask_bits(32) << (32 - len)) & util::mask_bits(32);
+    a.matches = {KeyMatch::ternary(random_prefix(rng, len), mask),
+                 KeyMatch::wildcard()};
+    a.action = "acl_deny";
+    a.priority = i;
+    app.rules.add(a);
+  }
+  {
+    TableEntry s;
+    s.table = "stats";
+    s.matches = {KeyMatch::wildcard()};
+    s.action = "count_pkt";
+    app.rules.add(s);
+  }
+
+  // Intent: routed IPv4 decrements TTL.
+  spec::IntentBuilder ttl(ctx, app.dp.program, "switchp4-ttl");
+  ttl.assume(ctx.arena.cmp(ir::CmpOp::kEq, ttl.in("hdr.eth.type"),
+                           ttl.num(kEthIpv4, 16)));
+  ttl.expect(ctx.arena.bor(
+      ctx.arena.cmp(ir::CmpOp::kEq, ttl.out("hdr.ipv4.ttl"),
+                    ctx.arena.arith(ir::ArithOp::kSub, ttl.in("hdr.ipv4.ttl"),
+                                    ttl.num(1, 8))),
+      ctx.arena.cmp(ir::CmpOp::kEq, ttl.out("hdr.ipv4.ttl"),
+                    ttl.in("hdr.ipv4.ttl"))));
+  app.intents.push_back(ttl.build());
+  return app;
+}
+
+}  // namespace meissa::apps

@@ -1,0 +1,35 @@
+// The Table 2 harness: runs Meissa and the four baselines against each
+// bug scenario, reproducing the detection matrix.
+#pragma once
+
+#include "apps/apps.hpp"
+#include "baselines/baseline.hpp"
+
+namespace meissa::apps {
+
+struct Table2Row {
+  int index = 0;
+  std::string name;
+  bool code_bug = true;
+  bool meissa = false;
+  bool p4pktgen = false;
+  bool pta = false;
+  bool gauntlet = false;
+  bool aquila = false;
+  std::string notes;
+};
+
+// Evaluates one scenario with all five tools. Each tool tests the
+// artifact its real counterpart would see:
+//   * Meissa, Gauntlet, PTA — the production compile (rule set + fault);
+//   * p4pktgen — its own bmv2-style testbed: default rules, and only
+//     frontend (p4c) faults, since it cannot target the vendor backend;
+//   * Aquila — the source program + rules (verification; no device).
+Table2Row evaluate_bug(ir::Context& ctx, const BugScenario& bug,
+                       double budget_seconds = 60);
+
+// The paper's expected matrix for row `index` (Meissa, p4pktgen, PTA,
+// Gauntlet, Aquila) — used by tests and the bench printout.
+std::array<bool, 5> paper_matrix(int index);
+
+}  // namespace meissa::apps

@@ -1,0 +1,39 @@
+#include <chrono>
+
+#include "baselines/baseline.hpp"
+
+namespace meissa::baselines {
+
+BaselineResult run_pta(const std::vector<PtaCase>& cases,
+                       bool program_is_p4_14, sim::Device* device) {
+  BaselineResult r;
+  if (!program_is_p4_14) {
+    r.supported = false;
+    r.unsupported_reason = "PTA supports P4-14 programs only";
+    return r;
+  }
+  if (cases.empty()) {
+    r.supported = false;
+    r.unsupported_reason = "no handwritten unit tests provided";
+    return r;
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  for (const PtaCase& c : cases) {
+    sim::DeviceOutput out = device->inject(c.input);
+    ++r.cases;
+    bool pass;
+    if (c.expect_drop) {
+      pass = out.dropped;
+    } else {
+      pass = !out.dropped && out.port == c.expect_port &&
+             out.bytes == c.expect_bytes;
+    }
+    if (!pass) ++r.failures;
+  }
+  r.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return r;
+}
+
+}  // namespace meissa::baselines

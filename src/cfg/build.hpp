@@ -1,0 +1,38 @@
+// CFG construction: encodes a DataPlane (program + topology) and a table
+// rule set into the testing CFG (paper §3.1 and §4: "Meissa parses the
+// specification, code and table entry sets of each pipeline, encodes them
+// into a directed acyclic control flow graph").
+#pragma once
+
+#include "cfg/cfg.hpp"
+#include "p4/rules.hpp"
+
+namespace meissa::cfg {
+
+struct BuildOptions {
+  enum class TableMode {
+    // One branch per installed rule plus the miss/default (Meissa's mode).
+    kRules,
+    // One branch per *declared action* with symbolic (unbound) action
+    // parameters, plus the default — p4pktgen's action-coverage mode,
+    // which synthesizes entries instead of reading the installed rules.
+    kActionCover,
+  };
+  TableMode table_mode = TableMode::kRules;
+  // The standard table encoding accumulates the negation of every higher-
+  // priority entry on each branch (what p4pktgen and the paper's frontend
+  // emit; set false for paper-faithful comparisons). By default this
+  // implementation elides negations of entries that provably cannot
+  // overlap the branch's own match — sound, and ablated in
+  // bench/micro_smt.
+  bool elide_disjoint_negations = true;
+};
+
+// Builds the CFG for `dp` under `rules`. All expressions are interned into
+// `ctx`; per-instance validity fields ("hdr.h.$valid@inst") are created on
+// demand. The result is acyclic and instance subgraphs are single-entry
+// single-exit, as the code-summary pass requires.
+Cfg build_cfg(const p4::DataPlane& dp, const p4::RuleSet& rules,
+              ir::Context& ctx, const BuildOptions& opts = {});
+
+}  // namespace meissa::cfg

@@ -1,0 +1,93 @@
+#include "cfg/cfg.hpp"
+
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace meissa::cfg {
+
+namespace {
+
+util::BigCount count_from(const Cfg& g, NodeId from, NodeId stop,
+                          std::unordered_map<NodeId, util::BigCount>& memo) {
+  if (from == stop || g.node(from).succ.empty()) return util::BigCount::one();
+  auto it = memo.find(from);
+  if (it != memo.end()) return it->second;
+  util::BigCount total = util::BigCount::zero();
+  for (NodeId s : g.node(from).succ) {
+    total += count_from(g, s, stop, memo);
+  }
+  memo.emplace(from, total);
+  return total;
+}
+
+}  // namespace
+
+util::BigCount Cfg::count_paths(NodeId from) const {
+  if (from == kNoNode) from = entry_;
+  std::unordered_map<NodeId, util::BigCount> memo;
+  return count_from(*this, from, kNoNode, memo);
+}
+
+util::BigCount Cfg::count_instance_paths(int instance) const {
+  const InstanceInfo& info = instances_.at(static_cast<size_t>(instance));
+  std::unordered_map<NodeId, util::BigCount> memo;
+  return count_from(*this, info.entry, info.exit, memo);
+}
+
+void Cfg::check_well_formed() const {
+  util::check(entry_ != kNoNode && entry_ < nodes_.size(), "cfg: bad entry");
+  for (const Node& n : nodes_) {
+    for (NodeId s : n.succ) {
+      util::check(s < nodes_.size(), "cfg: successor out of range");
+    }
+    if (n.succ.empty()) {
+      util::check(n.exit != ExitKind::kNone, "cfg: unmarked terminal node");
+    }
+  }
+  // Acyclicity via iterative coloring.
+  enum : uint8_t { kWhite, kGray, kBlack };
+  std::vector<uint8_t> color(nodes_.size(), kWhite);
+  std::vector<std::pair<NodeId, size_t>> stack;
+  stack.emplace_back(entry_, 0);
+  color[entry_] = kGray;
+  while (!stack.empty()) {
+    auto& [id, next] = stack.back();
+    if (next < nodes_[id].succ.size()) {
+      NodeId s = nodes_[id].succ[next++];
+      util::check(color[s] != kGray, "cfg: cycle detected");
+      if (color[s] == kWhite) {
+        color[s] = kGray;
+        stack.emplace_back(s, 0);
+      }
+    } else {
+      color[id] = kBlack;
+      stack.pop_back();
+    }
+  }
+  for (const InstanceInfo& i : instances_) {
+    util::check(i.entry < nodes_.size() && i.exit < nodes_.size(),
+                "cfg: instance span out of range");
+  }
+}
+
+std::vector<Path> enumerate_paths(const Cfg& g, size_t limit) {
+  std::vector<Path> out;
+  Path cur;
+  auto dfs = [&](auto&& self, NodeId id) -> void {
+    cur.push_back(id);
+    if (g.node(id).succ.empty()) {
+      if (out.size() >= limit) {
+        throw util::InternalError("enumerate_paths: limit exceeded");
+      }
+      out.push_back(cur);
+    } else {
+      for (NodeId s : g.node(id).succ) self(self, s);
+    }
+    cur.pop_back();
+  };
+  dfs(dfs, g.entry());
+  return out;
+}
+
+}  // namespace meissa::cfg

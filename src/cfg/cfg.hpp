@@ -1,0 +1,127 @@
+// The control-flow graph — Meissa's testing IR (paper §3.1, Fig. 3).
+//
+// Nodes carry either a predicate (`assume bexp`), an action
+// (`field <- aexp`), a hash computation (handled specially per §4, since
+// hashes are opaque to the solver), or a structural no-op. The graph is
+// acyclic; pipeline instances appear as single-entry single-exit subgraphs
+// recorded in `instances`, which is what the code-summary pass (§3.3)
+// operates on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/stmt.hpp"
+#include "p4/program.hpp"
+#include "util/big_count.hpp"
+
+namespace meissa::cfg {
+
+using NodeId = uint32_t;
+inline constexpr NodeId kNoNode = ~NodeId{0};
+
+// Hash statement: dest <- algo(keys...). Kept out of ir::Stmt because the
+// solver cannot reason about it; the symbolic executor evaluates it
+// concretely when all keys are pinned and otherwise leaves the destination
+// unconstrained, recording an obligation checked after model generation.
+struct HashStmt {
+  ir::FieldId dest = ir::kInvalidField;
+  p4::HashAlgo algo = p4::HashAlgo::kCrc16;
+  std::vector<ir::FieldId> keys;
+  // When non-empty, used instead of `keys`: key expressions in terms of
+  // pipeline-entry snapshots (emitted by the code-summary encoder).
+  std::vector<ir::ExprRef> key_exprs;
+};
+
+// How a path ends at a terminal (successor-less) node.
+enum class ExitKind : uint8_t {
+  kNone,  // not a terminal
+  kEmit,  // packet leaves the data plane through a deparser
+  kDrop,  // packet dropped (drop flag or parser reject)
+};
+
+struct Node {
+  ir::Stmt stmt;
+  bool is_hash = false;
+  HashStmt hash;
+  std::vector<NodeId> succ;
+  int instance = -1;  // index into Cfg::instances, -1 for glue nodes
+  ExitKind exit = ExitKind::kNone;
+  int emit_instance = -1;  // kEmit: whose deparser serializes the packet
+};
+
+// Per-pipeline-instance metadata the generator and driver need.
+struct InstanceInfo {
+  std::string name;
+  std::string pipeline;  // definition name
+  int switch_id = 0;
+  NodeId entry = kNoNode;  // structural nop opening the subgraph
+  NodeId exit = kNoNode;   // structural nop closing the subgraph
+  // Deparser emit order (header names) and this instance's validity field
+  // for each header.
+  std::vector<std::string> emit_order;
+  std::unordered_map<std::string, ir::FieldId> validity;
+};
+
+class Cfg {
+ public:
+  NodeId add(ir::Stmt stmt) {
+    nodes_.push_back(Node{std::move(stmt), false, {}, {}, -1,
+                          ExitKind::kNone, -1});
+    return static_cast<NodeId>(nodes_.size() - 1);
+  }
+  NodeId add_hash(HashStmt h) {
+    Node n;
+    n.stmt = ir::Stmt::nop();
+    n.is_hash = true;
+    n.hash = std::move(h);
+    nodes_.push_back(std::move(n));
+    return static_cast<NodeId>(nodes_.size() - 1);
+  }
+  void link(NodeId from, NodeId to) { nodes_[from].succ.push_back(to); }
+
+  Node& node(NodeId id) { return nodes_[id]; }
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  size_t size() const noexcept { return nodes_.size(); }
+
+  NodeId entry() const noexcept { return entry_; }
+  void set_entry(NodeId id) { entry_ = id; }
+
+  std::vector<InstanceInfo>& instances() { return instances_; }
+  const std::vector<InstanceInfo>& instances() const { return instances_; }
+
+  // Number of possible paths (Def. 1) from `from` to any terminal;
+  // memoized DFS over the DAG. With kNoNode, counts from the entry.
+  util::BigCount count_paths(NodeId from = kNoNode) const;
+
+  // Number of possible paths within one instance subgraph (entry..exit).
+  util::BigCount count_instance_paths(int instance) const;
+
+  // Validates structural invariants (acyclic, links in range, instances
+  // single-entry single-exit); throws util::InternalError on violation.
+  void check_well_formed() const;
+
+ private:
+  std::vector<Node> nodes_;
+  NodeId entry_ = kNoNode;
+  std::vector<InstanceInfo> instances_;
+};
+
+// A possible path: node ids from the entry to a terminal.
+using Path = std::vector<NodeId>;
+
+// Concrete evaluation along a path (paper Fig. 4). Returns the final state
+// when every predicate holds and every read is bound; nullopt otherwise
+// (i.e. the state does not drive this path). Hash nodes are computed
+// concretely.
+std::optional<ir::ConcreteState> eval_path(const Cfg& g, const Path& path,
+                                           ir::ConcreteState initial,
+                                           const ir::Context& ctx);
+
+// Enumerates every possible path (for tests and brute-force oracles only —
+// exponential!). Throws if more than `limit` paths exist.
+std::vector<Path> enumerate_paths(const Cfg& g, size_t limit);
+
+}  // namespace meissa::cfg

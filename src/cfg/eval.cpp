@@ -1,0 +1,58 @@
+// Concrete execution along a CFG path — the evaluation relation of paper
+// Fig. 4. Used by tests as the ground-truth oracle for path validity and
+// by the bug-localization tracer.
+#include "cfg/cfg.hpp"
+
+namespace meissa::cfg {
+
+std::optional<ir::ConcreteState> eval_path(const Cfg& g, const Path& path,
+                                           ir::ConcreteState state,
+                                           const ir::Context& ctx) {
+  for (NodeId id : path) {
+    const Node& n = g.node(id);
+    if (n.is_hash) {
+      std::vector<uint64_t> keys;
+      std::vector<int> widths;
+      if (!n.hash.key_exprs.empty()) {
+        // Summarized hash: keys are expressions over entry snapshots.
+        for (ir::ExprRef e : n.hash.key_exprs) {
+          auto v = ir::eval(e, state);
+          if (!v) return std::nullopt;  // unbound read
+          keys.push_back(*v);
+          widths.push_back(e->width);
+        }
+      } else {
+        keys.reserve(n.hash.keys.size());
+        for (ir::FieldId k : n.hash.keys) {
+          auto it = state.find(k);
+          if (it == state.end()) return std::nullopt;  // unbound read
+          keys.push_back(it->second);
+          widths.push_back(ctx.fields.width(k));
+        }
+      }
+      state[n.hash.dest] = p4::compute_hash(n.hash.algo, keys, widths,
+                                            ctx.fields.width(n.hash.dest));
+      continue;
+    }
+    switch (n.stmt.kind) {
+      case ir::StmtKind::kNop:
+        break;
+      case ir::StmtKind::kAssign: {
+        auto v = ir::eval(n.stmt.expr, state);
+        if (!v) return std::nullopt;
+        state[n.stmt.target] = *v;
+        break;
+      }
+      case ir::StmtKind::kAssume: {
+        auto v = ir::eval(n.stmt.expr, state);
+        // A false (or undecidable) predicate has no evaluation rule: the
+        // state does not drive this path.
+        if (!v || *v == 0) return std::nullopt;
+        break;
+      }
+    }
+  }
+  return state;
+}
+
+}  // namespace meissa::cfg

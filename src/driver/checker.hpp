@@ -1,0 +1,29 @@
+// The checker half of the test driver (paper §4): relates captured output
+// to the expected one (field-level comparison), validates intent
+// expectations, and renders diagnostics.
+//
+// Output bytes are compared by parsing them with the expected header
+// sequence — the header/payload boundary is not observable on the wire,
+// so byte-identical packets always compare equal regardless of how the
+// emitting pipeline classified the tail.
+#pragma once
+
+#include "driver/sender.hpp"
+#include "spec/intent.hpp"
+
+namespace meissa::driver {
+
+struct CheckResult {
+  bool pass = true;
+  // "model" problems: device disagrees with the symbolic expectation
+  // (signals non-code bugs); "intent" problems: spec violations (signals
+  // code bugs). Both paper §6 diagnosis categories.
+  std::vector<std::string> model_problems;
+  std::vector<std::string> intent_problems;
+};
+
+CheckResult check_case(ir::Context& ctx, const p4::Program& prog,
+                       const TestCase& tc, const sim::DeviceOutput& out,
+                       const std::vector<spec::Intent>& intents);
+
+}  // namespace meissa::driver

@@ -1,0 +1,74 @@
+#include "driver/generator.hpp"
+
+#include <chrono>
+
+#include "spec/intent.hpp"
+
+namespace meissa::driver {
+
+namespace {
+double secs_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+}  // namespace
+
+Generator::Generator(ir::Context& ctx, const p4::DataPlane& dp,
+                     const p4::RuleSet& rules, GenOptions opts)
+    : ctx_(ctx), dp_(dp), opts_(std::move(opts)) {
+  auto t0 = std::chrono::steady_clock::now();
+  original_ = cfg::build_cfg(dp, rules, ctx, opts_.build);
+  stats_.build_seconds = secs_since(t0);
+  stats_.paths_original = original_.count_paths();
+  active_ = &original_;
+}
+
+std::vector<sym::TestCaseTemplate> Generator::generate() {
+  if (opts_.code_summary && !summarized_) {
+    auto t0 = std::chrono::steady_clock::now();
+    summary::SummaryOptions so = opts_.summary;
+    so.use_z3 = opts_.use_z3;
+    so.check_every_predicate = opts_.check_every_predicate;
+    summarized_ = summary::summarize(ctx_, original_, so);
+    stats_.summary_seconds = secs_since(t0);
+    stats_.pipelines = summarized_->per_pipeline;
+    stats_.smt_checks += summarized_->total_smt_checks;
+    active_ = &summarized_->graph;
+  }
+  stats_.paths_summarized = active_->count_paths();
+
+  sym::EngineOptions eopts;
+  eopts.early_termination = opts_.early_termination;
+  eopts.check_every_predicate = opts_.check_every_predicate;
+  eopts.incremental = opts_.incremental;
+  eopts.use_z3 = opts_.use_z3;
+  eopts.max_results = opts_.max_templates;
+  eopts.time_budget_seconds = opts_.time_budget_seconds;
+  engine_ = std::make_unique<sym::Engine>(ctx_, *active_, eopts);
+  for (ir::ExprRef a : opts_.assumes) {
+    engine_->add_precondition(spec::assume_to_precondition(a, ctx_));
+  }
+
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<sym::TestCaseTemplate> templates;
+  const bool diagnose = opts_.detect_invalid_reads && !opts_.code_summary;
+  engine_->run([&](const sym::PathResult& r) {
+    sym::TestCaseTemplate t =
+        sym::make_template(ctx_, *active_, r, templates.size());
+    if (diagnose) {
+      t.diagnostics = sym::find_invalid_header_reads(ctx_, *active_, t.path);
+      stats_.diagnostics += t.diagnostics.size();
+    }
+    templates.push_back(std::move(t));
+  });
+  stats_.dfs_seconds = secs_since(t0);
+  stats_.engine = engine_->stats();
+  stats_.timed_out = engine_->stats().timed_out;
+  stats_.smt_checks += engine_->stats().solver.checks;
+  stats_.templates = templates.size();
+  stats_.total_seconds =
+      stats_.build_seconds + stats_.summary_seconds + stats_.dfs_seconds;
+  return templates;
+}
+
+}  // namespace meissa::driver

@@ -1,0 +1,76 @@
+// Test-case generation facade: CFG build → (optional) code summary →
+// DFS test-case template generation, with the statistics the paper's
+// evaluation reports (time, SMT calls, path counts).
+#pragma once
+
+#include <memory>
+
+#include "cfg/build.hpp"
+#include "summary/summary.hpp"
+#include "sym/template.hpp"
+
+namespace meissa::driver {
+
+struct GenOptions {
+  // The paper's headline technique; off = the basic framework (§3.2).
+  bool code_summary = true;
+  cfg::BuildOptions build;
+  summary::SummaryOptions summary;
+  // Engine ablations (also used by the baseline reimplementations).
+  bool early_termination = true;
+  bool check_every_predicate = false;  // paper-faithful Algorithm 1 mode
+  bool incremental = true;
+  bool use_z3 = false;
+  // Generation-time assumptions over in.* fields (LPI assumes).
+  std::vector<ir::ExprRef> assumes;
+  // Flag reads of invalid-header fields as diagnostics on each template
+  // (exact only on unsummarized graphs; disabled automatically otherwise).
+  bool detect_invalid_reads = true;
+  uint64_t max_templates = 0;  // 0 = unlimited
+  double time_budget_seconds = 0;  // 0 = unlimited (final DFS budget)
+};
+
+struct GenStats {
+  bool timed_out = false;
+  double build_seconds = 0;
+  double summary_seconds = 0;
+  double dfs_seconds = 0;
+  double total_seconds = 0;
+  uint64_t smt_checks = 0;  // summary + final DFS ("# of SMT calls")
+  uint64_t templates = 0;
+  uint64_t diagnostics = 0;  // invalid-header-read findings
+  util::BigCount paths_original;    // possible paths, original CFG
+  util::BigCount paths_summarized;  // possible paths after code summary
+  std::vector<summary::PipelineSummary> pipelines;
+  sym::EngineStats engine;
+};
+
+class Generator {
+ public:
+  Generator(ir::Context& ctx, const p4::DataPlane& dp,
+            const p4::RuleSet& rules, GenOptions opts = {});
+
+  // Runs summary (once) + DFS and returns all templates.
+  std::vector<sym::TestCaseTemplate> generate();
+
+  const GenStats& stats() const { return stats_; }
+  const cfg::Cfg& graph() const { return *active_; }          // DFS graph
+  const cfg::Cfg& original_graph() const { return original_; }
+  // The engine used for the final DFS; valid after generate(). Exposes
+  // solve_for_model for the sender.
+  sym::Engine& engine() { return *engine_; }
+
+  const p4::DataPlane& dataplane() const { return dp_; }
+
+ private:
+  ir::Context& ctx_;
+  const p4::DataPlane& dp_;
+  GenOptions opts_;
+  cfg::Cfg original_;
+  std::optional<summary::SummaryResult> summarized_;
+  const cfg::Cfg* active_ = nullptr;
+  std::unique_ptr<sym::Engine> engine_;
+  GenStats stats_;
+};
+
+}  // namespace meissa::driver

@@ -1,0 +1,85 @@
+#include "driver/report.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace meissa::driver {
+
+std::string TestReport::str() const {
+  std::ostringstream os;
+  os << "test report: " << passed << "/" << cases << " cases passed ("
+     << templates << " templates";
+  if (removed_by_hash > 0) {
+    os << ", " << removed_by_hash << " removed by hash filtering";
+  }
+  os << ")\n";
+  os << "  generation: " << util::format("%.3fs", gen.total_seconds) << " ("
+     << gen.smt_checks << " SMT calls)\n";
+  for (const CaseRecord& f : failures) {
+    os << "  FAIL template #" << f.template_id << " case #" << f.case_id
+       << "\n";
+    for (const std::string& p : f.model_problems) {
+      os << "    [model] " << p << "\n";
+    }
+    for (const std::string& p : f.intent_problems) {
+      os << "    [intent] " << p << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string symbolic_trace(const ir::Context& ctx, const cfg::Cfg& g,
+                           const cfg::Path& path,
+                           const ir::ConcreteState& input, size_t max_lines) {
+  std::ostringstream os;
+  ir::ConcreteState s = input;
+  size_t lines = 0;
+  for (cfg::NodeId id : path) {
+    if (lines >= max_lines) {
+      os << "  ... (truncated)\n";
+      break;
+    }
+    const cfg::Node& n = g.node(id);
+    if (n.is_hash) {
+      cfg::Path one{id};
+      auto after = cfg::eval_path(g, one, s, ctx);
+      os << "  hash -> " << ctx.fields.name(n.hash.dest);
+      if (after) {
+        os << " = " << util::hex((*after).at(n.hash.dest));
+        s = std::move(*after);
+      } else {
+        os << " (unevaluable)";
+      }
+      os << "\n";
+      ++lines;
+      continue;
+    }
+    switch (n.stmt.kind) {
+      case ir::StmtKind::kNop:
+        break;
+      case ir::StmtKind::kAssign: {
+        auto v = ir::eval(n.stmt.expr, s);
+        os << "  " << ctx.fields.name(n.stmt.target) << " <- "
+           << ir::to_string(n.stmt.expr, ctx.fields);
+        if (v) {
+          os << "  [= " << util::hex(*v) << "]";
+          s[n.stmt.target] = *v;
+        }
+        os << "\n";
+        ++lines;
+        break;
+      }
+      case ir::StmtKind::kAssume: {
+        auto v = ir::eval(n.stmt.expr, s);
+        os << "  assume " << ir::to_string(n.stmt.expr, ctx.fields) << "  [=> "
+           << (v ? (*v ? "true" : "FALSE") : "?") << "]\n";
+        ++lines;
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace meissa::driver

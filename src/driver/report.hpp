@@ -1,0 +1,45 @@
+// Test reports: per-case verdicts, aggregate counts, and the symbolic
+// trace used for bug localization (paper §7).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "driver/checker.hpp"
+#include "driver/generator.hpp"
+
+namespace meissa::driver {
+
+struct CaseRecord {
+  uint64_t template_id = 0;
+  uint64_t case_id = 0;
+  bool pass = true;
+  std::vector<std::string> model_problems;
+  std::vector<std::string> intent_problems;
+  std::string symbolic_trace;              // populated on failure
+  std::vector<std::string> physical_trace;  // device trace, on failure
+};
+
+struct TestReport {
+  uint64_t templates = 0;
+  uint64_t cases = 0;
+  uint64_t passed = 0;
+  uint64_t failed = 0;
+  uint64_t removed_by_hash = 0;  // paper §4 hash filtering
+  std::vector<CaseRecord> failures;
+  GenStats gen;
+
+  bool all_passed() const noexcept { return failed == 0 && cases > 0; }
+  // Multi-line human-readable summary.
+  std::string str() const;
+};
+
+// Renders a symbolic execution trace of `path` driven by `input`: executed
+// statements with concrete values at each step (paper §7: "a trace that
+// shows all executed actions, hit table rules, branching, and assignment
+// statements, along with the values of corresponding arguments").
+std::string symbolic_trace(const ir::Context& ctx, const cfg::Cfg& g,
+                           const cfg::Path& path,
+                           const ir::ConcreteState& input, size_t max_lines);
+
+}  // namespace meissa::driver

@@ -1,0 +1,181 @@
+#include "driver/sender.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace meissa::driver {
+
+namespace {
+constexpr int kHashRepairRounds = 3;
+}
+
+Sender::Sender(ir::Context& ctx, const p4::DataPlane& dp,
+               const cfg::Cfg& graph, uint64_t seed)
+    : ctx_(ctx), dp_(dp), graph_(graph), rng_(seed) {}
+
+std::vector<std::string> Sender::simulate_parse(
+    const std::string& instance, const ir::ConcreteState& s) const {
+  const p4::PipeInstance* pi = dp_.topology.find_instance(instance);
+  util::check(pi != nullptr, "sender: unknown entry instance");
+  const p4::Parser& parser = dp_.program.find_pipeline(pi->pipeline)->parser;
+
+  std::vector<std::string> seq;
+  const p4::ParserState* state = parser.find_state(parser.start);
+  while (state != nullptr) {
+    for (const std::string& h : state->extracts) {
+      seq.push_back(h);
+    }
+    std::string next = state->default_next;
+    if (!state->select_field.empty()) {
+      ir::FieldId f = ctx_.fields.require(state->select_field);
+      auto it = s.find(f);
+      uint64_t v = it == s.end() ? 0 : it->second;
+      for (const p4::ParserTransition& t : state->cases) {
+        if ((v & t.mask) == (t.value & t.mask)) {
+          next = t.next;
+          break;
+        }
+      }
+    }
+    if (next == "accept" || next == "reject") break;
+    state = parser.find_state(next);
+  }
+  return seq;
+}
+
+std::optional<TestCase> Sender::concretize(const sym::TestCaseTemplate& t,
+                                           sym::Engine& engine) {
+  // 1. A model of the path condition — with hash-obligation repair: if the
+  // model's placeholder value disagrees with the recomputed hash, pin the
+  // placeholder and re-solve; give up (remove the case) after a few rounds.
+  std::vector<ir::ExprRef> extra;
+  std::optional<smt::Model> model;
+  for (int round = 0; round <= kHashRepairRounds; ++round) {
+    sym::PathResult pr;
+    pr.conds = t.conds;
+    for (ir::ExprRef e : extra) pr.conds.push_back(e);
+    model = engine.solve_for_model(pr);
+    if (!model) {
+      ++removed_by_hash_;
+      return std::nullopt;  // over-constrained by repair: remove (§4)
+    }
+    bool consistent = true;
+    extra.clear();
+    for (const sym::HashObligation& o : t.obligations) {
+      std::vector<uint64_t> kv;
+      std::vector<int> kw;
+      ir::ConcreteState ms(model->begin(), model->end());
+      bool known = true;
+      for (size_t i = 0; i < o.key_exprs.size(); ++i) {
+        auto v = ir::eval(o.key_exprs[i], ms);
+        if (!v) {
+          // Key depends on an unconstrained input: default it to zero,
+          // consistent with the state completion below.
+          ir::ConcreteState padded = ms;
+          std::unordered_set<ir::FieldId> fs;
+          ir::collect_fields(o.key_exprs[i], fs);
+          for (ir::FieldId f : fs) padded.try_emplace(f, 0);
+          v = ir::eval(o.key_exprs[i], padded);
+          known = v.has_value();
+        }
+        if (!known) break;
+        kv.push_back(*v);
+        kw.push_back(o.key_widths[i]);
+      }
+      if (!known) continue;
+      int w = ctx_.fields.width(o.placeholder);
+      uint64_t want = p4::compute_hash(o.algo, kv, kw, w);
+      auto got = model->find(o.placeholder);
+      if (got == model->end() || got->second != want) {
+        consistent = false;
+      }
+      extra.push_back(ctx_.arena.cmp(ir::CmpOp::kEq,
+                                     ctx_.arena.field(o.placeholder, w),
+                                     ctx_.arena.constant(want, w)));
+    }
+    if (consistent) break;
+    if (round == kHashRepairRounds) {
+      ++removed_by_hash_;
+      return std::nullopt;
+    }
+  }
+
+  // 2. Complete the input state: model values, zero defaults elsewhere.
+  TestCase tc;
+  tc.template_id = t.id;
+  tc.case_id = next_case_id_++;
+  ir::ConcreteState s;
+  for (auto& [f, v] : *model) s[f] = v;
+  for (ir::FieldId f = 0; f < ctx_.fields.size(); ++f) s.try_emplace(f, 0);
+
+  // 3. Replay the path concretely: yields the exact final state (including
+  // real hash results) or rejects a model that does not drive the path.
+  auto final_state = cfg::eval_path(graph_, t.path, s, ctx_);
+  if (!final_state) {
+    ++removed_by_hash_;
+    return std::nullopt;
+  }
+
+  // 4. Build the input packet via parser simulation at the entry instance.
+  util::check(t.entry_instance >= 0, "template without entry instance");
+  const cfg::InstanceInfo& entry =
+      graph_.instances()[static_cast<size_t>(t.entry_instance)];
+  std::vector<std::string> in_headers = simulate_parse(entry.name, s);
+  for (const std::string& h : in_headers) {
+    const p4::HeaderDef* def = dp_.program.find_header(h);
+    packet::HeaderValues hv;
+    hv.header = h;
+    for (const p4::FieldDef& f : def->fields) {
+      hv.values.push_back(
+          s.at(ctx_.fields.require(p4::content_field(h, f.name))));
+    }
+    tc.input_packet.headers.push_back(std::move(hv));
+  }
+  // Unique id payload (paper §4): 8-byte case id + fixed filler.
+  for (int i = 7; i >= 0; --i) {
+    tc.input_packet.payload.push_back(
+        static_cast<uint8_t>(tc.case_id >> (8 * i)));
+  }
+  for (int i = 0; i < 8; ++i) {
+    tc.input_packet.payload.push_back(static_cast<uint8_t>(0xA0 + i));
+  }
+
+  tc.input.port = s.at(ctx_.fields.require(std::string(p4::kIngressPort)));
+  tc.input.bytes = packet::serialize(dp_.program, tc.input_packet);
+  tc.input_state = s;
+
+  // 5. Register cells referenced by the model must be installed.
+  for (auto& [f, v] : *model) {
+    if (util::starts_with(ctx_.fields.name(f), "REG:")) {
+      tc.registers[f] = v;
+    }
+  }
+
+  // 6. Expected output from the final state.
+  if (t.exit == cfg::ExitKind::kDrop) {
+    tc.expect_drop = true;
+    return tc;
+  }
+  util::check(t.emit_instance >= 0, "emit template without instance");
+  const cfg::InstanceInfo& emit =
+      graph_.instances()[static_cast<size_t>(t.emit_instance)];
+  tc.expect_port =
+      final_state->at(ctx_.fields.require(std::string(p4::kEgressSpec)));
+  for (const std::string& h : emit.emit_order) {
+    auto vit = final_state->find(emit.validity.at(h));
+    if (vit == final_state->end() || vit->second == 0) continue;
+    const p4::HeaderDef* def = dp_.program.find_header(h);
+    packet::HeaderValues hv;
+    hv.header = h;
+    for (const p4::FieldDef& f : def->fields) {
+      hv.values.push_back(
+          final_state->at(ctx_.fields.require(p4::content_field(h, f.name))));
+    }
+    tc.expect_packet.headers.push_back(std::move(hv));
+  }
+  tc.expect_packet.payload = tc.input_packet.payload;
+  tc.expect_bytes = packet::serialize(dp_.program, tc.expect_packet);
+  return tc;
+}
+
+}  // namespace meissa::driver

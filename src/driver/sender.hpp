@@ -1,0 +1,57 @@
+// The sender half of the test driver (paper §4): turns a test-case
+// template into a concrete injectable packet (via an SMT model of the path
+// condition), computes the expected output by concrete execution of the
+// template's path, validates hash obligations (dropping unsatisfiable
+// cases, §4), and stamps a unique id into the payload so the checker can
+// relate sent and received packets.
+#pragma once
+
+#include <optional>
+
+#include "driver/generator.hpp"
+#include "sim/device.hpp"
+#include "util/rng.hpp"
+
+namespace meissa::driver {
+
+struct TestCase {
+  uint64_t template_id = 0;
+  uint64_t case_id = 0;
+  sim::DeviceInput input;
+  packet::Packet input_packet;
+  ir::ConcreteState input_state;  // complete initial state (model + defaults)
+  ir::ConcreteState registers;    // REG:* cells to install on the device
+  bool expect_drop = false;
+  uint64_t expect_port = 0;
+  packet::Packet expect_packet;
+  std::vector<uint8_t> expect_bytes;
+};
+
+class Sender {
+ public:
+  Sender(ir::Context& ctx, const p4::DataPlane& dp, const cfg::Cfg& graph,
+         uint64_t seed = 1);
+
+  // Concretizes a template. Returns nullopt when the case must be removed
+  // (hash obligations cannot be satisfied after repair attempts).
+  std::optional<TestCase> concretize(const sym::TestCaseTemplate& t,
+                                     sym::Engine& engine);
+
+  // Number of cases removed because of hash mismatches (paper §4).
+  uint64_t removed_by_hash() const noexcept { return removed_by_hash_; }
+
+ private:
+  // Walks the entry pipeline's parser FSM over concrete field values to
+  // derive the input packet's header sequence.
+  std::vector<std::string> simulate_parse(const std::string& instance,
+                                          const ir::ConcreteState& s) const;
+
+  ir::Context& ctx_;
+  const p4::DataPlane& dp_;
+  const cfg::Cfg& graph_;
+  util::Rng rng_;
+  uint64_t next_case_id_ = 1;
+  uint64_t removed_by_hash_ = 0;
+};
+
+}  // namespace meissa::driver

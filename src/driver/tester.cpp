@@ -1,0 +1,57 @@
+#include "driver/tester.hpp"
+
+namespace meissa::driver {
+
+Meissa::Meissa(ir::Context& ctx, const p4::DataPlane& dp,
+               const p4::RuleSet& rules, TestRunOptions opts)
+    : ctx_(ctx), dp_(dp), opts_(std::move(opts)), gen_(ctx, dp, rules,
+                                                      opts_.gen) {}
+
+std::vector<sym::TestCaseTemplate> Meissa::generate() {
+  if (!generated_) {
+    templates_ = gen_.generate();
+    generated_ = true;
+  }
+  return templates_;
+}
+
+TestReport Meissa::test(sim::Device& device,
+                        const std::vector<spec::Intent>& intents) {
+  generate();
+  TestReport report;
+  report.templates = templates_.size();
+
+  Sender sender(ctx_, dp_, gen_.graph(), opts_.seed);
+  for (const sym::TestCaseTemplate& t : templates_) {
+    std::optional<TestCase> tc = sender.concretize(t, gen_.engine());
+    if (!tc) continue;  // removed by hash filtering (§4)
+    device.set_registers(tc->registers);
+    sim::DeviceOutput out = device.inject(tc->input);
+    CheckResult cr = check_case(ctx_, dp_.program, *tc, out, intents);
+    ++report.cases;
+    if (cr.pass) {
+      ++report.passed;
+      continue;
+    }
+    ++report.failed;
+    if (report.failures.size() < opts_.max_recorded_failures) {
+      CaseRecord rec;
+      rec.template_id = tc->template_id;
+      rec.case_id = tc->case_id;
+      rec.pass = false;
+      rec.model_problems = std::move(cr.model_problems);
+      rec.intent_problems = std::move(cr.intent_problems);
+      if (opts_.collect_traces) {
+        rec.symbolic_trace =
+            symbolic_trace(ctx_, gen_.graph(), t.path, tc->input_state, 200);
+        rec.physical_trace = out.trace;
+      }
+      report.failures.push_back(std::move(rec));
+    }
+  }
+  report.removed_by_hash = sender.removed_by_hash();
+  report.gen = gen_.stats();
+  return report;
+}
+
+}  // namespace meissa::driver

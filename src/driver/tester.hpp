@@ -1,0 +1,41 @@
+// The Meissa facade: end-to-end testing of a data plane against a device.
+// Wires together generation (CFG, code summary, DFS), the sender, the
+// device under test, and the checker, producing a TestReport (Fig. 2).
+#pragma once
+
+#include "driver/report.hpp"
+
+namespace meissa::driver {
+
+struct TestRunOptions {
+  GenOptions gen;
+  uint64_t seed = 1;
+  size_t max_recorded_failures = 25;
+  bool collect_traces = true;  // symbolic + physical traces on failure
+};
+
+class Meissa {
+ public:
+  Meissa(ir::Context& ctx, const p4::DataPlane& dp, const p4::RuleSet& rules,
+         TestRunOptions opts = {});
+
+  // Generation only (no device): the paper's scalability experiments.
+  std::vector<sym::TestCaseTemplate> generate();
+
+  // Full run: generate, inject into `device`, check against `intents`.
+  TestReport test(sim::Device& device, const std::vector<spec::Intent>& intents);
+
+  const GenStats& gen_stats() const { return gen_.stats(); }
+  const cfg::Cfg& graph() const { return gen_.graph(); }
+  Generator& generator() { return gen_; }
+
+ private:
+  ir::Context& ctx_;
+  const p4::DataPlane& dp_;
+  TestRunOptions opts_;
+  Generator gen_;
+  std::vector<sym::TestCaseTemplate> templates_;
+  bool generated_ = false;
+};
+
+}  // namespace meissa::driver

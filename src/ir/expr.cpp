@@ -1,0 +1,452 @@
+#include "ir/expr.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace meissa::ir {
+
+uint64_t apply_arith(ArithOp op, uint64_t a, uint64_t b, int width) noexcept {
+  a = util::truncate(a, width);
+  b = util::truncate(b, width);
+  uint64_t r = 0;
+  switch (op) {
+    case ArithOp::kAdd: r = a + b; break;
+    case ArithOp::kSub: r = a - b; break;
+    case ArithOp::kMul: r = a * b; break;
+    case ArithOp::kAnd: r = a & b; break;
+    case ArithOp::kOr:  r = a | b; break;
+    case ArithOp::kXor: r = a ^ b; break;
+    case ArithOp::kShl: r = b >= static_cast<uint64_t>(width) ? 0 : a << b; break;
+    case ArithOp::kShr: r = b >= static_cast<uint64_t>(width) ? 0 : a >> b; break;
+  }
+  return util::truncate(r, width);
+}
+
+bool apply_cmp(CmpOp op, uint64_t a, uint64_t b) noexcept {
+  switch (op) {
+    case CmpOp::kEq: return a == b;
+    case CmpOp::kNe: return a != b;
+    case CmpOp::kLt: return a < b;
+    case CmpOp::kLe: return a <= b;
+    case CmpOp::kGt: return a > b;
+    case CmpOp::kGe: return a >= b;
+  }
+  return false;
+}
+
+const char* arith_op_name(ArithOp op) noexcept {
+  switch (op) {
+    case ArithOp::kAdd: return "+";
+    case ArithOp::kSub: return "-";
+    case ArithOp::kMul: return "*";
+    case ArithOp::kAnd: return "&";
+    case ArithOp::kOr:  return "|";
+    case ArithOp::kXor: return "^";
+    case ArithOp::kShl: return "<<";
+    case ArithOp::kShr: return ">>";
+  }
+  return "?";
+}
+
+const char* cmp_op_name(CmpOp op) noexcept {
+  switch (op) {
+    case CmpOp::kEq: return "==";
+    case CmpOp::kNe: return "!=";
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+size_t ExprArena::Hash::operator()(const Expr& e) const noexcept {
+  size_t h = static_cast<size_t>(e.kind);
+  auto mix = [&h](size_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  };
+  mix(e.op);
+  mix(static_cast<size_t>(e.width));
+  mix(static_cast<size_t>(e.value));
+  mix(static_cast<size_t>(e.field));
+  mix(reinterpret_cast<size_t>(e.lhs));
+  mix(reinterpret_cast<size_t>(e.rhs));
+  return h;
+}
+
+bool ExprArena::Eq::operator()(const Expr& a, const Expr& b) const noexcept {
+  return a.kind == b.kind && a.op == b.op && a.width == b.width &&
+         a.value == b.value && a.field == b.field && a.lhs == b.lhs &&
+         a.rhs == b.rhs;
+}
+
+ExprArena::ExprArena() {
+  Expr t{};
+  t.kind = ExprKind::kBoolConst;
+  t.value = 1;
+  true_ = intern(t);
+  Expr f{};
+  f.kind = ExprKind::kBoolConst;
+  f.value = 0;
+  false_ = intern(f);
+}
+
+ExprRef ExprArena::intern(Expr e) {
+  auto it = interned_.find(e);
+  if (it != interned_.end()) return it->second;
+  nodes_.push_back(e);
+  ExprRef ref = &nodes_.back();
+  interned_.emplace(e, ref);
+  return ref;
+}
+
+ExprRef ExprArena::constant(uint64_t v, int width) {
+  util::check_width(width);
+  Expr e{};
+  e.kind = ExprKind::kConst;
+  e.width = width;
+  e.value = util::truncate(v, width);
+  return intern(e);
+}
+
+ExprRef ExprArena::field(FieldId f, int width) {
+  util::check_width(width);
+  Expr e{};
+  e.kind = ExprKind::kField;
+  e.width = width;
+  e.field = f;
+  return intern(e);
+}
+
+ExprRef ExprArena::arith(ArithOp op, ExprRef a, ExprRef b) {
+  util::check(a != nullptr && b != nullptr, "arith: null operand");
+  util::check(!a->is_bool() && !b->is_bool() && a->width == b->width,
+              "arith: operand width mismatch");
+  const int w = a->width;
+  if (a->is_const() && b->is_const()) {
+    return constant(apply_arith(op, a->value, b->value, w), w);
+  }
+  // Commutative ops: canonicalize the constant to the right so identity
+  // rules below fire, and structurally equal expressions intern together.
+  switch (op) {
+    case ArithOp::kAdd:
+    case ArithOp::kMul:
+    case ArithOp::kAnd:
+    case ArithOp::kOr:
+    case ArithOp::kXor:
+      if (a->is_const()) std::swap(a, b);
+      break;
+    default:
+      break;
+  }
+  if (b->is_const()) {
+    const uint64_t c = b->value;
+    switch (op) {
+      case ArithOp::kAdd:
+      case ArithOp::kSub:
+      case ArithOp::kXor:
+      case ArithOp::kOr:
+      case ArithOp::kShl:
+      case ArithOp::kShr:
+        if (c == 0) return a;
+        break;
+      case ArithOp::kAnd:
+        if (c == 0) return constant(0, w);
+        if (c == util::mask_bits(w)) return a;
+        break;
+      case ArithOp::kMul:
+        if (c == 0) return constant(0, w);
+        if (c == 1) return a;
+        break;
+    }
+  }
+  if (op == ArithOp::kXor && a == b) return constant(0, w);
+  if ((op == ArithOp::kAnd || op == ArithOp::kOr) && a == b) return a;
+  if (op == ArithOp::kSub && a == b) return constant(0, w);
+  Expr e{};
+  e.kind = ExprKind::kArith;
+  e.op = static_cast<uint8_t>(op);
+  e.width = w;
+  e.lhs = a;
+  e.rhs = b;
+  return intern(e);
+}
+
+ExprRef ExprArena::cmp(CmpOp op, ExprRef a, ExprRef b) {
+  util::check(a != nullptr && b != nullptr, "cmp: null operand");
+  util::check(!a->is_bool() && !b->is_bool() && a->width == b->width,
+              "cmp: operand width mismatch");
+  if (a->is_const() && b->is_const()) {
+    return bool_const(apply_cmp(op, a->value, b->value));
+  }
+  if (a == b) {
+    switch (op) {
+      case CmpOp::kEq:
+      case CmpOp::kLe:
+      case CmpOp::kGe:
+        return bool_const(true);
+      case CmpOp::kNe:
+      case CmpOp::kLt:
+      case CmpOp::kGt:
+        return bool_const(false);
+    }
+  }
+  // Canonicalize: constant on the right (flipping the comparison).
+  if (a->is_const()) {
+    std::swap(a, b);
+    switch (op) {
+      case CmpOp::kLt: op = CmpOp::kGt; break;
+      case CmpOp::kLe: op = CmpOp::kGe; break;
+      case CmpOp::kGt: op = CmpOp::kLt; break;
+      case CmpOp::kGe: op = CmpOp::kLe; break;
+      default: break;
+    }
+  }
+  // Vacuous range comparisons against extremal constants.
+  if (b->is_const()) {
+    const uint64_t c = b->value;
+    const uint64_t top = util::mask_bits(a->width);
+    if (op == CmpOp::kLt && c == 0) return bool_const(false);
+    if (op == CmpOp::kGe && c == 0) return bool_const(true);
+    if (op == CmpOp::kGt && c == top) return bool_const(false);
+    if (op == CmpOp::kLe && c == top) return bool_const(true);
+  }
+  Expr e{};
+  e.kind = ExprKind::kCmp;
+  e.op = static_cast<uint8_t>(op);
+  e.lhs = a;
+  e.rhs = b;
+  return intern(e);
+}
+
+ExprRef ExprArena::band(ExprRef a, ExprRef b) {
+  util::check(a != nullptr && b != nullptr && a->is_bool() && b->is_bool(),
+              "band: boolean operands required");
+  if (a->is_false() || b->is_false()) return bool_const(false);
+  if (a->is_true()) return b;
+  if (b->is_true()) return a;
+  if (a == b) return a;
+  Expr e{};
+  e.kind = ExprKind::kBool;
+  e.op = static_cast<uint8_t>(BoolOp::kAnd);
+  e.lhs = a;
+  e.rhs = b;
+  return intern(e);
+}
+
+ExprRef ExprArena::bor(ExprRef a, ExprRef b) {
+  util::check(a != nullptr && b != nullptr && a->is_bool() && b->is_bool(),
+              "bor: boolean operands required");
+  if (a->is_true() || b->is_true()) return bool_const(true);
+  if (a->is_false()) return b;
+  if (b->is_false()) return a;
+  if (a == b) return a;
+  Expr e{};
+  e.kind = ExprKind::kBool;
+  e.op = static_cast<uint8_t>(BoolOp::kOr);
+  e.lhs = a;
+  e.rhs = b;
+  return intern(e);
+}
+
+ExprRef ExprArena::bnot(ExprRef a) {
+  util::check(a != nullptr && a->is_bool(), "bnot: boolean operand required");
+  if (a->is_true()) return bool_const(false);
+  if (a->is_false()) return bool_const(true);
+  if (a->kind == ExprKind::kNot) return a->lhs;  // double negation
+  if (a->kind == ExprKind::kBool) {
+    // De Morgan: keeps negations at the atoms, where the solver's domain
+    // fast path can digest them.
+    if (a->bool_op() == BoolOp::kAnd) return bor(bnot(a->lhs), bnot(a->rhs));
+    return band(bnot(a->lhs), bnot(a->rhs));
+  }
+  if (a->kind == ExprKind::kCmp) {
+    // Push negation into the comparison: ¬(x == y) is (x != y), etc.
+    CmpOp inv;
+    switch (a->cmp_op()) {
+      case CmpOp::kEq: inv = CmpOp::kNe; break;
+      case CmpOp::kNe: inv = CmpOp::kEq; break;
+      case CmpOp::kLt: inv = CmpOp::kGe; break;
+      case CmpOp::kLe: inv = CmpOp::kGt; break;
+      case CmpOp::kGt: inv = CmpOp::kLe; break;
+      case CmpOp::kGe: inv = CmpOp::kLt; break;
+      default: inv = CmpOp::kEq; break;
+    }
+    return cmp(inv, a->lhs, a->rhs);
+  }
+  Expr e{};
+  e.kind = ExprKind::kNot;
+  e.lhs = a;
+  return intern(e);
+}
+
+ExprRef ExprArena::all_of(const std::vector<ExprRef>& xs) {
+  ExprRef acc = bool_const(true);
+  for (ExprRef x : xs) acc = band(acc, x);
+  return acc;
+}
+
+ExprRef ExprArena::any_of(const std::vector<ExprRef>& xs) {
+  ExprRef acc = bool_const(false);
+  for (ExprRef x : xs) acc = bor(acc, x);
+  return acc;
+}
+
+ExprRef ExprArena::masked_eq(ExprRef f, uint64_t mask, uint64_t value) {
+  util::check(f != nullptr && !f->is_bool(), "masked_eq: arith operand");
+  const int w = f->width;
+  mask = util::truncate(mask, w);
+  value = util::truncate(value, w);
+  if (mask == 0) return bool_const(true);
+  return cmp(CmpOp::kEq, arith(ArithOp::kAnd, f, constant(mask, w)),
+             constant(value & mask, w));
+}
+
+std::optional<uint64_t> eval(ExprRef e, const ConcreteState& state) {
+  switch (e->kind) {
+    case ExprKind::kConst:
+      return e->value;
+    case ExprKind::kBoolConst:
+      return e->value;
+    case ExprKind::kField: {
+      auto it = state.find(e->field);
+      if (it == state.end()) return std::nullopt;
+      return util::truncate(it->second, e->width);
+    }
+    case ExprKind::kArith: {
+      auto a = eval(e->lhs, state);
+      auto b = eval(e->rhs, state);
+      if (!a || !b) return std::nullopt;
+      return apply_arith(e->arith_op(), *a, *b, e->width);
+    }
+    case ExprKind::kCmp: {
+      auto a = eval(e->lhs, state);
+      auto b = eval(e->rhs, state);
+      if (!a || !b) return std::nullopt;
+      return apply_cmp(e->cmp_op(), *a, *b) ? 1 : 0;
+    }
+    case ExprKind::kBool: {
+      // Short-circuit so partially-bound states still decide when possible.
+      auto a = eval(e->lhs, state);
+      if (e->bool_op() == BoolOp::kAnd) {
+        if (a && *a == 0) return 0;
+        auto b = eval(e->rhs, state);
+        if (b && *b == 0) return 0;
+        if (a && b) return 1;
+        return std::nullopt;
+      }
+      if (a && *a == 1) return 1;
+      auto b = eval(e->rhs, state);
+      if (b && *b == 1) return 1;
+      if (a && b) return 0;
+      return std::nullopt;
+    }
+    case ExprKind::kNot: {
+      auto a = eval(e->lhs, state);
+      if (!a) return std::nullopt;
+      return *a ? 0 : 1;
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+ExprRef substitute_memo(ExprRef e, ExprArena& arena,
+                        const std::function<ExprRef(FieldId, int)>& lookup,
+                        std::unordered_map<ExprRef, ExprRef>& memo) {
+  auto it = memo.find(e);
+  if (it != memo.end()) return it->second;
+  ExprRef out = e;
+  switch (e->kind) {
+    case ExprKind::kConst:
+    case ExprKind::kBoolConst:
+      break;
+    case ExprKind::kField: {
+      ExprRef repl = lookup(e->field, e->width);
+      if (repl != nullptr) out = repl;
+      break;
+    }
+    case ExprKind::kArith: {
+      ExprRef a = substitute_memo(e->lhs, arena, lookup, memo);
+      ExprRef b = substitute_memo(e->rhs, arena, lookup, memo);
+      if (a != e->lhs || b != e->rhs) out = arena.arith(e->arith_op(), a, b);
+      break;
+    }
+    case ExprKind::kCmp: {
+      ExprRef a = substitute_memo(e->lhs, arena, lookup, memo);
+      ExprRef b = substitute_memo(e->rhs, arena, lookup, memo);
+      if (a != e->lhs || b != e->rhs) out = arena.cmp(e->cmp_op(), a, b);
+      break;
+    }
+    case ExprKind::kBool: {
+      ExprRef a = substitute_memo(e->lhs, arena, lookup, memo);
+      ExprRef b = substitute_memo(e->rhs, arena, lookup, memo);
+      if (a != e->lhs || b != e->rhs) {
+        out = e->bool_op() == BoolOp::kAnd ? arena.band(a, b) : arena.bor(a, b);
+      }
+      break;
+    }
+    case ExprKind::kNot: {
+      ExprRef a = substitute_memo(e->lhs, arena, lookup, memo);
+      if (a != e->lhs) out = arena.bnot(a);
+      break;
+    }
+  }
+  memo.emplace(e, out);
+  return out;
+}
+
+}  // namespace
+
+ExprRef substitute(ExprRef e, ExprArena& arena,
+                   const std::function<ExprRef(FieldId, int)>& lookup) {
+  std::unordered_map<ExprRef, ExprRef> memo;
+  return substitute_memo(e, arena, lookup, memo);
+}
+
+void collect_fields(ExprRef e, std::unordered_set<FieldId>& out) {
+  switch (e->kind) {
+    case ExprKind::kConst:
+    case ExprKind::kBoolConst:
+      return;
+    case ExprKind::kField:
+      out.insert(e->field);
+      return;
+    case ExprKind::kNot:
+      collect_fields(e->lhs, out);
+      return;
+    default:
+      collect_fields(e->lhs, out);
+      collect_fields(e->rhs, out);
+      return;
+  }
+}
+
+std::string to_string(ExprRef e, const FieldTable& fields) {
+  switch (e->kind) {
+    case ExprKind::kConst:
+      return e->value > 9 ? util::hex(e->value) : std::to_string(e->value);
+    case ExprKind::kBoolConst:
+      return e->value ? "true" : "false";
+    case ExprKind::kField:
+      return fields.name(e->field);
+    case ExprKind::kArith:
+      return "(" + to_string(e->lhs, fields) + " " +
+             arith_op_name(e->arith_op()) + " " + to_string(e->rhs, fields) +
+             ")";
+    case ExprKind::kCmp:
+      return "(" + to_string(e->lhs, fields) + " " + cmp_op_name(e->cmp_op()) +
+             " " + to_string(e->rhs, fields) + ")";
+    case ExprKind::kBool:
+      return "(" + to_string(e->lhs, fields) +
+             (e->bool_op() == BoolOp::kAnd ? " && " : " || ") +
+             to_string(e->rhs, fields) + ")";
+    case ExprKind::kNot:
+      return "~" + to_string(e->lhs, fields);
+  }
+  return "?";
+}
+
+}  // namespace meissa::ir

@@ -1,0 +1,34 @@
+#include "ir/field.hpp"
+
+namespace meissa::ir {
+
+FieldId FieldTable::intern(std::string_view name, int width) {
+  util::check_width(width);
+  auto it = by_name_.find(std::string(name));
+  if (it != by_name_.end()) {
+    if (entries_[it->second].width != width) {
+      throw util::ValidationError("field '" + std::string(name) +
+                                  "' re-declared with different width");
+    }
+    return it->second;
+  }
+  FieldId id = static_cast<FieldId>(entries_.size());
+  entries_.push_back({std::string(name), width});
+  by_name_.emplace(entries_.back().name, id);
+  return id;
+}
+
+FieldId FieldTable::find(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? kInvalidField : it->second;
+}
+
+FieldId FieldTable::require(std::string_view name) const {
+  FieldId id = find(name);
+  if (id == kInvalidField) {
+    throw util::ValidationError("unknown field '" + std::string(name) + "'");
+  }
+  return id;
+}
+
+}  // namespace meissa::ir

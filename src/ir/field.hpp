@@ -1,0 +1,51 @@
+// Header-field variables (the `field_id` of the paper's CFG syntax, Fig. 3).
+//
+// Every variable a data-plane program reads or writes — packet header
+// fields, per-pipeline header validity bits, intrinsic metadata, registers
+// with constant indices (modeled as `REG:<name>-POS:<i>` per paper §4) —
+// is interned into a FieldTable and referenced by a dense FieldId.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/bits.hpp"
+#include "util/error.hpp"
+
+namespace meissa::ir {
+
+using FieldId = uint32_t;
+inline constexpr FieldId kInvalidField = ~FieldId{0};
+
+// Interning table mapping field names to ids and recording bit widths.
+// Field names follow the dotted convention of the paper: "hdr.ipv4.dst_addr",
+// "pkt.ig_port", "hdr.ipv4.$valid@ingress0".
+class FieldTable {
+ public:
+  // Interns `name` with the given bit width. Re-interning an existing name
+  // with the same width returns the existing id; a different width throws.
+  FieldId intern(std::string_view name, int width);
+
+  // Returns the id for `name`, or kInvalidField when absent.
+  FieldId find(std::string_view name) const;
+
+  // Like find(), but throws ValidationError when absent.
+  FieldId require(std::string_view name) const;
+
+  const std::string& name(FieldId id) const { return entries_.at(id).name; }
+  int width(FieldId id) const { return entries_.at(id).width; }
+  size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string name;
+    int width;
+  };
+  std::vector<Entry> entries_;
+  std::unordered_map<std::string, FieldId> by_name_;
+};
+
+}  // namespace meissa::ir

@@ -1,0 +1,50 @@
+// CFG statements (Fig. 3): an action `field <- aexp` or a predicate
+// `assume bexp`, plus the shared Context that owns fields and expressions.
+#pragma once
+
+#include <memory>
+
+#include "ir/expr.hpp"
+#include "ir/field.hpp"
+
+namespace meissa::ir {
+
+enum class StmtKind : uint8_t {
+  kAssign,  // action node: field <- aexp
+  kAssume,  // predicate node: assume bexp
+  kNop,     // structural node (pipeline entry/exit, join points)
+};
+
+struct Stmt {
+  StmtKind kind = StmtKind::kNop;
+  FieldId target = kInvalidField;  // kAssign
+  ExprRef expr = nullptr;          // kAssign: aexp; kAssume: bexp
+
+  static Stmt assign(FieldId target, ExprRef aexp) {
+    return Stmt{StmtKind::kAssign, target, aexp};
+  }
+  static Stmt assume(ExprRef bexp) {
+    return Stmt{StmtKind::kAssume, kInvalidField, bexp};
+  }
+  static Stmt nop() { return Stmt{}; }
+};
+
+// The expression universe for one program under test. Owns the field table
+// and the expression arena; every module takes a Context& and holds
+// non-owning ExprRefs into it.
+struct Context {
+  FieldTable fields;
+  ExprArena arena;
+  // Monotonic counter for fresh "$free.N" symbols (unpinned hash results);
+  // shared so independent engine runs never reuse a symbol name.
+  uint64_t fresh_counter = 0;
+
+  // Convenience: intern a field and build its variable expression.
+  ExprRef field_var(std::string_view name, int width) {
+    return arena.field(fields.intern(name, width), width);
+  }
+  // Variable expression for an already-interned field.
+  ExprRef var(FieldId id) { return arena.field(id, fields.width(id)); }
+};
+
+}  // namespace meissa::ir

@@ -1,0 +1,725 @@
+#include "p4/dsl.hpp"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace meissa::p4 {
+
+namespace {
+
+// ------------------------------------------------------------------ Lexer
+
+enum class Tok : uint8_t { kIdent, kNumber, kPunct, kEnd };
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;
+  uint64_t number = 0;
+  int line = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) { advance(); }
+
+  const Token& peek() const { return tok_; }
+  Token take() {
+    Token t = tok_;
+    advance();
+    return t;
+  }
+  int line() const { return tok_.line; }
+
+ private:
+  void advance() {
+    skip_space_and_comments();
+    tok_ = Token{};
+    tok_.line = line_;
+    if (pos_ >= src_.size()) {
+      tok_.kind = Tok::kEnd;
+      return;
+    }
+    char c = src_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$') {
+      size_t start = pos_;
+      while (pos_ < src_.size() && ident_char(src_[pos_])) ++pos_;
+      tok_.kind = Tok::kIdent;
+      tok_.text = std::string(src_.substr(start, pos_ - start));
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = pos_;
+      int base = 10;
+      if (c == '0' && pos_ + 1 < src_.size() &&
+          (src_[pos_ + 1] == 'x' || src_[pos_ + 1] == 'X')) {
+        base = 16;
+        pos_ += 2;
+      }
+      while (pos_ < src_.size() &&
+             std::isxdigit(static_cast<unsigned char>(src_[pos_]))) {
+        ++pos_;
+      }
+      tok_.kind = Tok::kNumber;
+      std::string text(src_.substr(start, pos_ - start));
+      tok_.text = text;
+      tok_.number = std::stoull(base == 16 ? text.substr(2) : text, nullptr,
+                                base);
+      return;
+    }
+    // Multi-character punctuation first.
+    static const char* multi[] = {"->", "==", "!=", "<=", ">=", "&&",
+                                  "||", "<<", ">>", ".."};
+    for (const char* m : multi) {
+      if (src_.substr(pos_).rfind(m, 0) == 0) {
+        tok_.kind = Tok::kPunct;
+        tok_.text = m;
+        pos_ += 2;
+        return;
+      }
+    }
+    tok_.kind = Tok::kPunct;
+    tok_.text = std::string(1, c);
+    ++pos_;
+  }
+
+  bool ident_char(char c) const {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$') {
+      return true;
+    }
+    // A dot continues an identifier only when followed by another
+    // identifier character (so `0..5` and `a . b` don't glue).
+    if (c == '.') {
+      size_t next = pos_ + 1;
+      // find position of this '.' relative to current scan
+      return next < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[next])) ||
+              src_[next] == '_' || src_[next] == '$');
+    }
+    return false;
+  }
+
+  void skip_space_and_comments() {
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#' ||
+                 (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '/')) {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  Token tok_;
+};
+
+// ----------------------------------------------------------------- Parser
+
+class M4Parser {
+ public:
+  M4Parser(std::string_view src, ir::Context& ctx)
+      : lex_(src), ctx_(ctx), builder_(ctx, "m4") {}
+
+  ParsedUnit parse() {
+    // `program <name>;`
+    expect_ident("program");
+    prog_name_ = expect(Tok::kIdent).text;
+    expect_punct(";");
+    while (lex_.peek().kind != Tok::kEnd) {
+      const std::string& kw = expect(Tok::kIdent).text;
+      if (kw == "header") {
+        parse_header();
+      } else if (kw == "metadata") {
+        parse_metadata();
+      } else if (kw == "register") {
+        parse_register();
+      } else if (kw == "action") {
+        parse_action();
+      } else if (kw == "table") {
+        parse_table();
+      } else if (kw == "pipeline") {
+        parse_pipeline();
+      } else if (kw == "topology") {
+        parse_topology();
+      } else if (kw == "rules") {
+        parse_rules();
+      } else {
+        fail("unexpected top-level keyword '" + kw + "'");
+      }
+    }
+    ParsedUnit unit;
+    unit.dp.program = builder_.build();
+    unit.dp.program.name = prog_name_;
+    unit.dp.topology = std::move(topology_);
+    validate(unit.dp, ctx_);
+    unit.rules = std::move(rules_);
+    validate_rules(unit.dp.program, unit.rules);
+    return unit;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    throw util::ParseError(what, lex_.line());
+  }
+
+  Token expect(Tok kind) {
+    if (lex_.peek().kind != kind) {
+      fail("expected " + std::string(kind == Tok::kIdent ? "identifier"
+                                     : kind == Tok::kNumber ? "number"
+                                                            : "symbol") +
+           ", got '" + lex_.peek().text + "'");
+    }
+    return lex_.take();
+  }
+
+  void expect_punct(const std::string& p) {
+    if (lex_.peek().kind != Tok::kPunct || lex_.peek().text != p) {
+      fail("expected '" + p + "', got '" + lex_.peek().text + "'");
+    }
+    lex_.take();
+  }
+
+  void expect_ident(const std::string& word) {
+    if (lex_.peek().kind != Tok::kIdent || lex_.peek().text != word) {
+      fail("expected '" + word + "', got '" + lex_.peek().text + "'");
+    }
+    lex_.take();
+  }
+
+  bool accept_punct(const std::string& p) {
+    if (lex_.peek().kind == Tok::kPunct && lex_.peek().text == p) {
+      lex_.take();
+      return true;
+    }
+    return false;
+  }
+
+  bool accept_ident(const std::string& word) {
+    if (lex_.peek().kind == Tok::kIdent && lex_.peek().text == word) {
+      lex_.take();
+      return true;
+    }
+    return false;
+  }
+
+  // ----- declarations -----------------------------------------------------
+
+  void parse_header() {
+    std::string name = expect(Tok::kIdent).text;
+    expect_punct("{");
+    std::vector<FieldDef> fields;
+    while (!accept_punct("}")) {
+      std::string f = expect(Tok::kIdent).text;
+      expect_punct(":");
+      fields.push_back({f, static_cast<int>(expect(Tok::kNumber).number)});
+      expect_punct(";");
+    }
+    builder_.header(std::move(name), std::move(fields));
+  }
+
+  void parse_metadata() {
+    std::string name = expect(Tok::kIdent).text;
+    expect_punct(":");
+    int width = static_cast<int>(expect(Tok::kNumber).number);
+    expect_punct(";");
+    builder_.metadata_field(std::move(name), width);
+  }
+
+  void parse_register() {
+    std::string name = expect(Tok::kIdent).text;
+    expect_punct(":");
+    int width = static_cast<int>(expect(Tok::kNumber).number);
+    expect_punct("[");
+    size_t cells = expect(Tok::kNumber).number;
+    expect_punct("]");
+    expect_punct(";");
+    builder_.register_array(std::move(name), width, cells);
+  }
+
+  void parse_action() {
+    ActionDef a;
+    a.name = expect(Tok::kIdent).text;
+    expect_punct("(");
+    if (!accept_punct(")")) {
+      do {
+        std::string p = expect(Tok::kIdent).text;
+        expect_punct(":");
+        a.params.push_back(
+            {p, static_cast<int>(expect(Tok::kNumber).number)});
+      } while (accept_punct(","));
+      expect_punct(")");
+    }
+    // Params must be interned before the body references them.
+    current_action_ = &a;
+    for (const FieldDef& p : a.params) {
+      ctx_.fields.intern(param_field(a.name, p.name), p.width);
+    }
+    expect_punct("{");
+    while (!accept_punct("}")) {
+      a.ops.push_back(parse_stmt());
+    }
+    current_action_ = nullptr;
+    builder_.action(std::move(a));
+  }
+
+  ActionOp parse_stmt() {
+    std::string head = expect(Tok::kIdent).text;
+    if (head == "set_valid" || head == "set_invalid") {
+      expect_punct("(");
+      std::string h = expect(Tok::kIdent).text;
+      expect_punct(")");
+      expect_punct(";");
+      return head == "set_valid" ? ActionOp::set_valid(std::move(h))
+                                 : ActionOp::set_invalid(std::move(h));
+    }
+    expect_punct("=");
+    // Hash forms: dest = crc16(f, ...);
+    if (lex_.peek().kind == Tok::kIdent &&
+        (lex_.peek().text == "crc16" || lex_.peek().text == "crc32" ||
+         lex_.peek().text == "csum16" || lex_.peek().text == "xorfold")) {
+      std::string algo = lex_.take().text;
+      expect_punct("(");
+      std::vector<std::string> keys;
+      do {
+        keys.push_back(expect(Tok::kIdent).text);
+      } while (accept_punct(","));
+      expect_punct(")");
+      expect_punct(";");
+      HashAlgo h = algo == "crc16"    ? HashAlgo::kCrc16
+                   : algo == "crc32"  ? HashAlgo::kCrc32
+                   : algo == "csum16" ? HashAlgo::kCsum16
+                                      : HashAlgo::kIdentityXor;
+      return ActionOp::hash(std::move(head), h, std::move(keys));
+    }
+    ir::ExprRef value = parse_expr();
+    expect_punct(";");
+    std::optional<int> w = field_width(head);
+    if (!w) fail("assignment to unknown field '" + head + "'");
+    if (value->is_bool()) fail("boolean value assigned to '" + head + "'");
+    if (value->width != *w) {
+      fail("width mismatch assigning to '" + head + "' (" +
+           std::to_string(value->width) + " vs " + std::to_string(*w) + ")");
+    }
+    return ActionOp::assign(std::move(head), value);
+  }
+
+  // ----- expressions (precedence climbing) --------------------------------
+
+  std::optional<int> field_width(const std::string& name) {
+    // Builder's program is still being built; consult its declarations.
+    if (current_action_ != nullptr) {
+      for (const FieldDef& p : current_action_->params) {
+        if (p.name == name) return p.width;
+      }
+    }
+    // Temporarily materialize: ProgramBuilder keeps declarations inside;
+    // we track widths through the context (fields are interned eagerly).
+    ir::FieldId f = ctx_.fields.find(name);
+    if (f != ir::kInvalidField) return ctx_.fields.width(f);
+    if (name == kIngressPort || name == kEgressSpec) return kPortWidth;
+    if (name == kDropFlag) return 1;
+    return std::nullopt;
+  }
+
+  ir::ExprRef leaf_for(const std::string& name) {
+    if (current_action_ != nullptr) {
+      for (const FieldDef& p : current_action_->params) {
+        if (p.name == name) {
+          return builder_.arg(current_action_->name, p.name, p.width);
+        }
+      }
+    }
+    std::optional<int> w = field_width(name);
+    if (!w) fail("unknown field '" + name + "' in expression");
+    return ctx_.field_var(name, *w);
+  }
+
+  ir::ExprRef parse_primary(int width_hint) {
+    if (accept_punct("(")) {
+      ir::ExprRef e = parse_expr(width_hint);
+      expect_punct(")");
+      return e;
+    }
+    if (accept_punct("!")) {
+      ir::ExprRef e = parse_primary(width_hint);
+      if (!e->is_bool()) fail("'!' applied to a non-boolean");
+      return ctx_.arena.bnot(e);
+    }
+    if (lex_.peek().kind == Tok::kNumber) {
+      Token t = lex_.take();
+      // Constant widths come from context (the other operand) or default
+      // to the smallest width that fits.
+      int w = width_hint;
+      if (w <= 0) {
+        w = 1;
+        while (!util::fits(t.number, w)) ++w;
+      }
+      if (!util::fits(t.number, w)) {
+        fail("constant " + t.text + " does not fit in " + std::to_string(w) +
+             " bits");
+      }
+      return ctx_.arena.constant(t.number, w);
+    }
+    Token t = expect(Tok::kIdent);
+    if (t.text == "valid" && accept_punct("(")) {
+      std::string h = expect(Tok::kIdent).text;
+      expect_punct(")");
+      return builder_.is_valid(h);
+    }
+    return leaf_for(t.text);
+  }
+
+  // Binary operator precedence (higher binds tighter).
+  int precedence(const std::string& op) {
+    if (op == "||") return 1;
+    if (op == "&&") return 2;
+    if (op == "==" || op == "!=" || op == "<" || op == "<=" || op == ">" ||
+        op == ">=") {
+      return 3;
+    }
+    if (op == "|") return 4;
+    if (op == "^") return 5;
+    if (op == "&") return 6;
+    if (op == "<<" || op == ">>") return 7;
+    if (op == "+" || op == "-") return 8;
+    return -1;
+  }
+
+  ir::ExprRef combine(const std::string& op, ir::ExprRef a, ir::ExprRef b) {
+    auto need_arith = [&](ir::ExprRef x) {
+      if (x->is_bool()) fail("boolean operand to '" + op + "'");
+    };
+    auto need_bool = [&](ir::ExprRef x) {
+      if (!x->is_bool()) fail("non-boolean operand to '" + op + "'");
+    };
+    if (op == "||" || op == "&&") {
+      need_bool(a);
+      need_bool(b);
+      return op == "||" ? ctx_.arena.bor(a, b) : ctx_.arena.band(a, b);
+    }
+    need_arith(a);
+    need_arith(b);
+    if (a->width != b->width) {
+      fail("operand width mismatch for '" + op + "'");
+    }
+    if (op == "==") return ctx_.arena.cmp(ir::CmpOp::kEq, a, b);
+    if (op == "!=") return ctx_.arena.cmp(ir::CmpOp::kNe, a, b);
+    if (op == "<") return ctx_.arena.cmp(ir::CmpOp::kLt, a, b);
+    if (op == "<=") return ctx_.arena.cmp(ir::CmpOp::kLe, a, b);
+    if (op == ">") return ctx_.arena.cmp(ir::CmpOp::kGt, a, b);
+    if (op == ">=") return ctx_.arena.cmp(ir::CmpOp::kGe, a, b);
+    ir::ArithOp aop;
+    if (op == "+") aop = ir::ArithOp::kAdd;
+    else if (op == "-") aop = ir::ArithOp::kSub;
+    else if (op == "&") aop = ir::ArithOp::kAnd;
+    else if (op == "|") aop = ir::ArithOp::kOr;
+    else if (op == "^") aop = ir::ArithOp::kXor;
+    else if (op == "<<") aop = ir::ArithOp::kShl;
+    else if (op == ">>") aop = ir::ArithOp::kShr;
+    else fail("unknown operator '" + op + "'");
+    return ctx_.arena.arith(aop, a, b);
+  }
+
+  // Peeks ahead to find a width hint when the left operand is a number
+  // (e.g. `5 < hdr.ipv4.ttl` — rare, but keep constants flexible).
+  ir::ExprRef parse_expr(int width_hint = 0) {
+    return parse_binary(parse_primary(width_hint), 0, width_hint);
+  }
+
+  ir::ExprRef parse_binary(ir::ExprRef lhs, int min_prec, int width_hint) {
+    while (lex_.peek().kind == Tok::kPunct &&
+           precedence(lex_.peek().text) >= std::max(min_prec, 1)) {
+      std::string op = lex_.take().text;
+      int prec = precedence(op);
+      int hint = lhs->is_bool() ? width_hint : lhs->width;
+      ir::ExprRef rhs = parse_primary(hint);
+      while (lex_.peek().kind == Tok::kPunct &&
+             precedence(lex_.peek().text) > prec) {
+        rhs = parse_binary(rhs, precedence(lex_.peek().text), hint);
+      }
+      lhs = combine(op, lhs, rhs);
+    }
+    return lhs;
+  }
+
+  // ----- tables -------------------------------------------------------------
+
+  void parse_table() {
+    TableDef t;
+    t.name = expect(Tok::kIdent).text;
+    expect_punct("{");
+    while (!accept_punct("}")) {
+      std::string kw = expect(Tok::kIdent).text;
+      if (kw == "key") {
+        do {
+          std::string f = expect(Tok::kIdent).text;
+          expect_punct(":");
+          std::string kind = expect(Tok::kIdent).text;
+          MatchKind mk;
+          if (kind == "exact") mk = MatchKind::kExact;
+          else if (kind == "ternary") mk = MatchKind::kTernary;
+          else if (kind == "lpm") mk = MatchKind::kLpm;
+          else if (kind == "range") mk = MatchKind::kRange;
+          else fail("unknown match kind '" + kind + "'");
+          t.keys.push_back({std::move(f), mk});
+        } while (accept_punct(","));
+        expect_punct(";");
+      } else if (kw == "actions") {
+        do {
+          t.actions.push_back(expect(Tok::kIdent).text);
+        } while (accept_punct(","));
+        expect_punct(";");
+      } else if (kw == "default") {
+        t.default_action = expect(Tok::kIdent).text;
+        expect_punct("(");
+        if (!accept_punct(")")) {
+          do {
+            t.default_args.push_back(expect(Tok::kNumber).number);
+          } while (accept_punct(","));
+          expect_punct(")");
+        }
+        expect_punct(";");
+      } else {
+        fail("unexpected table clause '" + kw + "'");
+      }
+    }
+    builder_.table(std::move(t));
+  }
+
+  // ----- pipelines ----------------------------------------------------------
+
+  void parse_pipeline() {
+    PipelineDef p;
+    p.name = expect(Tok::kIdent).text;
+    expect_punct("{");
+    while (!accept_punct("}")) {
+      std::string kw = expect(Tok::kIdent).text;
+      if (kw == "parser") {
+        parse_parser(p.parser);
+      } else if (kw == "control") {
+        expect_punct("{");
+        p.control = parse_block();
+      } else if (kw == "deparser") {
+        parse_deparser(p.deparser);
+      } else {
+        fail("unexpected pipeline section '" + kw + "'");
+      }
+    }
+    builder_.pipeline(std::move(p));
+  }
+
+  void parse_parser(p4::Parser& parser) {
+    expect_punct("{");
+    bool first = true;
+    while (!accept_punct("}")) {
+      expect_ident("state");
+      ParserState s;
+      s.name = expect(Tok::kIdent).text;
+      if (first) {
+        parser.start = s.name;
+        first = false;
+      }
+      expect_punct("{");
+      while (!accept_punct("}")) {
+        std::string kw = expect(Tok::kIdent).text;
+        if (kw == "extract") {
+          do {
+            s.extracts.push_back(expect(Tok::kIdent).text);
+          } while (accept_punct(","));
+          expect_punct(";");
+        } else if (kw == "goto") {
+          s.default_next = expect(Tok::kIdent).text;
+          expect_punct(";");
+        } else if (kw == "select") {
+          s.select_field = expect(Tok::kIdent).text;
+          std::optional<int> w = field_width(s.select_field);
+          if (!w) fail("select on unknown field '" + s.select_field + "'");
+          expect_punct("{");
+          while (!accept_punct("}")) {
+            if (accept_ident("default")) {
+              expect_punct("->");
+              s.default_next = expect(Tok::kIdent).text;
+              expect_punct(";");
+              continue;
+            }
+            ParserTransition tr;
+            tr.value = expect(Tok::kNumber).number;
+            tr.mask = util::mask_bits(*w);
+            if (accept_punct("/")) tr.mask = expect(Tok::kNumber).number;
+            expect_punct("->");
+            tr.next = expect(Tok::kIdent).text;
+            expect_punct(";");
+            s.cases.push_back(tr);
+          }
+        } else {
+          fail("unexpected parser clause '" + kw + "'");
+        }
+      }
+      parser.states.push_back(std::move(s));
+    }
+  }
+
+  ControlBlock parse_block() {
+    ControlBlock b;
+    while (!accept_punct("}")) {
+      if (accept_ident("apply")) {
+        b.stmts.push_back(ControlStmt::apply(expect(Tok::kIdent).text));
+        expect_punct(";");
+      } else if (accept_ident("if")) {
+        expect_punct("(");
+        ir::ExprRef cond = parse_expr();
+        if (!cond->is_bool()) fail("if-condition must be boolean");
+        expect_punct(")");
+        expect_punct("{");
+        ControlBlock then_block = parse_block();
+        ControlBlock else_block;
+        if (accept_ident("else")) {
+          expect_punct("{");
+          else_block = parse_block();
+        }
+        b.stmts.push_back(ControlStmt::if_else(cond, std::move(then_block),
+                                               std::move(else_block)));
+      } else {
+        b.stmts.push_back(ControlStmt::inline_op(parse_stmt()));
+      }
+    }
+    return b;
+  }
+
+  void parse_deparser(Deparser& d) {
+    expect_punct("{");
+    while (!accept_punct("}")) {
+      std::string kw = expect(Tok::kIdent).text;
+      if (kw == "emit") {
+        do {
+          d.emit_order.push_back(expect(Tok::kIdent).text);
+        } while (accept_punct(","));
+        expect_punct(";");
+      } else if (kw == "checksum") {
+        ChecksumUpdate u;
+        u.dest = expect(Tok::kIdent).text;
+        expect_ident("over");
+        u.guard_header = expect(Tok::kIdent).text;
+        expect_punct("(");
+        do {
+          u.sources.push_back(expect(Tok::kIdent).text);
+        } while (accept_punct(","));
+        expect_punct(")");
+        expect_punct(";");
+        d.checksum_updates.push_back(std::move(u));
+      } else {
+        fail("unexpected deparser clause '" + kw + "'");
+      }
+    }
+  }
+
+  // ----- topology & rules -----------------------------------------------------
+
+  void parse_topology() {
+    expect_punct("{");
+    while (!accept_punct("}")) {
+      std::string kw = expect(Tok::kIdent).text;
+      if (kw == "instance") {
+        PipeInstance inst;
+        inst.name = expect(Tok::kIdent).text;
+        expect_punct("=");
+        inst.pipeline = expect(Tok::kIdent).text;
+        expect_punct("@");
+        expect_ident("switch");
+        inst.switch_id = static_cast<int>(expect(Tok::kNumber).number);
+        expect_punct(";");
+        topology_.instances.push_back(std::move(inst));
+      } else if (kw == "entry") {
+        EntryPoint e;
+        e.instance = expect(Tok::kIdent).text;
+        if (accept_ident("when")) e.guard = parse_expr();
+        expect_punct(";");
+        topology_.entries.push_back(std::move(e));
+      } else if (kw == "edge") {
+        TopoEdge e;
+        e.from = expect(Tok::kIdent).text;
+        expect_punct("->");
+        e.to = expect(Tok::kIdent).text;
+        if (accept_ident("when")) e.guard = parse_expr();
+        expect_punct(";");
+        topology_.edges.push_back(std::move(e));
+      } else {
+        fail("unexpected topology clause '" + kw + "'");
+      }
+    }
+  }
+
+  void parse_rules() {
+    expect_punct("{");
+    while (!accept_punct("}")) {
+      TableEntry e;
+      e.table = expect(Tok::kIdent).text;
+      expect_punct(":");
+      do {
+        std::string kind = expect(Tok::kIdent).text;
+        KeyMatch m;
+        if (kind == "exact") {
+          m = KeyMatch::exact(expect(Tok::kNumber).number);
+        } else if (kind == "ternary") {
+          uint64_t v = expect(Tok::kNumber).number;
+          expect_punct("/");
+          m = KeyMatch::ternary(v, expect(Tok::kNumber).number);
+        } else if (kind == "lpm") {
+          uint64_t v = expect(Tok::kNumber).number;
+          expect_punct("/");
+          m = KeyMatch::lpm(v, static_cast<int>(expect(Tok::kNumber).number));
+        } else if (kind == "range") {
+          uint64_t lo = expect(Tok::kNumber).number;
+          expect_punct("..");
+          m = KeyMatch::range(lo, expect(Tok::kNumber).number);
+        } else if (kind == "any") {
+          m = KeyMatch::wildcard();
+        } else {
+          fail("unknown match '" + kind + "'");
+        }
+        e.matches.push_back(m);
+      } while (accept_punct(","));
+      if (accept_ident("prio")) {
+        e.priority = static_cast<int>(expect(Tok::kNumber).number);
+      }
+      expect_punct("->");
+      e.action = expect(Tok::kIdent).text;
+      expect_punct("(");
+      if (!accept_punct(")")) {
+        do {
+          e.args.push_back(expect(Tok::kNumber).number);
+        } while (accept_punct(","));
+        expect_punct(")");
+      }
+      expect_punct(";");
+      rules_.add(std::move(e));
+    }
+  }
+
+  Lexer lex_;
+  ir::Context& ctx_;
+  ProgramBuilder builder_;
+  std::string prog_name_;
+  ActionDef* current_action_ = nullptr;
+  Topology topology_;
+  RuleSet rules_;
+};
+
+}  // namespace
+
+ParsedUnit parse_m4(std::string_view source, ir::Context& ctx) {
+  return M4Parser(source, ctx).parse();
+}
+
+}  // namespace meissa::p4

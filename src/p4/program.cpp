@@ -1,0 +1,424 @@
+#include "p4/program.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace meissa::p4 {
+
+// ---------------------------------------------------------------- Headers
+
+int HeaderDef::bit_size() const {
+  int bits = 0;
+  for (const FieldDef& f : fields) bits += f.width;
+  return bits;
+}
+
+const FieldDef* HeaderDef::find_field(std::string_view field) const {
+  for (const FieldDef& f : fields) {
+    if (f.name == field) return &f;
+  }
+  return nullptr;
+}
+
+std::string content_field(std::string_view header, std::string_view field) {
+  return "hdr." + std::string(header) + "." + std::string(field);
+}
+
+std::string validity_field(std::string_view header) {
+  return "hdr." + std::string(header) + ".$valid";
+}
+
+std::string validity_field_at(std::string_view header,
+                              std::string_view instance) {
+  return validity_field(header) + "@" + std::string(instance);
+}
+
+std::string param_field(std::string_view action, std::string_view param) {
+  return "$arg." + std::string(action) + "." + std::string(param);
+}
+
+std::string register_field(std::string_view reg, uint64_t index) {
+  return "REG:" + std::string(reg) + "-POS:" + std::to_string(index);
+}
+
+// ----------------------------------------------------------------- Hashes
+
+uint64_t compute_hash(HashAlgo algo, const std::vector<uint64_t>& keys,
+                      const std::vector<int>& key_widths, int out_width) {
+  util::check(keys.size() == key_widths.size(), "compute_hash: arity");
+  // Serialize keys MSB-first into a byte stream, then hash the stream.
+  std::vector<uint8_t> bytes;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    int w = key_widths[i];
+    int nbytes = (w + 7) / 8;
+    for (int b = nbytes - 1; b >= 0; --b) {
+      bytes.push_back(static_cast<uint8_t>(keys[i] >> (8 * b)));
+    }
+  }
+  uint64_t h = 0;
+  switch (algo) {
+    case HashAlgo::kCrc16: {
+      // CRC-16/CCITT-FALSE.
+      uint16_t crc = 0xffff;
+      for (uint8_t byte : bytes) {
+        crc ^= static_cast<uint16_t>(byte) << 8;
+        for (int i = 0; i < 8; ++i) {
+          crc = (crc & 0x8000) ? static_cast<uint16_t>((crc << 1) ^ 0x1021)
+                               : static_cast<uint16_t>(crc << 1);
+        }
+      }
+      h = crc;
+      break;
+    }
+    case HashAlgo::kCrc32: {
+      uint32_t crc = 0xffffffffu;
+      for (uint8_t byte : bytes) {
+        crc ^= byte;
+        for (int i = 0; i < 8; ++i) {
+          crc = (crc & 1) ? (crc >> 1) ^ 0xedb88320u : crc >> 1;
+        }
+      }
+      h = ~crc;
+      break;
+    }
+    case HashAlgo::kCsum16: {
+      // Ones-complement sum of 16-bit big-endian words.
+      uint64_t sum = 0;
+      for (size_t i = 0; i < bytes.size(); i += 2) {
+        uint16_t word = static_cast<uint16_t>(bytes[i]) << 8;
+        if (i + 1 < bytes.size()) word |= bytes[i + 1];
+        sum += word;
+      }
+      while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+      h = ~sum & 0xffff;
+      break;
+    }
+    case HashAlgo::kIdentityXor: {
+      for (size_t i = 0; i < keys.size(); ++i) h ^= keys[i];
+      break;
+    }
+  }
+  return util::truncate(h, out_width);
+}
+
+// ---------------------------------------------------------------- Actions
+
+ActionOp ActionOp::assign(std::string dest, ir::ExprRef value) {
+  ActionOp op;
+  op.kind = Kind::kAssign;
+  op.dest = std::move(dest);
+  op.value = value;
+  return op;
+}
+
+ActionOp ActionOp::set_valid(std::string header) {
+  ActionOp op;
+  op.kind = Kind::kSetValid;
+  op.header = std::move(header);
+  return op;
+}
+
+ActionOp ActionOp::set_invalid(std::string header) {
+  ActionOp op;
+  op.kind = Kind::kSetInvalid;
+  op.header = std::move(header);
+  return op;
+}
+
+ActionOp ActionOp::hash(std::string dest, HashAlgo algo,
+                        std::vector<std::string> keys) {
+  ActionOp op;
+  op.kind = Kind::kHash;
+  op.dest = std::move(dest);
+  op.algo = algo;
+  op.hash_keys = std::move(keys);
+  return op;
+}
+
+// --------------------------------------------------------------- Controls
+
+ControlStmt ControlStmt::apply(std::string table) {
+  ControlStmt s;
+  s.kind = Kind::kApply;
+  s.table = std::move(table);
+  return s;
+}
+
+ControlStmt ControlStmt::if_else(ir::ExprRef cond, ControlBlock then_block,
+                                 ControlBlock else_block) {
+  ControlStmt s;
+  s.kind = Kind::kIf;
+  s.cond = cond;
+  s.then_block = std::move(then_block);
+  s.else_block = std::move(else_block);
+  return s;
+}
+
+ControlStmt ControlStmt::inline_op(ActionOp op) {
+  ControlStmt s;
+  s.kind = Kind::kOp;
+  s.op = std::move(op);
+  return s;
+}
+
+// ---------------------------------------------------------------- Program
+
+const ParserState* Parser::find_state(std::string_view name) const {
+  for (const ParserState& s : states) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+const HeaderDef* Program::find_header(std::string_view name) const {
+  for (const HeaderDef& h : headers) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+const ActionDef* Program::find_action(std::string_view name) const {
+  for (const ActionDef& a : actions) {
+    if (a.name == name) return &a;
+  }
+  return nullptr;
+}
+
+const TableDef* Program::find_table(std::string_view name) const {
+  for (const TableDef& t : tables) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+const PipelineDef* Program::find_pipeline(std::string_view name) const {
+  for (const PipelineDef& p : pipelines) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+std::optional<int> Program::field_width(std::string_view full_name) const {
+  // Strip an instance qualifier from validity fields.
+  std::string_view base = full_name;
+  size_t at = base.find('@');
+  if (at != std::string_view::npos) base = base.substr(0, at);
+
+  if (util::starts_with(base, "hdr.")) {
+    std::string_view rest = base.substr(4);
+    size_t dot = rest.find('.');
+    if (dot == std::string_view::npos) return std::nullopt;
+    std::string_view hname = rest.substr(0, dot);
+    std::string_view fname = rest.substr(dot + 1);
+    const HeaderDef* h = find_header(hname);
+    if (h == nullptr) return std::nullopt;
+    if (fname == "$valid") return 1;
+    const FieldDef* f = h->find_field(fname);
+    if (f == nullptr) return std::nullopt;
+    return f->width;
+  }
+  for (const FieldDef& f : metadata) {
+    if (f.name == base) return f.width;
+  }
+  for (const FieldDef& f : registers) {
+    if (f.name == base) return f.width;
+  }
+  if (base == kIngressPort || base == kEgressSpec) return kPortWidth;
+  if (base == kDropFlag) return 1;
+  return std::nullopt;
+}
+
+namespace {
+
+size_t control_loc(const ControlBlock& b) {
+  size_t n = 0;
+  for (const ControlStmt& s : b.stmts) {
+    switch (s.kind) {
+      case ControlStmt::Kind::kApply:
+      case ControlStmt::Kind::kOp:
+        n += 1;
+        break;
+      case ControlStmt::Kind::kIf:
+        n += 2 + control_loc(s.then_block) + control_loc(s.else_block);
+        break;
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+size_t Program::loc() const {
+  size_t n = 0;
+  for (const HeaderDef& h : headers) n += 2 + h.fields.size();
+  n += metadata.size() + registers.size();
+  for (const ActionDef& a : actions) n += 2 + a.ops.size();
+  for (const TableDef& t : tables) n += 4 + t.keys.size() + t.actions.size();
+  for (const PipelineDef& p : pipelines) {
+    for (const ParserState& s : p.parser.states) {
+      n += 2 + s.extracts.size() + s.cases.size();
+    }
+    n += 2 + control_loc(p.control);
+    n += 1 + p.deparser.emit_order.size() +
+         3 * p.deparser.checksum_updates.size();
+  }
+  return n;
+}
+
+// --------------------------------------------------------------- Topology
+
+const PipeInstance* Topology::find_instance(std::string_view name) const {
+  for (const PipeInstance& i : instances) {
+    if (i.name == name) return &i;
+  }
+  return nullptr;
+}
+
+std::vector<const TopoEdge*> Topology::edges_from(std::string_view name) const {
+  std::vector<const TopoEdge*> out;
+  for (const TopoEdge& e : edges) {
+    if (e.from == name) out.push_back(&e);
+  }
+  return out;
+}
+
+int Topology::num_switches() const {
+  int max_id = -1;
+  for (const PipeInstance& i : instances) max_id = std::max(max_id, i.switch_id);
+  return max_id + 1;
+}
+
+std::vector<std::string> Topology::topo_order() const {
+  std::unordered_map<std::string, int> indegree;
+  for (const PipeInstance& i : instances) indegree[i.name] = 0;
+  for (const TopoEdge& e : edges) {
+    auto it = indegree.find(e.to);
+    util::check(it != indegree.end(), "topo edge to unknown instance");
+    ++it->second;
+  }
+  std::vector<std::string> order;
+  std::vector<std::string> ready;
+  // Seed with zero-indegree instances, preserving declaration order for
+  // deterministic output.
+  for (const PipeInstance& i : instances) {
+    if (indegree[i.name] == 0) ready.push_back(i.name);
+  }
+  while (!ready.empty()) {
+    std::string cur = ready.front();
+    ready.erase(ready.begin());
+    order.push_back(cur);
+    for (const TopoEdge& e : edges) {
+      if (e.from != cur) continue;
+      if (--indegree[e.to] == 0) ready.push_back(e.to);
+    }
+  }
+  if (order.size() != instances.size()) {
+    throw util::ValidationError(
+        "pipeline topology has a cycle; unroll recirculation into distinct "
+        "instances (paper §4)");
+  }
+  return order;
+}
+
+// ------------------------------------------------------------ Builder API
+
+ProgramBuilder::ProgramBuilder(ir::Context& ctx, std::string name)
+    : ctx_(ctx) {
+  prog_.name = std::move(name);
+}
+
+ProgramBuilder& ProgramBuilder::header(std::string name,
+                                       std::vector<FieldDef> fields) {
+  prog_.headers.push_back({std::move(name), std::move(fields)});
+  const HeaderDef& h = prog_.headers.back();
+  for (const FieldDef& f : h.fields) {
+    ctx_.fields.intern(content_field(h.name, f.name), f.width);
+  }
+  ctx_.fields.intern(validity_field(h.name), 1);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::metadata_field(std::string full_name,
+                                               int width) {
+  ctx_.fields.intern(full_name, width);
+  prog_.metadata.push_back({std::move(full_name), width});
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::register_array(std::string name, int width,
+                                               size_t cells) {
+  for (size_t i = 0; i < cells; ++i) {
+    std::string cell = register_field(name, i);
+    ctx_.fields.intern(cell, width);
+    prog_.registers.push_back({std::move(cell), width});
+  }
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::action(ActionDef a) {
+  for (const FieldDef& p : a.params) {
+    ctx_.fields.intern(param_field(a.name, p.name), p.width);
+  }
+  prog_.actions.push_back(std::move(a));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::table(TableDef t) {
+  prog_.tables.push_back(std::move(t));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::pipeline(PipelineDef p) {
+  prog_.pipelines.push_back(std::move(p));
+  return *this;
+}
+
+ir::ExprRef ProgramBuilder::var(std::string_view full_name) {
+  std::optional<int> w = prog_.field_width(full_name);
+  if (!w) {
+    throw util::ValidationError("var: undeclared field '" +
+                                std::string(full_name) + "'");
+  }
+  return ctx_.field_var(full_name, *w);
+}
+
+ir::ExprRef ProgramBuilder::arg(std::string_view action,
+                                std::string_view param, int width) {
+  return ctx_.field_var(param_field(action, param), width);
+}
+
+ir::ExprRef ProgramBuilder::is_valid(std::string_view header) {
+  ir::ExprRef v = ctx_.field_var(validity_field(header), 1);
+  return ctx_.arena.cmp(ir::CmpOp::kEq, v, ctx_.arena.constant(1, 1));
+}
+
+Program ProgramBuilder::build() {
+  intern_program_fields(prog_, ctx_);
+  validate(prog_, ctx_);
+  return std::move(prog_);
+}
+
+void intern_program_fields(const Program& prog, ir::Context& ctx) {
+  for (const HeaderDef& h : prog.headers) {
+    for (const FieldDef& f : h.fields) {
+      ctx.fields.intern(content_field(h.name, f.name), f.width);
+    }
+    ctx.fields.intern(validity_field(h.name), 1);
+  }
+  for (const FieldDef& f : prog.metadata) ctx.fields.intern(f.name, f.width);
+  for (const FieldDef& f : prog.registers) ctx.fields.intern(f.name, f.width);
+  for (const ActionDef& a : prog.actions) {
+    for (const FieldDef& p : a.params) {
+      ctx.fields.intern(param_field(a.name, p.name), p.width);
+    }
+  }
+  ctx.fields.intern(std::string(kIngressPort), kPortWidth);
+  ctx.fields.intern(std::string(kEgressSpec), kPortWidth);
+  ctx.fields.intern(std::string(kDropFlag), 1);
+}
+
+}  // namespace meissa::p4

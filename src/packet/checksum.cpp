@@ -1,0 +1,26 @@
+#include "packet/checksum.hpp"
+
+#include <cstddef>
+
+namespace meissa::packet {
+
+uint16_t ones_complement_sum(const std::vector<uint8_t>& bytes) {
+  uint64_t sum = 0;
+  for (size_t i = 0; i < bytes.size(); i += 2) {
+    uint16_t word = static_cast<uint16_t>(bytes[i]) << 8;
+    if (i + 1 < bytes.size()) word |= bytes[i + 1];
+    sum += word;
+  }
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<uint16_t>(sum);
+}
+
+uint16_t internet_checksum(const std::vector<uint8_t>& bytes) {
+  return static_cast<uint16_t>(~ones_complement_sum(bytes));
+}
+
+bool checksum_ok(const std::vector<uint8_t>& bytes) {
+  return ones_complement_sum(bytes) == 0xffff;
+}
+
+}  // namespace meissa::packet

@@ -1,0 +1,21 @@
+// Internet (RFC 1071) ones-complement checksum primitives, used by the
+// test driver's checker to validate checksum fields of captured packets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace meissa::packet {
+
+// Ones-complement sum of 16-bit big-endian words of `bytes` (odd tail
+// padded with zero), folded to 16 bits — NOT complemented.
+uint16_t ones_complement_sum(const std::vector<uint8_t>& bytes);
+
+// Full internet checksum: complement of the folded sum.
+uint16_t internet_checksum(const std::vector<uint8_t>& bytes);
+
+// True when `bytes` (which embed their checksum field) verify: the folded
+// sum over the whole range equals 0xffff.
+bool checksum_ok(const std::vector<uint8_t>& bytes);
+
+}  // namespace meissa::packet

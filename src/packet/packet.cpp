@@ -1,0 +1,134 @@
+#include "packet/packet.hpp"
+
+#include <sstream>
+
+#include "packet/wire.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace meissa::packet {
+
+uint64_t HeaderValues::field(const p4::HeaderDef& def,
+                             std::string_view name) const {
+  for (size_t i = 0; i < def.fields.size(); ++i) {
+    if (def.fields[i].name == name) return values.at(i);
+  }
+  throw util::ValidationError("no field '" + std::string(name) +
+                              "' in header '" + def.name + "'");
+}
+
+void HeaderValues::set_field(const p4::HeaderDef& def, std::string_view name,
+                             uint64_t v) {
+  for (size_t i = 0; i < def.fields.size(); ++i) {
+    if (def.fields[i].name == name) {
+      values.at(i) = util::truncate(v, def.fields[i].width);
+      return;
+    }
+  }
+  throw util::ValidationError("no field '" + std::string(name) +
+                              "' in header '" + def.name + "'");
+}
+
+const HeaderValues* Packet::find(std::string_view header) const {
+  for (const HeaderValues& h : headers) {
+    if (h.header == header) return &h;
+  }
+  return nullptr;
+}
+
+HeaderValues* Packet::find(std::string_view header) {
+  for (HeaderValues& h : headers) {
+    if (h.header == header) return &h;
+  }
+  return nullptr;
+}
+
+std::vector<uint8_t> serialize(const p4::Program& prog, const Packet& pkt) {
+  BitWriter w;
+  for (const HeaderValues& h : pkt.headers) {
+    const p4::HeaderDef* def = prog.find_header(h.header);
+    util::check(def != nullptr, "serialize: unknown header");
+    util::check(h.values.size() == def->fields.size(),
+                "serialize: field count mismatch");
+    for (size_t i = 0; i < def->fields.size(); ++i) {
+      w.put(h.values[i], def->fields[i].width);
+    }
+    util::check(w.byte_aligned(), "serialize: header not byte aligned");
+  }
+  w.put_bytes(pkt.payload);
+  return std::move(w).take();
+}
+
+std::optional<Packet> parse_as(const p4::Program& prog,
+                               const std::vector<std::string>& header_seq,
+                               const std::vector<uint8_t>& bytes) {
+  BitReader r(bytes);
+  Packet pkt;
+  for (const std::string& name : header_seq) {
+    const p4::HeaderDef* def = prog.find_header(name);
+    util::check(def != nullptr, "parse_as: unknown header");
+    HeaderValues h;
+    h.header = name;
+    for (const p4::FieldDef& f : def->fields) {
+      auto v = r.get(f.width);
+      if (!v) return std::nullopt;
+      h.values.push_back(*v);
+    }
+    pkt.headers.push_back(std::move(h));
+  }
+  pkt.payload = r.rest();
+  return pkt;
+}
+
+PacketDiff diff_packets(const p4::Program& prog, const Packet& expected,
+                        const Packet& actual) {
+  PacketDiff d;
+  size_t n = std::min(expected.headers.size(), actual.headers.size());
+  for (size_t i = 0; i < n; ++i) {
+    const HeaderValues& e = expected.headers[i];
+    const HeaderValues& a = actual.headers[i];
+    if (e.header != a.header) {
+      d.equal = false;
+      d.differences.push_back("header #" + std::to_string(i) + ": expected " +
+                              e.header + ", got " + a.header);
+      continue;
+    }
+    const p4::HeaderDef* def = prog.find_header(e.header);
+    for (size_t f = 0; f < def->fields.size(); ++f) {
+      if (e.values[f] != a.values[f]) {
+        d.equal = false;
+        d.differences.push_back(
+            e.header + "." + def->fields[f].name + ": expected " +
+            util::hex(e.values[f]) + ", got " + util::hex(a.values[f]));
+      }
+    }
+  }
+  if (expected.headers.size() != actual.headers.size()) {
+    d.equal = false;
+    d.differences.push_back(
+        "header count: expected " + std::to_string(expected.headers.size()) +
+        ", got " + std::to_string(actual.headers.size()));
+  }
+  if (expected.payload != actual.payload) {
+    d.equal = false;
+    d.differences.push_back("payload differs");
+  }
+  return d;
+}
+
+std::string to_string(const p4::Program& prog, const Packet& pkt) {
+  std::ostringstream os;
+  for (const HeaderValues& h : pkt.headers) {
+    const p4::HeaderDef* def = prog.find_header(h.header);
+    os << h.header << "{";
+    for (size_t i = 0; i < def->fields.size(); ++i) {
+      if (i) os << ", ";
+      os << def->fields[i].name << "=" << util::hex(h.values[i]);
+    }
+    os << "} ";
+  }
+  os << "payload[" << pkt.payload.size() << "]";
+  return os.str();
+}
+
+}  // namespace meissa::packet

@@ -1,0 +1,54 @@
+// Concrete packets over program-defined headers.
+//
+// A Packet is an ordered stack of header instances (field values parallel
+// to the HeaderDef declaration) plus an opaque payload. Serialization and
+// parsing use the program's header definitions, so the same machinery
+// covers standard protocols and proprietary gateway headers alike.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "p4/program.hpp"
+
+namespace meissa::packet {
+
+struct HeaderValues {
+  std::string header;            // HeaderDef name
+  std::vector<uint64_t> values;  // one per HeaderDef field, in order
+
+  uint64_t field(const p4::HeaderDef& def, std::string_view name) const;
+  void set_field(const p4::HeaderDef& def, std::string_view name, uint64_t v);
+};
+
+struct Packet {
+  std::vector<HeaderValues> headers;  // wire order
+  std::vector<uint8_t> payload;
+
+  const HeaderValues* find(std::string_view header) const;
+  HeaderValues* find(std::string_view header);
+};
+
+// Serializes headers (in order) followed by the payload.
+std::vector<uint8_t> serialize(const p4::Program& prog, const Packet& pkt);
+
+// Parses `bytes` as the given header sequence; nullopt when too short.
+// Trailing bytes become the payload.
+std::optional<Packet> parse_as(const p4::Program& prog,
+                               const std::vector<std::string>& header_seq,
+                               const std::vector<uint8_t>& bytes);
+
+// Structural + content equality with a field-level diff for reports.
+struct PacketDiff {
+  bool equal = true;
+  std::vector<std::string> differences;  // human-readable per-field diffs
+};
+PacketDiff diff_packets(const p4::Program& prog, const Packet& expected,
+                        const Packet& actual);
+
+// Human-readable rendering.
+std::string to_string(const p4::Program& prog, const Packet& pkt);
+
+}  // namespace meissa::packet

@@ -1,0 +1,47 @@
+// Bit-granular wire serialization. Header fields are packed MSB-first in
+// declaration order, as P4 deparsers emit them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/bits.hpp"
+
+namespace meissa::packet {
+
+class BitWriter {
+ public:
+  // Appends the low `width` bits of `v`, MSB first.
+  void put(uint64_t v, int width);
+  // Appends raw bytes (requires byte alignment).
+  void put_bytes(const std::vector<uint8_t>& bytes);
+
+  bool byte_aligned() const noexcept { return bit_pos_ == 0; }
+  const std::vector<uint8_t>& bytes() const noexcept { return data_; }
+  std::vector<uint8_t> take() && { return std::move(data_); }
+
+ private:
+  std::vector<uint8_t> data_;
+  int bit_pos_ = 0;  // bits already used in the last byte (0..7)
+};
+
+class BitReader {
+ public:
+  explicit BitReader(const std::vector<uint8_t>& data) : data_(data) {}
+
+  // Reads `width` bits MSB-first; nullopt when the buffer is exhausted.
+  std::optional<uint64_t> get(int width);
+
+  // Remaining bytes from the current (byte-aligned) position.
+  std::vector<uint8_t> rest() const;
+
+  size_t bit_position() const noexcept { return pos_; }
+  bool byte_aligned() const noexcept { return pos_ % 8 == 0; }
+
+ private:
+  const std::vector<uint8_t>& data_;
+  size_t pos_ = 0;  // in bits
+};
+
+}  // namespace meissa::packet

@@ -1,0 +1,311 @@
+#include "sim/device.hpp"
+
+#include <algorithm>
+
+#include "packet/wire.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace meissa::sim {
+
+namespace {
+// Garbage pattern left in metadata when the zeroing flag is missing
+// (fault #16): deterministic, nonzero, width-truncated.
+constexpr uint64_t kGarbage = 0xdeadbeefcafef00dull;
+}  // namespace
+
+struct Device::ExecState {
+  ir::ConcreteState fields;
+  std::vector<uint8_t> wire;     // current wire bytes (re-written per pipe)
+  std::vector<uint8_t> payload;  // unparsed tail of the current pipe
+  bool dropped = false;
+  std::vector<std::string> trace;
+};
+
+Device::Device(DeviceProgram prog, ir::Context& ctx)
+    : prog_(std::move(prog)), ctx_(ctx) {}
+
+void Device::set_register(std::string_view reg, uint64_t index,
+                          uint64_t value) {
+  std::string name = p4::register_field(reg, index);
+  std::optional<int> w = prog_.program.field_width(name);
+  util::check(w.has_value(), "set_register: unknown register cell");
+  registers_[ctx_.fields.intern(name, *w)] = util::truncate(value, *w);
+}
+
+void Device::set_registers(const ir::ConcreteState& regs) {
+  for (auto& [f, v] : regs) registers_[f] = v;
+}
+
+uint64_t Device::eval_or_zero(ir::ExprRef e, const ir::ConcreteState& s) const {
+  auto v = ir::eval(e, s);
+  // Reading an uninitialized field on hardware yields whatever the PHV
+  // container holds; zero is the deterministic simulator choice.
+  return v.value_or(0);
+}
+
+void Device::store(ir::FieldId f, uint64_t v, ExecState& st) const {
+  v = util::truncate(v, ctx_.fields.width(f));
+  st.fields[f] = v;
+  if (f == prog_.overlap_writer && prog_.overlap_victim != ir::kInvalidField) {
+    // Pragma-misuse fault (#15): the two fields share a container.
+    st.fields[prog_.overlap_victim] =
+        util::truncate(v, ctx_.fields.width(prog_.overlap_victim));
+  }
+}
+
+bool Device::parse(const DevInstance& inst, ExecState& st) const {
+  packet::BitReader r(st.wire);
+  int state = inst.start_state;
+  while (state >= 0) {
+    const DevParserState& s = inst.parser[static_cast<size_t>(state)];
+    for (size_t hidx : s.extracts) {
+      const p4::HeaderDef& def = prog_.program.headers[hidx];
+      for (const p4::FieldDef& f : def.fields) {
+        auto v = r.get(f.width);
+        if (!v) {
+          st.trace.push_back(inst.name + ": parser ran out of packet in " +
+                             s.name);
+          return false;
+        }
+        ir::FieldId fid =
+            ctx_.fields.intern(p4::content_field(def.name, f.name), f.width);
+        st.fields[fid] = *v;
+      }
+      ir::FieldId vf = ctx_.fields.intern(p4::validity_field(def.name), 1);
+      st.fields[vf] = 1;
+      st.trace.push_back(inst.name + ": parsed " + def.name);
+    }
+    int next = s.default_next;
+    if (s.select != ir::kInvalidField) {
+      auto sel = st.fields.find(s.select);
+      uint64_t sval = sel == st.fields.end() ? 0 : sel->second;
+      for (const DevTransition& t : s.cases) {
+        if ((sval & t.mask) == (t.value & t.mask)) {
+          next = t.next;
+          break;
+        }
+      }
+    }
+    if (next == kReject) {
+      st.trace.push_back(inst.name + ": parser reject");
+      return false;
+    }
+    state = next;
+  }
+  // Payload: bytes not consumed by the accepted parse.
+  size_t consumed_bits = r.bit_position();
+  util::check(consumed_bits % 8 == 0, "parser left unaligned position");
+  st.payload.assign(st.wire.begin() + static_cast<long>(consumed_bits / 8),
+                    st.wire.end());
+  return true;
+}
+
+void Device::run_op(const DevOp& op, ExecState& st) const {
+  switch (op.kind) {
+    case DevOp::Kind::kAssign: {
+      uint64_t v = eval_or_zero(op.value, st.fields);
+      // Carry-leak fault (#11 analog): additions leak their carry into a
+      // neighbouring container's low bit.
+      if (prog_.carry_victim != ir::kInvalidField &&
+          op.value != nullptr && op.value->kind == ir::ExprKind::kArith &&
+          op.value->arith_op() == ir::ArithOp::kAdd) {
+        uint64_t a = eval_or_zero(op.value->lhs, st.fields);
+        uint64_t b = eval_or_zero(op.value->rhs, st.fields);
+        int w = op.value->width;
+        if (w < 64 && ((a + b) >> w) != 0) {
+          ir::FieldId victim = prog_.carry_victim;
+          uint64_t old = st.fields.count(victim) ? st.fields[victim] : 0;
+          st.fields[victim] = old ^ 1u;
+        }
+      }
+      store(op.dest, v, st);
+      break;
+    }
+    case DevOp::Kind::kHash: {
+      std::vector<uint64_t> kv;
+      std::vector<int> kw;
+      for (ir::FieldId k : op.keys) {
+        kv.push_back(st.fields.count(k) ? st.fields.at(k) : 0);
+        kw.push_back(ctx_.fields.width(k));
+      }
+      store(op.dest,
+            p4::compute_hash(op.algo, kv, kw, ctx_.fields.width(op.dest)), st);
+      break;
+    }
+  }
+}
+
+void Device::apply_table(const DevInstance& inst, const DevTable& t,
+                         ExecState& st) const {
+  for (const DevEntry& e : t.entries) {
+    bool hit = true;
+    for (size_t i = 0; i < t.keys.size() && hit; ++i) {
+      const DevKey& k = t.keys[i];
+      uint64_t v = st.fields.count(k.field) ? st.fields.at(k.field) : 0;
+      const p4::KeyMatch& m = e.matches[i];
+      switch (k.kind) {
+        case p4::MatchKind::kExact:
+          hit = v == m.value;
+          break;
+        case p4::MatchKind::kTernary:
+          hit = (v & m.mask) == (m.value & m.mask);
+          break;
+        case p4::MatchKind::kLpm: {
+          uint64_t mask =
+              m.prefix_len <= 0
+                  ? 0
+                  : util::mask_bits(k.width) ^
+                        util::mask_bits(std::max(0, k.width - m.prefix_len));
+          hit = (v & mask) == (m.value & mask);
+          break;
+        }
+        case p4::MatchKind::kRange:
+          hit = v >= m.lo && v <= m.hi;
+          break;
+      }
+    }
+    if (hit) {
+      st.trace.push_back(inst.name + ": table " + t.name + " hit -> " +
+                         e.source.action);
+      for (const DevOp& op : e.ops) run_op(op, st);
+      return;
+    }
+  }
+  st.trace.push_back(inst.name + ": table " + t.name + " miss -> " +
+                     t.default_action);
+  for (const DevOp& op : t.default_ops) run_op(op, st);
+}
+
+void Device::run_block(const DevInstance& inst, const DevControlBlock& b,
+                       ExecState& st) const {
+  for (const DevControlStmt& s : b.stmts) {
+    switch (s.kind) {
+      case DevControlStmt::Kind::kApply:
+        apply_table(inst, inst.tables[s.table], st);
+        break;
+      case DevControlStmt::Kind::kIf:
+        if (eval_or_zero(s.cond, st.fields) != 0) {
+          run_block(inst, s.then_block, st);
+        } else {
+          run_block(inst, s.else_block, st);
+        }
+        break;
+      case DevControlStmt::Kind::kOp:
+        run_op(s.op, st);
+        break;
+    }
+  }
+}
+
+void Device::deparse(const DevInstance& inst, ExecState& st) const {
+  for (const DevChecksum& c : inst.checksums) {
+    ir::FieldId guard =
+        ctx_.fields.intern(p4::validity_field(c.guard_header), 1);
+    if (!st.fields.count(guard) || st.fields.at(guard) == 0) continue;
+    std::vector<uint64_t> kv;
+    std::vector<int> kw;
+    for (ir::FieldId f : c.sources) {
+      kv.push_back(st.fields.count(f) ? st.fields.at(f) : 0);
+      kw.push_back(ctx_.fields.width(f));
+    }
+    store(c.dest, p4::compute_hash(c.algo, kv, kw, ctx_.fields.width(c.dest)),
+          st);
+    st.trace.push_back(inst.name + ": checksum update into " +
+                       ctx_.fields.name(c.dest));
+  }
+  packet::BitWriter w;
+  for (const std::string& hname : inst.emit_order) {
+    ir::FieldId vf = ctx_.fields.intern(p4::validity_field(hname), 1);
+    if (!st.fields.count(vf) || st.fields.at(vf) == 0) continue;
+    const p4::HeaderDef* def = prog_.program.find_header(hname);
+    for (const p4::FieldDef& f : def->fields) {
+      ir::FieldId fid =
+          ctx_.fields.intern(p4::content_field(hname, f.name), f.width);
+      w.put(st.fields.count(fid) ? st.fields.at(fid) : 0, f.width);
+    }
+    st.trace.push_back(inst.name + ": emitted " + hname);
+  }
+  w.put_bytes(st.payload);
+  st.wire = std::move(w).take();
+}
+
+void Device::run_instance(const DevInstance& inst, ExecState& st) const {
+  // Fresh per-pipe view of header validity.
+  for (const p4::HeaderDef& h : prog_.program.headers) {
+    st.fields[ctx_.fields.intern(p4::validity_field(h.name), 1)] = 0;
+  }
+  if (!parse(inst, st)) {
+    st.dropped = true;
+    return;
+  }
+  run_block(inst, inst.control, st);
+  ir::FieldId drop = ctx_.fields.intern(std::string(p4::kDropFlag), 1);
+  if (st.fields.count(drop) && st.fields.at(drop) != 0) {
+    st.trace.push_back(inst.name + ": dropped");
+    st.dropped = true;
+    return;
+  }
+  deparse(inst, st);
+}
+
+DeviceOutput Device::inject(const DeviceInput& in) {
+  ExecState st;
+  st.wire = in.bytes;
+  st.fields = registers_;
+
+  // Intrinsics & metadata initialization.
+  st.fields[ctx_.fields.intern(std::string(p4::kIngressPort), p4::kPortWidth)] =
+      util::truncate(in.port, p4::kPortWidth);
+  for (const p4::FieldDef& m : prog_.program.metadata) {
+    uint64_t v = prog_.zero_metadata ? 0 : util::truncate(kGarbage, m.width);
+    st.fields[ctx_.fields.intern(m.name, m.width)] = v;
+  }
+  st.fields[ctx_.fields.intern(std::string(p4::kDropFlag), 1)] = 0;
+  st.fields[ctx_.fields.intern(std::string(p4::kEgressSpec), p4::kPortWidth)] =
+      0;
+
+  DeviceOutput out;
+  // Pick the entry point.
+  int cur = -1;
+  for (const DevEntryPoint& e : prog_.entries) {
+    if (e.guard == nullptr || eval_or_zero(e.guard, st.fields) != 0) {
+      cur = e.instance;
+      break;
+    }
+  }
+  if (cur < 0) {
+    out.accepted = false;
+    return out;
+  }
+
+  size_t hops = 0;
+  while (cur >= 0) {
+    util::check(++hops <= prog_.instances.size() + 1,
+                "device: pipeline loop (unrolled topologies are acyclic)");
+    const DevInstance& inst = prog_.instances[static_cast<size_t>(cur)];
+    run_instance(inst, st);
+    if (st.dropped) {
+      out.dropped = true;
+      out.trace = std::move(st.trace);
+      return out;
+    }
+    int next = -1;
+    for (const DevEdge& e : prog_.edges) {
+      if (e.from != cur) continue;
+      if (e.guard == nullptr || eval_or_zero(e.guard, st.fields) != 0) {
+        next = e.to;
+        break;
+      }
+    }
+    cur = next;
+  }
+  out.dropped = false;
+  out.port = st.fields.at(
+      ctx_.fields.intern(std::string(p4::kEgressSpec), p4::kPortWidth));
+  out.bytes = std::move(st.wire);
+  out.trace = std::move(st.trace);
+  return out;
+}
+
+}  // namespace meissa::sim

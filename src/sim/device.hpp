@@ -1,0 +1,181 @@
+// The behavioral switch simulator — Meissa's hardware target.
+//
+// A DeviceProgram is the *compiled* form of a data plane (produced by the
+// toolchain in toolchain.hpp, possibly with injected faults); a Device
+// executes it on concrete wire packets: per-pipeline byte-level parsing,
+// match-action processing, deparsing with checksum updates, traffic-
+// manager routing between pipeline instances and across switches.
+//
+// The device deliberately shares no code with the CFG/symbolic-execution
+// side: it is a second, independent interpretation of the program, playing
+// the role bmv2/Tofino play for the real system — which is what makes
+// end-to-end testing able to catch toolchain bugs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/stmt.hpp"
+#include "p4/program.hpp"
+#include "p4/rules.hpp"
+#include "packet/packet.hpp"
+#include "sim/fault.hpp"
+
+namespace meissa::sim {
+
+// One primitive operation with action arguments already bound.
+struct DevOp {
+  enum class Kind : uint8_t { kAssign, kHash };
+  enum class Origin : uint8_t { kGeneric, kSetValid, kSetInvalid };
+  Kind kind = Kind::kAssign;
+  Origin origin = Origin::kGeneric;
+  std::string header;  // for kSetValid/kSetInvalid origins
+  ir::FieldId dest = ir::kInvalidField;
+  ir::ExprRef value = nullptr;        // kAssign
+  p4::HashAlgo algo = p4::HashAlgo::kCrc16;  // kHash
+  std::vector<ir::FieldId> keys;             // kHash
+};
+
+struct DevKey {
+  ir::FieldId field = ir::kInvalidField;
+  int width = 0;
+  p4::MatchKind kind = p4::MatchKind::kExact;
+};
+
+struct DevEntry {
+  p4::TableEntry source;  // original entry (for traces)
+  std::vector<p4::KeyMatch> matches;
+  std::vector<DevOp> ops;
+};
+
+struct DevTable {
+  std::string name;
+  std::vector<DevKey> keys;
+  std::vector<DevEntry> entries;  // in match order
+  std::vector<DevOp> default_ops;
+  std::string default_action;
+};
+
+struct DevControlStmt;
+struct DevControlBlock {
+  std::vector<DevControlStmt> stmts;
+};
+struct DevControlStmt {
+  enum class Kind : uint8_t { kApply, kIf, kOp };
+  Kind kind = Kind::kOp;
+  size_t table = 0;           // kApply: index into DevInstance::tables
+  ir::ExprRef cond = nullptr;  // kIf
+  DevControlBlock then_block;
+  DevControlBlock else_block;
+  DevOp op;  // kOp
+};
+
+struct DevTransition {
+  uint64_t value = 0;
+  uint64_t mask = 0;
+  int next = -1;  // state index; kAccept/kReject below
+};
+
+struct DevParserState {
+  std::string name;
+  std::vector<size_t> extracts;  // header indices
+  ir::FieldId select = ir::kInvalidField;
+  int select_width = 0;
+  std::vector<DevTransition> cases;
+  int default_next = -2;
+};
+inline constexpr int kAccept = -1;
+inline constexpr int kReject = -2;
+
+struct DevChecksum {
+  ir::FieldId dest = ir::kInvalidField;
+  std::string guard_header;
+  std::vector<ir::FieldId> sources;
+  p4::HashAlgo algo = p4::HashAlgo::kCsum16;
+};
+
+struct DevInstance {
+  std::string name;
+  int switch_id = 0;
+  int start_state = 0;
+  std::vector<DevParserState> parser;
+  DevControlBlock control;
+  std::vector<DevTable> tables;
+  std::vector<std::string> emit_order;
+  std::vector<DevChecksum> checksums;
+};
+
+struct DevEdge {
+  int from = 0;
+  int to = 0;
+  ir::ExprRef guard = nullptr;
+};
+
+struct DevEntryPoint {
+  int instance = 0;
+  ir::ExprRef guard = nullptr;
+};
+
+struct DeviceProgram {
+  p4::Program program;  // header/field declarations (for wire layout)
+  std::vector<DevInstance> instances;
+  std::vector<DevEdge> edges;
+  std::vector<DevEntryPoint> entries;
+  // Runtime-behavior flags set by fault injection.
+  bool zero_metadata = true;
+  ir::FieldId overlap_writer = ir::kInvalidField;  // kFieldOverlap
+  ir::FieldId overlap_victim = ir::kInvalidField;
+  ir::FieldId carry_victim = ir::kInvalidField;    // kAddCarryLeak
+  std::string carry_instance;
+};
+
+struct DeviceInput {
+  uint64_t port = 0;
+  std::vector<uint8_t> bytes;
+};
+
+struct DeviceOutput {
+  bool accepted = true;  // false: no entry point matched the ingress port
+  bool dropped = false;
+  uint64_t port = 0;
+  std::vector<uint8_t> bytes;
+  // Physical trace: one line per parse/table/action event (paper §7 bug
+  // localization compares this against the symbolic trace).
+  std::vector<std::string> trace;
+};
+
+class Device {
+ public:
+  // Takes ownership of the compiled program (it is immutable once loaded,
+  // like firmware). `ctx` must be the context it was compiled against.
+  Device(DeviceProgram prog, ir::Context& ctx);
+
+  // Sets a register cell ("REG:<name>-POS:<i>") for subsequent packets.
+  void set_register(std::string_view reg, uint64_t index, uint64_t value);
+  // Installs a full register state (e.g. from a test template's model).
+  void set_registers(const ir::ConcreteState& regs);
+
+  // Injects one packet and runs it to completion (drop or emit).
+  DeviceOutput inject(const DeviceInput& in);
+
+ private:
+  struct ExecState;
+  void run_instance(const DevInstance& inst, ExecState& st) const;
+  bool parse(const DevInstance& inst, ExecState& st) const;
+  void run_block(const DevInstance& inst, const DevControlBlock& b,
+                 ExecState& st) const;
+  void run_op(const DevOp& op, ExecState& st) const;
+  void apply_table(const DevInstance& inst, const DevTable& t,
+                   ExecState& st) const;
+  void deparse(const DevInstance& inst, ExecState& st) const;
+  uint64_t eval_or_zero(ir::ExprRef e, const ir::ConcreteState& s) const;
+  void store(ir::FieldId f, uint64_t v, ExecState& st) const;
+
+  DeviceProgram prog_;
+  ir::Context& ctx_;
+  ir::ConcreteState registers_;
+};
+
+}  // namespace meissa::sim

@@ -1,0 +1,22 @@
+#include "sim/fault.hpp"
+
+namespace meissa::sim {
+
+const char* fault_kind_name(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kParserSkipSelect: return "p4c-frontend-parser-select";
+    case FaultKind::kMaskFoldBug: return "p4c-frontend-mask-fold";
+    case FaultKind::kDropAssignment: return "bf-p4c-drop-assignment";
+    case FaultKind::kWrongDefaultAction: return "bf-p4c-wrong-default";
+    case FaultKind::kAddCarryLeak: return "bf-p4c-add-carry-leak";
+    case FaultKind::kWrongCompareWidth: return "bf-p4c-bug-A-compare-width";
+    case FaultKind::kSwappedAssignments: return "bf-p4c-bug-B-swapped-assign";
+    case FaultKind::kDropSetValid: return "bf-p4c-bug-C-setvalid";
+    case FaultKind::kFieldOverlap: return "pragma-field-overlap";
+    case FaultKind::kSkipMetadataZero: return "missing-flag-metadata-zero";
+  }
+  return "?";
+}
+
+}  // namespace meissa::sim

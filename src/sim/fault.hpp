@@ -1,0 +1,65 @@
+// Toolchain fault injection — Meissa's stand-in for real compiler/backend
+// bugs (paper Table 2, #7–#16).
+//
+// Each fault is a deterministic mutation applied between the program IR
+// and the device program, so the *source* semantics (what the tester
+// models) stay correct while the *device* misbehaves — the defining shape
+// of a non-code bug. See DESIGN.md for the mapping to the paper's bugs.
+#pragma once
+
+#include <string>
+
+namespace meissa::sim {
+
+enum class FaultKind {
+  kNone,
+  // p4c frontend bug (paper #7, issue 2147 analog): a parser state's
+  // select cases are compiled away; every packet takes the default branch.
+  kParserSkipSelect,
+  // p4c frontend bug (paper #8, issue 2343 analog): ternary masks are
+  // folded out of match conditions ((f & m) == v miscompiled to f == v).
+  kMaskFoldBug,
+  // bf-p4c backend bug (paper #9 analog): the first assignment of an
+  // action is silently dropped.
+  kDropAssignment,
+  // bf-p4c backend bug (paper #10 analog): a table's miss path runs no
+  // action instead of the configured default.
+  kWrongDefaultAction,
+  // bf-p4c backend bug (paper #11 analog): additions leak their carry-out
+  // into the low bit of a neighbouring PHV container (field `field_b`).
+  kAddCarryLeak,
+  // bf-p4c backend bug A (paper #12): comparisons on `field` are lowered
+  // to 16-bit compares, ignoring the upper bits.
+  kWrongCompareWidth,
+  // bf-p4c backend bug B (paper #13): the first two assignments of action
+  // `action` write each other's destinations.
+  kSwappedAssignments,
+  // bf-p4c backend bug C (paper #14): setValid of `header` in `instance`
+  // does not take effect.
+  kDropSetValid,
+  // Misuse of optimization pragmas (paper #15): fields `field_a` and
+  // `field_b` share a PHV container; writes to one clobber the other.
+  kFieldOverlap,
+  // Missing compilation flags (paper #16): metadata is not zero-
+  // initialized; it starts with a garbage pattern.
+  kSkipMetadataZero,
+};
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kNone;
+  std::string instance;      // restrict to one pipeline instance ("" = all)
+  std::string header;        // kDropSetValid
+  std::string field;         // kWrongCompareWidth
+  std::string field_a;       // kFieldOverlap (clobbering writer)
+  std::string field_b;       // kFieldOverlap / kAddCarryLeak (victim)
+  std::string action;        // kDropAssignment / kSwappedAssignments
+  std::string table;         // kWrongDefaultAction
+  std::string parser_state;  // kParserSkipSelect
+
+  bool none() const noexcept { return kind == FaultKind::kNone; }
+};
+
+// Human-readable name for reports.
+const char* fault_kind_name(FaultKind kind) noexcept;
+
+}  // namespace meissa::sim

@@ -1,0 +1,14 @@
+// The toolchain: compiles a DataPlane + RuleSet into a DeviceProgram,
+// optionally injecting a fault (sim/fault.hpp). This is the layer where
+// the paper's non-code bugs live: the source program stays correct, the
+// compiled artifact misbehaves.
+#pragma once
+
+#include "sim/device.hpp"
+
+namespace meissa::sim {
+
+DeviceProgram compile(const p4::DataPlane& dp, const p4::RuleSet& rules,
+                      ir::Context& ctx, const FaultSpec& fault = {});
+
+}  // namespace meissa::sim

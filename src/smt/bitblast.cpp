@@ -1,0 +1,271 @@
+#include "smt/bitblast.hpp"
+
+#include "util/error.hpp"
+
+namespace meissa::smt {
+
+using ir::ExprKind;
+
+Lit BitBlaster::gate_and(Lit a, Lit b) {
+  if (a == lit_false() || b == lit_false()) return lit_false();
+  if (a == lit_true()) return b;
+  if (b == lit_true()) return a;
+  if (a == b) return a;
+  if (a == ~b) return lit_false();
+  Lit r = fresh();
+  sat_.add_binary(~r, a);
+  sat_.add_binary(~r, b);
+  sat_.add_ternary(r, ~a, ~b);
+  return r;
+}
+
+Lit BitBlaster::gate_or(Lit a, Lit b) { return ~gate_and(~a, ~b); }
+
+Lit BitBlaster::gate_xor(Lit a, Lit b) {
+  if (a == lit_false()) return b;
+  if (b == lit_false()) return a;
+  if (a == lit_true()) return ~b;
+  if (b == lit_true()) return ~a;
+  if (a == b) return lit_false();
+  if (a == ~b) return lit_true();
+  Lit r = fresh();
+  sat_.add_ternary(~r, a, b);
+  sat_.add_ternary(~r, ~a, ~b);
+  sat_.add_ternary(r, ~a, b);
+  sat_.add_ternary(r, a, ~b);
+  return r;
+}
+
+Lit BitBlaster::gate_mux(Lit sel, Lit t, Lit f) {
+  if (sel == lit_true()) return t;
+  if (sel == lit_false()) return f;
+  if (t == f) return t;
+  Lit r = fresh();
+  sat_.add_ternary(~sel, ~t, r);
+  sat_.add_ternary(~sel, t, ~r);
+  sat_.add_ternary(sel, ~f, r);
+  sat_.add_ternary(sel, f, ~r);
+  return r;
+}
+
+Lit BitBlaster::gate_big_and(const std::vector<Lit>& xs) {
+  Lit acc = lit_true();
+  for (Lit x : xs) acc = gate_and(acc, x);
+  return acc;
+}
+
+Lit BitBlaster::gate_big_or(const std::vector<Lit>& xs) {
+  Lit acc = lit_false();
+  for (Lit x : xs) acc = gate_or(acc, x);
+  return acc;
+}
+
+const std::vector<Lit>& BitBlaster::field_bits(ir::FieldId f, int width) {
+  auto it = fields_.find(f);
+  if (it != fields_.end()) return it->second;
+  std::vector<Lit> bits;
+  bits.reserve(static_cast<size_t>(width));
+  for (int i = 0; i < width; ++i) bits.push_back(fresh());
+  return fields_.emplace(f, std::move(bits)).first->second;
+}
+
+uint64_t BitBlaster::model_value(ir::FieldId f) const {
+  auto it = fields_.find(f);
+  util::check(it != fields_.end(), "model_value: unknown field");
+  uint64_t v = 0;
+  for (size_t i = 0; i < it->second.size(); ++i) {
+    Lit l = it->second[i];
+    bool bit = sat_.model_value(l.var()) != l.sign();
+    if (bit) v |= uint64_t{1} << i;
+  }
+  return v;
+}
+
+std::vector<Lit> BitBlaster::add_vec(const std::vector<Lit>& a,
+                                     const std::vector<Lit>& b, Lit carry_in) {
+  util::check(a.size() == b.size(), "add_vec: width mismatch");
+  std::vector<Lit> sum(a.size());
+  Lit carry = carry_in;
+  for (size_t i = 0; i < a.size(); ++i) {
+    Lit axb = gate_xor(a[i], b[i]);
+    sum[i] = gate_xor(axb, carry);
+    // carry' = (a & b) | (carry & (a ^ b))
+    carry = gate_or(gate_and(a[i], b[i]), gate_and(carry, axb));
+  }
+  return sum;
+}
+
+std::vector<Lit> BitBlaster::negate_vec(const std::vector<Lit>& a) {
+  std::vector<Lit> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = ~a[i];
+  return out;
+}
+
+std::vector<Lit> BitBlaster::mul_vec(const std::vector<Lit>& a,
+                                     const std::vector<Lit>& b) {
+  const size_t w = a.size();
+  std::vector<Lit> acc(w, lit_false());
+  for (size_t i = 0; i < w; ++i) {
+    // acc += (b << i) & replicate(a[i])
+    std::vector<Lit> addend(w, lit_false());
+    for (size_t j = i; j < w; ++j) addend[j] = gate_and(a[i], b[j - i]);
+    acc = add_vec(acc, addend, lit_false());
+  }
+  return acc;
+}
+
+std::vector<Lit> BitBlaster::shift_vec(const std::vector<Lit>& a,
+                                       const std::vector<Lit>& amount,
+                                       bool left) {
+  const size_t w = a.size();
+  std::vector<Lit> cur = a;
+  // Barrel shifter over the low log2(w) amount bits.
+  size_t stages = 0;
+  while ((size_t{1} << stages) < w) ++stages;
+  for (size_t s = 0; s < stages && s < amount.size(); ++s) {
+    const size_t k = size_t{1} << s;
+    std::vector<Lit> next(w);
+    for (size_t i = 0; i < w; ++i) {
+      Lit shifted;
+      if (left) {
+        shifted = i >= k ? cur[i - k] : lit_false();
+      } else {
+        shifted = i + k < w ? cur[i + k] : lit_false();
+      }
+      next[i] = gate_mux(amount[s], shifted, cur[i]);
+    }
+    cur = std::move(next);
+  }
+  // Any higher amount bit set => shift >= width => zero result.
+  Lit overflow = lit_false();
+  for (size_t s = stages; s < amount.size(); ++s) {
+    overflow = gate_or(overflow, amount[s]);
+  }
+  if (!(overflow == lit_false())) {
+    for (size_t i = 0; i < w; ++i) {
+      cur[i] = gate_and(cur[i], ~overflow);
+    }
+  }
+  return cur;
+}
+
+Lit BitBlaster::ult(const std::vector<Lit>& a, const std::vector<Lit>& b) {
+  util::check(a.size() == b.size(), "ult: width mismatch");
+  Lit lt = lit_false();
+  for (size_t i = 0; i < a.size(); ++i) {
+    // From LSB to MSB: lt = (¬a_i & b_i) | ((a_i == b_i) & lt)
+    Lit bit_lt = gate_and(~a[i], b[i]);
+    Lit bit_eq = gate_iff(a[i], b[i]);
+    lt = gate_or(bit_lt, gate_and(bit_eq, lt));
+  }
+  return lt;
+}
+
+Lit BitBlaster::veq(const std::vector<Lit>& a, const std::vector<Lit>& b) {
+  util::check(a.size() == b.size(), "veq: width mismatch");
+  Lit acc = lit_true();
+  for (size_t i = 0; i < a.size(); ++i) {
+    acc = gate_and(acc, gate_iff(a[i], b[i]));
+  }
+  return acc;
+}
+
+std::vector<Lit> BitBlaster::blast_vec(ir::ExprRef e) {
+  util::check(!e->is_bool(), "blast_vec: arithmetic expression required");
+  auto it = vec_cache_.find(e);
+  if (it != vec_cache_.end()) return it->second;
+
+  std::vector<Lit> out;
+  switch (e->kind) {
+    case ExprKind::kConst: {
+      out.resize(static_cast<size_t>(e->width));
+      for (int i = 0; i < e->width; ++i) {
+        out[static_cast<size_t>(i)] =
+            util::bit_at(e->value, i) ? lit_true() : lit_false();
+      }
+      break;
+    }
+    case ExprKind::kField:
+      out = field_bits(e->field, e->width);
+      break;
+    case ExprKind::kArith: {
+      std::vector<Lit> a = blast_vec(e->lhs);
+      std::vector<Lit> b = blast_vec(e->rhs);
+      switch (e->arith_op()) {
+        case ir::ArithOp::kAdd:
+          out = add_vec(a, b, lit_false());
+          break;
+        case ir::ArithOp::kSub:
+          out = add_vec(a, negate_vec(b), lit_true());
+          break;
+        case ir::ArithOp::kMul:
+          out = mul_vec(a, b);
+          break;
+        case ir::ArithOp::kAnd:
+          out.resize(a.size());
+          for (size_t i = 0; i < a.size(); ++i) out[i] = gate_and(a[i], b[i]);
+          break;
+        case ir::ArithOp::kOr:
+          out.resize(a.size());
+          for (size_t i = 0; i < a.size(); ++i) out[i] = gate_or(a[i], b[i]);
+          break;
+        case ir::ArithOp::kXor:
+          out.resize(a.size());
+          for (size_t i = 0; i < a.size(); ++i) out[i] = gate_xor(a[i], b[i]);
+          break;
+        case ir::ArithOp::kShl:
+          out = shift_vec(a, b, /*left=*/true);
+          break;
+        case ir::ArithOp::kShr:
+          out = shift_vec(a, b, /*left=*/false);
+          break;
+      }
+      break;
+    }
+    default:
+      throw util::InternalError("blast_vec: unexpected expression kind");
+  }
+  vec_cache_.emplace(e, out);
+  return out;
+}
+
+Lit BitBlaster::blast_bool(ir::ExprRef e) {
+  util::check(e->is_bool(), "blast_bool: boolean expression required");
+  auto it = bool_cache_.find(e);
+  if (it != bool_cache_.end()) return it->second;
+
+  Lit out = lit_false();
+  switch (e->kind) {
+    case ExprKind::kBoolConst:
+      out = e->value ? lit_true() : lit_false();
+      break;
+    case ExprKind::kCmp: {
+      std::vector<Lit> a = blast_vec(e->lhs);
+      std::vector<Lit> b = blast_vec(e->rhs);
+      switch (e->cmp_op()) {
+        case ir::CmpOp::kEq: out = veq(a, b); break;
+        case ir::CmpOp::kNe: out = ~veq(a, b); break;
+        case ir::CmpOp::kLt: out = ult(a, b); break;
+        case ir::CmpOp::kGt: out = ult(b, a); break;
+        case ir::CmpOp::kLe: out = ~ult(b, a); break;
+        case ir::CmpOp::kGe: out = ~ult(a, b); break;
+      }
+      break;
+    }
+    case ExprKind::kBool: {
+      Lit a = blast_bool(e->lhs);
+      Lit b = blast_bool(e->rhs);
+      out = e->bool_op() == ir::BoolOp::kAnd ? gate_and(a, b) : gate_or(a, b);
+      break;
+    }
+    case ExprKind::kNot:
+      out = ~blast_bool(e->lhs);
+      break;
+    default:
+      throw util::InternalError("blast_bool: unexpected expression kind");
+  }
+  bool_cache_.emplace(e, out);
+  return out;
+}
+
+}  // namespace meissa::smt

@@ -1,0 +1,69 @@
+// Tseitin bit-blasting of bit-vector expressions into the SAT core.
+//
+// Every expression node is translated once and memoized: the produced
+// clauses are *definitional* (they constrain fresh variables to equal the
+// expression's value), so they remain valid across incremental push/pop
+// scopes and the translation cache never needs invalidation.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "ir/expr.hpp"
+#include "smt/sat.hpp"
+
+namespace meissa::smt {
+
+class BitBlaster {
+ public:
+  explicit BitBlaster(SatSolver& sat) : sat_(sat) {}
+  BitBlaster(const BitBlaster&) = delete;
+  BitBlaster& operator=(const BitBlaster&) = delete;
+
+  // Literal equivalent to the boolean expression `e`.
+  Lit blast_bool(ir::ExprRef e);
+
+  // LSB-first literals of the arithmetic expression `e` (width() of them).
+  std::vector<Lit> blast_vec(ir::ExprRef e);
+
+  // Bit variables of a field (allocated on first use).
+  const std::vector<Lit>& field_bits(ir::FieldId f, int width);
+
+  // True when the field has been mentioned in some blasted expression.
+  bool knows_field(ir::FieldId f) const { return fields_.count(f) != 0; }
+
+  // Reads a field's value out of the SAT model after a satisfiable solve.
+  uint64_t model_value(ir::FieldId f) const;
+
+ private:
+  Lit lit_true() const { return sat_.true_lit(); }
+  Lit lit_false() const { return ~sat_.true_lit(); }
+  Lit fresh() { return Lit::make(sat_.new_var(), false); }
+
+  // Gates with constant short-circuiting. Each returns a literal whose
+  // value is defined (via clauses) to equal the gate output.
+  Lit gate_and(Lit a, Lit b);
+  Lit gate_or(Lit a, Lit b);
+  Lit gate_xor(Lit a, Lit b);
+  Lit gate_iff(Lit a, Lit b) { return ~gate_xor(a, b); }
+  Lit gate_mux(Lit sel, Lit t, Lit f);  // sel ? t : f
+  Lit gate_big_and(const std::vector<Lit>& xs);
+  Lit gate_big_or(const std::vector<Lit>& xs);
+
+  std::vector<Lit> add_vec(const std::vector<Lit>& a, const std::vector<Lit>& b,
+                           Lit carry_in);
+  std::vector<Lit> negate_vec(const std::vector<Lit>& a);
+  std::vector<Lit> mul_vec(const std::vector<Lit>& a,
+                           const std::vector<Lit>& b);
+  std::vector<Lit> shift_vec(const std::vector<Lit>& a,
+                             const std::vector<Lit>& amount, bool left);
+  Lit ult(const std::vector<Lit>& a, const std::vector<Lit>& b);
+  Lit veq(const std::vector<Lit>& a, const std::vector<Lit>& b);
+
+  SatSolver& sat_;
+  std::unordered_map<ir::ExprRef, Lit> bool_cache_;
+  std::unordered_map<ir::ExprRef, std::vector<Lit>> vec_cache_;
+  std::unordered_map<ir::FieldId, std::vector<Lit>> fields_;
+};
+
+}  // namespace meissa::smt

@@ -1,0 +1,153 @@
+#include "smt/domain.hpp"
+
+#include <algorithm>
+
+namespace meissa::smt {
+
+namespace {
+constexpr int kPickAttempts = 128;
+
+// Mask covering bit positions [0, h] inclusive.
+constexpr uint64_t mask_upto(int h) noexcept {
+  return h >= 63 ? ~uint64_t{0} : ((uint64_t{1} << (h + 1)) - 1);
+}
+}  // namespace
+
+void Domain::require_masked_eq(uint64_t mask, uint64_t value) {
+  mask = util::truncate(mask, width_);
+  value = util::truncate(value, width_);
+  if ((value & ~mask) != 0) {
+    // (f & m) always has zero bits outside m; equality is impossible.
+    contradictory_ = true;
+    return;
+  }
+  // Bits forced by both the existing pattern and the new one must agree.
+  uint64_t both = forced_mask_ & mask;
+  if ((forced_val_ & both) != (value & both)) {
+    contradictory_ = true;
+    return;
+  }
+  forced_mask_ |= mask;
+  forced_val_ |= value;
+}
+
+void Domain::require_masked_ne(uint64_t mask, uint64_t value) {
+  mask = util::truncate(mask, width_);
+  value = util::truncate(value, width_);
+  if ((value & ~mask) != 0) return;  // trivially true: f&m never equals value
+  if (mask == 0) {
+    // (f & 0) != 0 is unsatisfiable.
+    contradictory_ = true;
+    return;
+  }
+  excluded_.push_back({mask, value});
+}
+
+void Domain::require_value_set(const std::vector<uint64_t>& values) {
+  std::vector<uint64_t> v;
+  for (uint64_t x : values) v.push_back(util::truncate(x, width_));
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  if (!has_allowed_) {
+    has_allowed_ = true;
+    allowed_ = std::move(v);
+  } else {
+    std::vector<uint64_t> inter;
+    std::set_intersection(allowed_.begin(), allowed_.end(), v.begin(), v.end(),
+                          std::back_inserter(inter));
+    allowed_ = std::move(inter);
+  }
+  if (allowed_.empty()) contradictory_ = true;
+}
+
+void Domain::require_ge(uint64_t lo) {
+  lo = util::truncate(lo, width_);
+  if (lo > lo_) lo_ = lo;
+  if (lo_ > hi_) contradictory_ = true;
+}
+
+void Domain::require_le(uint64_t hi) {
+  hi = util::truncate(hi, width_);
+  if (hi < hi_) hi_ = hi;
+  if (lo_ > hi_) contradictory_ = true;
+}
+
+void Domain::require_gt(uint64_t v) {
+  v = util::truncate(v, width_);
+  if (v == util::mask_bits(width_)) {
+    contradictory_ = true;
+    return;
+  }
+  require_ge(v + 1);
+}
+
+void Domain::require_lt(uint64_t v) {
+  v = util::truncate(v, width_);
+  if (v == 0) {
+    contradictory_ = true;
+    return;
+  }
+  require_le(v - 1);
+}
+
+std::optional<uint64_t> Domain::next_forced_match(uint64_t from) const {
+  if (from > util::mask_bits(width_)) return std::nullopt;
+  if ((from & forced_mask_) == forced_val_) return from;
+  // Highest bit where `from` disagrees with the forced pattern.
+  uint64_t diff = (from & forced_mask_) ^ forced_val_;
+  int h = 63;
+  while (!util::bit_at(diff, h)) --h;
+  if (util::bit_at(forced_val_, h)) {
+    // The forced bit raises the value at h: adopt the pattern at h and
+    // below (free bits cleared), keep the agreeing bits above h.
+    uint64_t v = (from & ~mask_upto(h)) | (forced_val_ & mask_upto(h));
+    return v;
+  }
+  // The forced bit lowers the value at h: must strictly increase some free
+  // bit above h that is currently 0, then minimize everything below it.
+  for (int j = h + 1; j < width_; ++j) {
+    if (!util::bit_at(forced_mask_, j) && !util::bit_at(from, j)) {
+      uint64_t v = (from & ~mask_upto(j)) | (uint64_t{1} << j) |
+                   (forced_val_ & mask_upto(j));
+      return v;
+    }
+  }
+  return std::nullopt;  // no matching value above `from`
+}
+
+std::optional<uint64_t> Domain::pick_value(bool& decided) const {
+  decided = true;
+  if (contradictory_) return std::nullopt;
+  auto satisfies_rest = [&](uint64_t v) {
+    if (v < lo_ || v > hi_) return false;
+    if ((v & forced_mask_) != forced_val_) return false;
+    for (const MaskedNe& ne : excluded_) {
+      if ((v & ne.mask) == ne.value) return false;
+    }
+    return true;
+  };
+  if (has_allowed_) {
+    for (uint64_t v : allowed_) {
+      if (satisfies_rest(v)) return v;
+    }
+    return std::nullopt;
+  }
+  std::optional<uint64_t> v = next_forced_match(lo_);
+  for (int attempt = 0; attempt < kPickAttempts; ++attempt) {
+    if (!v || *v > hi_) return std::nullopt;
+    bool ok = true;
+    for (const MaskedNe& ne : excluded_) {
+      if ((*v & ne.mask) == ne.value) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return v;
+    if (*v == util::mask_bits(width_)) return std::nullopt;
+    v = next_forced_match(*v + 1);
+  }
+  decided = false;  // budget exhausted; caller must use the SAT core
+  return std::nullopt;
+}
+
+}  // namespace meissa::smt

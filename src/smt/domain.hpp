@@ -1,0 +1,65 @@
+// Single-field value domains — the solver's theory-level fast path.
+//
+// Path conditions produced by data-plane programs are overwhelmingly
+// conjunctions of per-field atoms: exact matches (f == c), ternary matches
+// ((f & m) == v), LPM prefixes, range checks (lo <= f <= hi) and negations
+// of higher-priority entries (f != c). A Domain tracks, per field, the
+// forced bit pattern, an unsigned interval, and small exclusion lists, and
+// can decide emptiness and produce a witness without touching the SAT core.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/bits.hpp"
+
+namespace meissa::smt {
+
+class Domain {
+ public:
+  explicit Domain(int width)
+      : width_(width), hi_(util::mask_bits(width)) {}
+
+  int width() const noexcept { return width_; }
+  bool contradictory() const noexcept { return contradictory_; }
+
+  // Conjoins (f & mask) == value. An exact match is mask == all-ones.
+  void require_masked_eq(uint64_t mask, uint64_t value);
+  // Conjoins (f & mask) != value.
+  void require_masked_ne(uint64_t mask, uint64_t value);
+  // Conjoins f IN {values} (e.g. a merged per-packet-type pre-condition).
+  void require_value_set(const std::vector<uint64_t>& values);
+  // Conjoins f >= lo / f <= hi.
+  void require_ge(uint64_t lo);
+  void require_le(uint64_t hi);
+  void require_gt(uint64_t v);
+  void require_lt(uint64_t v);
+
+  // Finds the smallest value satisfying every recorded constraint, or
+  // nullopt when the domain is empty or the search exceeded its attempt
+  // budget (callers must then fall back to the SAT core).
+  //
+  // `decided` is set to false only in the budget-exceeded case.
+  std::optional<uint64_t> pick_value(bool& decided) const;
+
+ private:
+  // Smallest v >= from with (v & forced_mask_) == forced_val_, or nullopt.
+  std::optional<uint64_t> next_forced_match(uint64_t from) const;
+
+  int width_;
+  bool contradictory_ = false;
+  uint64_t forced_mask_ = 0;
+  uint64_t forced_val_ = 0;
+  uint64_t lo_ = 0;
+  uint64_t hi_;
+  bool has_allowed_ = false;
+  std::vector<uint64_t> allowed_;  // sorted, deduped
+  struct MaskedNe {
+    uint64_t mask;
+    uint64_t value;
+  };
+  std::vector<MaskedNe> excluded_;
+};
+
+}  // namespace meissa::smt

@@ -1,0 +1,427 @@
+#include "smt/sat.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace meissa::smt {
+
+namespace {
+
+// Luby restart sequence (unit = kRestartUnit conflicts).
+constexpr uint64_t kRestartUnit = 128;
+
+double luby(uint64_t i) {
+  // Find the finite subsequence containing index i and its position.
+  uint64_t size = 1, seq = 0;
+  while (size < i + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != i) {
+    size = (size - 1) / 2;
+    --seq;
+    i = i % size;
+  }
+  return std::pow(2.0, static_cast<double>(seq));
+}
+
+}  // namespace
+
+SatSolver::SatSolver() {
+  // Variable 0 is the distinguished "true" constant.
+  uint32_t t = new_var();
+  (void)t;
+  add_unit(true_lit());
+}
+
+uint32_t SatSolver::new_var() {
+  uint32_t v = static_cast<uint32_t>(assign_.size());
+  assign_.push_back(LBool::kUndef);
+  level_.push_back(0);
+  reason_.push_back(kNoReason);
+  activity_.push_back(0.0);
+  phase_.push_back(false);
+  seen_.push_back(false);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  heap_pos_.push_back(-1);
+  heap_insert(v);
+  return v;
+}
+
+void SatSolver::heap_insert(uint32_t v) {
+  if (heap_pos_[v] >= 0) return;
+  heap_pos_[v] = static_cast<int32_t>(heap_.size());
+  heap_.push_back(v);
+  heap_sift_up(heap_.size() - 1);
+}
+
+void SatSolver::heap_sift_up(size_t i) {
+  uint32_t v = heap_[i];
+  while (i > 0) {
+    size_t parent = (i - 1) / 2;
+    if (!heap_less(heap_[parent], v)) break;
+    heap_[i] = heap_[parent];
+    heap_pos_[heap_[i]] = static_cast<int32_t>(i);
+    i = parent;
+  }
+  heap_[i] = v;
+  heap_pos_[v] = static_cast<int32_t>(i);
+}
+
+void SatSolver::heap_sift_down(size_t i) {
+  uint32_t v = heap_[i];
+  while (true) {
+    size_t child = 2 * i + 1;
+    if (child >= heap_.size()) break;
+    if (child + 1 < heap_.size() && heap_less(heap_[child], heap_[child + 1])) {
+      ++child;
+    }
+    if (!heap_less(v, heap_[child])) break;
+    heap_[i] = heap_[child];
+    heap_pos_[heap_[i]] = static_cast<int32_t>(i);
+    i = child;
+  }
+  heap_[i] = v;
+  heap_pos_[v] = static_cast<int32_t>(i);
+}
+
+bool SatSolver::add_clause(std::vector<Lit> lits) {
+  if (unsat_) return false;
+  backtrack(0);  // clauses are always added at the root level
+  last_assumptions_.clear();
+  // Simplify: drop false/duplicate literals, detect tautology/satisfied.
+  std::sort(lits.begin(), lits.end(),
+            [](Lit a, Lit b) { return a.x < b.x; });
+  std::vector<Lit> out;
+  Lit prev{~uint32_t{0}};
+  for (Lit l : lits) {
+    if (l == prev) continue;
+    if (l == ~prev) return true;  // tautology
+    LBool v = value(l);
+    if (v == LBool::kTrue) return true;  // already satisfied at level 0
+    if (v == LBool::kFalse) continue;    // cannot contribute
+    out.push_back(l);
+    prev = l;
+  }
+  if (out.empty()) {
+    unsat_ = true;
+    return false;
+  }
+  if (out.size() == 1) {
+    enqueue(out[0], kNoReason);
+    if (propagate() != kNoReason) {
+      unsat_ = true;
+      return false;
+    }
+    return true;
+  }
+  ClauseRef cr = static_cast<ClauseRef>(clauses_.size());
+  clauses_.push_back({static_cast<uint32_t>(pool_.size()),
+                      static_cast<uint32_t>(out.size()), false, 0.0});
+  pool_.insert(pool_.end(), out.begin(), out.end());
+  attach_clause(cr);
+  return true;
+}
+
+void SatSolver::attach_clause(ClauseRef cr) {
+  const Lit* ls = clause_lits(cr);
+  watches_[(~ls[0]).x].push_back({cr, ls[1]});
+  watches_[(~ls[1]).x].push_back({cr, ls[0]});
+}
+
+void SatSolver::enqueue(Lit l, ClauseRef reason) {
+  assign_[l.var()] = l.sign() ? LBool::kFalse : LBool::kTrue;
+  level_[l.var()] = static_cast<int>(trail_lim_.size());
+  reason_[l.var()] = reason;
+  trail_.push_back(l);
+}
+
+SatSolver::ClauseRef SatSolver::propagate() {
+  while (qhead_ < trail_.size()) {
+    Lit p = trail_[qhead_++];
+    ++stats_.propagations;
+    auto& ws = watches_[p.x];
+    size_t i = 0, j = 0;
+    ClauseRef confl = kNoReason;
+    while (i < ws.size()) {
+      Watcher w = ws[i];
+      if (value(w.blocker) == LBool::kTrue) {
+        ws[j++] = ws[i++];
+        continue;
+      }
+      Clause& c = clauses_[w.clause];
+      Lit* ls = pool_.data() + c.start;
+      // Ensure the false literal (~p) sits at position 1.
+      Lit false_lit = ~p;
+      if (ls[0] == false_lit) std::swap(ls[0], ls[1]);
+      // If first literal is true, clause is satisfied.
+      if (value(ls[0]) == LBool::kTrue) {
+        ws[j++] = {w.clause, ls[0]};
+        ++i;
+        continue;
+      }
+      // Look for a new literal to watch.
+      bool moved = false;
+      for (uint32_t k = 2; k < c.size; ++k) {
+        if (value(ls[k]) != LBool::kFalse) {
+          std::swap(ls[1], ls[k]);
+          watches_[(~ls[1]).x].push_back({w.clause, ls[0]});
+          moved = true;
+          break;
+        }
+      }
+      if (moved) {
+        ++i;
+        continue;
+      }
+      // Clause is unit or conflicting.
+      ws[j++] = ws[i++];
+      if (value(ls[0]) == LBool::kFalse) {
+        confl = w.clause;
+        qhead_ = static_cast<uint32_t>(trail_.size());
+        // Copy remaining watchers and bail out.
+        while (i < ws.size()) ws[j++] = ws[i++];
+        break;
+      }
+      enqueue(ls[0], w.clause);
+    }
+    ws.resize(j);
+    if (confl != kNoReason) return confl;
+  }
+  return kNoReason;
+}
+
+void SatSolver::bump_var(uint32_t v) {
+  activity_[v] += var_inc_;
+  if (activity_[v] > 1e100) {
+    for (double& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+    // Rescaling preserves the ordering; the heap stays valid.
+  }
+  if (heap_pos_[v] >= 0) heap_sift_up(static_cast<size_t>(heap_pos_[v]));
+}
+
+void SatSolver::decay_activities() { var_inc_ /= 0.95; }
+
+void SatSolver::analyze(ClauseRef conflict, std::vector<Lit>& learnt,
+                        int& bt_level) {
+  learnt.clear();
+  learnt.push_back(Lit{0});  // placeholder for the asserting literal
+  int counter = 0;
+  Lit p{~uint32_t{0}};
+  size_t index = trail_.size();
+  ClauseRef reason = conflict;
+  const int current_level = static_cast<int>(trail_lim_.size());
+
+  do {
+    util::check(reason != kNoReason, "analyze: missing reason clause");
+    Clause& c = clauses_[reason];
+    if (c.learned) c.activity += 1.0;
+    Lit* ls = pool_.data() + c.start;
+    // Skip ls[0] on the first iteration only when resolving on p.
+    for (uint32_t k = (p.x == ~uint32_t{0}) ? 0 : 1; k < c.size; ++k) {
+      Lit q = ls[k];
+      if (seen_[q.var()] || level_[q.var()] == 0) continue;
+      seen_[q.var()] = true;
+      bump_var(q.var());
+      if (level_[q.var()] == current_level) {
+        ++counter;
+      } else {
+        learnt.push_back(q);
+      }
+    }
+    // Walk the trail back to the next marked literal.
+    while (!seen_[trail_[--index].var()]) {
+    }
+    p = trail_[index];
+    seen_[p.var()] = false;
+    reason = reason_[p.var()];
+    --counter;
+  } while (counter > 0);
+  learnt[0] = ~p;
+
+  // Compute backtrack level: max level among the other literals.
+  bt_level = 0;
+  size_t max_i = 1;
+  for (size_t k = 1; k < learnt.size(); ++k) {
+    if (level_[learnt[k].var()] > bt_level) {
+      bt_level = level_[learnt[k].var()];
+      max_i = k;
+    }
+  }
+  if (learnt.size() > 1) std::swap(learnt[1], learnt[max_i]);
+  for (size_t k = 1; k < learnt.size(); ++k) seen_[learnt[k].var()] = false;
+}
+
+void SatSolver::backtrack(int target) {
+  if (static_cast<int>(trail_lim_.size()) <= target) return;
+  uint32_t lim = trail_lim_[target];
+  for (size_t k = trail_.size(); k > lim; --k) {
+    uint32_t v = trail_[k - 1].var();
+    phase_[v] = assign_[v] == LBool::kTrue;
+    assign_[v] = LBool::kUndef;
+    reason_[v] = kNoReason;
+    heap_insert(v);
+  }
+  trail_.resize(lim);
+  trail_lim_.resize(target);
+  qhead_ = lim;
+}
+
+uint32_t SatSolver::pick_branch_var() {
+  while (!heap_.empty()) {
+    uint32_t v = heap_[0];
+    uint32_t last = heap_.back();
+    heap_.pop_back();
+    heap_pos_[v] = -1;
+    if (!heap_.empty()) {
+      heap_[0] = last;
+      heap_pos_[last] = 0;
+      heap_sift_down(0);
+    }
+    if (assign_[v] == LBool::kUndef) return v;
+  }
+  return ~uint32_t{0};
+}
+
+void SatSolver::reduce_learnts() {
+  // Drop the lower-activity half of the learned clauses, then rebuild the
+  // clause pool and watcher lists. Clauses currently acting as reasons are
+  // kept (identified by scanning the trail's reason references).
+  std::vector<bool> is_reason(clauses_.size(), false);
+  for (Lit l : trail_) {
+    ClauseRef r = reason_[l.var()];
+    if (r != kNoReason && r != kAssumptionReason) is_reason[r] = true;
+  }
+  std::vector<ClauseRef> learned;
+  for (ClauseRef i = 0; i < clauses_.size(); ++i) {
+    if (clauses_[i].learned && !is_reason[i]) learned.push_back(i);
+  }
+  std::sort(learned.begin(), learned.end(), [this](ClauseRef a, ClauseRef b) {
+    return clauses_[a].activity < clauses_[b].activity;
+  });
+  std::vector<bool> remove(clauses_.size(), false);
+  for (size_t k = 0; k < learned.size() / 2; ++k) remove[learned[k]] = true;
+
+  std::vector<Lit> new_pool;
+  std::vector<Clause> new_clauses;
+  std::vector<ClauseRef> remap(clauses_.size(), kNoReason);
+  new_pool.reserve(pool_.size());
+  for (ClauseRef i = 0; i < clauses_.size(); ++i) {
+    if (remove[i]) continue;
+    Clause c = clauses_[i];
+    uint32_t new_start = static_cast<uint32_t>(new_pool.size());
+    new_pool.insert(new_pool.end(), pool_.begin() + c.start,
+                    pool_.begin() + c.start + c.size);
+    c.start = new_start;
+    remap[i] = static_cast<ClauseRef>(new_clauses.size());
+    new_clauses.push_back(c);
+  }
+  pool_ = std::move(new_pool);
+  clauses_ = std::move(new_clauses);
+  num_learned_ /= 2;
+  for (Lit l : trail_) {
+    ClauseRef& r = reason_[l.var()];
+    if (r != kNoReason && r != kAssumptionReason) r = remap[r];
+  }
+  for (auto& ws : watches_) ws.clear();
+  for (ClauseRef i = 0; i < clauses_.size(); ++i) attach_clause(i);
+}
+
+bool SatSolver::solve(const std::vector<Lit>& assumptions) {
+  ++stats_.solves;
+  if (unsat_) return false;
+  // Incremental trail reuse: keep decision levels corresponding to the
+  // longest shared assumption prefix (the dominant pattern under DFS
+  // push/pop is extending the previous assumption list by one).
+  size_t shared = 0;
+  while (shared < assumptions.size() && shared < last_assumptions_.size() &&
+         assumptions[shared] == last_assumptions_[shared]) {
+    ++shared;
+  }
+  backtrack(static_cast<int>(std::min(shared, trail_lim_.size())));
+  last_assumptions_ = assumptions;
+  if (propagate() != kNoReason) {
+    if (trail_lim_.empty()) {
+      unsat_ = true;
+      return false;
+    }
+    backtrack(0);
+    if (propagate() != kNoReason) {
+      unsat_ = true;
+      return false;
+    }
+  }
+
+  uint64_t conflicts_this_solve = 0;
+  uint64_t restart_idx = 0;
+  uint64_t restart_budget =
+      static_cast<uint64_t>(luby(restart_idx) * kRestartUnit);
+  std::vector<Lit> learnt;
+
+  while (true) {
+    ClauseRef confl = propagate();
+    if (confl != kNoReason) {
+      ++stats_.conflicts;
+      ++conflicts_this_solve;
+      if (trail_lim_.empty()) {
+        unsat_ = true;
+        return false;
+      }
+      // A conflict while only assumption decisions are on the trail means
+      // the assumptions themselves are inconsistent with the clauses.
+      int bt_level = 0;
+      analyze(confl, learnt, bt_level);
+      // Never backtrack into the middle of the assumption prefix without
+      // re-deciding: backtrack() removes those levels and the decision loop
+      // below re-asserts assumptions, detecting falsified ones.
+      backtrack(bt_level);
+      if (learnt.size() == 1) {
+        enqueue(learnt[0], kNoReason);
+      } else {
+        ClauseRef cr = static_cast<ClauseRef>(clauses_.size());
+        clauses_.push_back({static_cast<uint32_t>(pool_.size()),
+                            static_cast<uint32_t>(learnt.size()), true, 1.0});
+        pool_.insert(pool_.end(), learnt.begin(), learnt.end());
+        attach_clause(cr);
+        enqueue(learnt[0], cr);
+        ++num_learned_;
+        ++stats_.learned;
+      }
+      decay_activities();
+      if (num_learned_ > 8192 && trail_lim_.size() <= assumptions.size()) {
+        reduce_learnts();
+      }
+      if (conflicts_this_solve > restart_budget) {
+        ++stats_.restarts;
+        ++restart_idx;
+        restart_budget += static_cast<uint64_t>(luby(restart_idx) * kRestartUnit);
+        backtrack(0);
+      }
+      continue;
+    }
+    // Decision: first re-assert pending assumptions, then branch.
+    if (trail_lim_.size() < assumptions.size()) {
+      Lit a = assumptions[trail_lim_.size()];
+      LBool v = value(a);
+      if (v == LBool::kFalse) return false;  // assumption falsified
+      trail_lim_.push_back(static_cast<uint32_t>(trail_.size()));
+      if (v == LBool::kUndef) enqueue(a, kNoReason);
+      continue;
+    }
+    uint32_t v = pick_branch_var();
+    if (v == ~uint32_t{0}) return true;  // all assigned: model found
+    ++stats_.decisions;
+    trail_lim_.push_back(static_cast<uint32_t>(trail_.size()));
+    enqueue(Lit::make(v, !phase_[v]), kNoReason);
+  }
+}
+
+bool SatSolver::model_value(uint32_t var) const {
+  return assign_.at(var) == LBool::kTrue;
+}
+
+}  // namespace meissa::smt

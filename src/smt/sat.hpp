@@ -1,0 +1,139 @@
+// A CDCL SAT solver — the propositional core of Meissa's bit-vector solver.
+//
+// Classic MiniSat-style architecture: two-watched-literal propagation,
+// first-UIP conflict analysis with clause learning, VSIDS-style activity
+// decision heuristic with phase saving, and Luby restarts. Solving under
+// assumptions provides the incremental push/pop interface the symbolic
+// executor needs (paper §3.2: the solver "reuses intermediate results from
+// previous invocations since most constraints stay the same" — here the
+// reused state is the learned-clause database and saved phases).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace meissa::smt {
+
+// A literal is a variable index with a sign bit: lit = 2*var + (negated?1:0).
+struct Lit {
+  uint32_t x = 0;
+
+  static Lit make(uint32_t var, bool negated) noexcept {
+    return Lit{(var << 1) | (negated ? 1u : 0u)};
+  }
+  uint32_t var() const noexcept { return x >> 1; }
+  bool sign() const noexcept { return x & 1u; }  // true == negated
+  Lit operator~() const noexcept { return Lit{x ^ 1u}; }
+  bool operator==(const Lit& o) const noexcept { return x == o.x; }
+  bool operator!=(const Lit& o) const noexcept { return x != o.x; }
+};
+
+enum class LBool : uint8_t { kFalse = 0, kTrue = 1, kUndef = 2 };
+
+class SatSolver {
+ public:
+  SatSolver();
+
+  // Allocates a fresh variable and returns its index.
+  uint32_t new_var();
+  uint32_t num_vars() const noexcept { return static_cast<uint32_t>(assign_.size()); }
+
+  // A literal that is always true (variable 0, fixed by construction).
+  Lit true_lit() const noexcept { return Lit::make(0, false); }
+
+  // Adds a clause (permanently). Returns false when the solver becomes
+  // trivially unsatisfiable (empty clause / conflicting units at level 0).
+  bool add_clause(std::vector<Lit> lits);
+  bool add_unit(Lit a) { return add_clause({a}); }
+  bool add_binary(Lit a, Lit b) { return add_clause({a, b}); }
+  bool add_ternary(Lit a, Lit b, Lit c) { return add_clause({a, b, c}); }
+
+  // Solves under the given assumptions. Returns true iff satisfiable.
+  bool solve(const std::vector<Lit>& assumptions);
+
+  // Value of `var` in the model found by the last successful solve().
+  bool model_value(uint32_t var) const;
+
+  // Cumulative statistics (monotonically increasing across solve calls).
+  struct Stats {
+    uint64_t solves = 0;
+    uint64_t conflicts = 0;
+    uint64_t decisions = 0;
+    uint64_t propagations = 0;
+    uint64_t learned = 0;
+    uint64_t restarts = 0;
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Clause {
+    uint32_t start;  // index into literal pool
+    uint32_t size;
+    bool learned;
+    double activity;
+  };
+  using ClauseRef = uint32_t;
+  static constexpr ClauseRef kNoReason = ~ClauseRef{0};
+  static constexpr ClauseRef kAssumptionReason = kNoReason - 1;
+
+  struct Watcher {
+    ClauseRef clause;
+    Lit blocker;
+  };
+
+  LBool value(Lit l) const noexcept {
+    LBool v = assign_[l.var()];
+    if (v == LBool::kUndef) return LBool::kUndef;
+    return (v == LBool::kTrue) != l.sign() ? LBool::kTrue : LBool::kFalse;
+  }
+
+  void enqueue(Lit l, ClauseRef reason);
+  ClauseRef propagate();
+  // Indexed max-heap over variable activity (the VSIDS order).
+  void heap_insert(uint32_t v);
+  void heap_sift_up(size_t i);
+  void heap_sift_down(size_t i);
+  bool heap_less(uint32_t a, uint32_t b) const {
+    return activity_[a] < activity_[b];
+  }
+  void analyze(ClauseRef conflict, std::vector<Lit>& learnt, int& bt_level);
+  void backtrack(int level);
+  void bump_var(uint32_t v);
+  void decay_activities();
+  uint32_t pick_branch_var();
+  void attach_clause(ClauseRef cr);
+  void reduce_learnts();
+  Lit* clause_lits(ClauseRef cr) { return pool_.data() + clauses_[cr].start; }
+  const Lit* clause_lits(ClauseRef cr) const {
+    return pool_.data() + clauses_[cr].start;
+  }
+
+  // Assignment state.
+  std::vector<LBool> assign_;
+  std::vector<int> level_;
+  std::vector<ClauseRef> reason_;
+  std::vector<Lit> trail_;
+  std::vector<uint32_t> trail_lim_;  // decision-level boundaries in trail_
+  uint32_t qhead_ = 0;
+
+  // Clause database.
+  std::vector<Lit> pool_;
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<Watcher>> watches_;  // indexed by literal
+  uint32_t num_learned_ = 0;
+
+  // Heuristics.
+  std::vector<double> activity_;
+  std::vector<bool> phase_;
+  std::vector<uint32_t> heap_;      // variable order heap (max-activity)
+  std::vector<int32_t> heap_pos_;   // position in heap_, -1 if absent
+  double var_inc_ = 1.0;
+  std::vector<bool> seen_;  // scratch for analyze()
+
+  bool unsat_ = false;  // level-0 contradiction discovered
+  std::vector<Lit> last_assumptions_;  // for trail reuse across solves
+  Stats stats_;
+};
+
+}  // namespace meissa::smt

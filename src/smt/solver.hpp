@@ -1,0 +1,66 @@
+// Incremental SMT solving over Meissa's bit-vector expressions.
+//
+// The symbolic executor (paper §3.2) pushes one constraint per predicate
+// node and pops on DFS backtrack; the solver is expected to reuse work
+// across checks. Two interchangeable backends implement this interface:
+//
+//   * BvSolver  — Meissa's own: algebraic simplification, a single-field
+//                 interval/bit-domain fast path, and bit-blasting into an
+//                 incremental CDCL SAT core (src/smt/sat.hpp).
+//   * Z3Solver  — a thin adapter over libz3, built when available; used to
+//                 cross-check BvSolver in tests and benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "ir/stmt.hpp"
+
+namespace meissa::smt {
+
+enum class CheckResult { kSat, kUnsat, kUnknown };
+
+// A satisfying assignment: values for every field the solver saw.
+// Fields never mentioned in any assertion are unconstrained and absent.
+using Model = std::unordered_map<ir::FieldId, uint64_t>;
+
+struct SolverStats {
+  // check() invocations — the paper's "# of SMT calls" (Fig. 11b/12b).
+  uint64_t checks = 0;
+  // checks decided by the single-field domain fast path.
+  uint64_t fast_path_hits = 0;
+  // checks that reached the SAT core (or Z3).
+  uint64_t sat_calls = 0;
+  uint64_t pushes = 0;
+  uint64_t pops = 0;
+};
+
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  // Opens a new assertion scope (incremental solving).
+  virtual void push() = 0;
+  // Discards the most recent scope and its assertions.
+  virtual void pop() = 0;
+  // Asserts a boolean expression in the current scope.
+  virtual void add(ir::ExprRef bexp) = 0;
+  // Decides satisfiability of the conjunction of all active assertions.
+  virtual CheckResult check() = 0;
+  // Model of the last kSat check. Invalidated by the next add/pop/check.
+  virtual Model model() = 0;
+
+  virtual const SolverStats& stats() const = 0;
+};
+
+// Creates Meissa's own bit-vector solver. `ctx` must outlive the solver.
+std::unique_ptr<Solver> make_bv_solver(ir::Context& ctx);
+
+// Creates the Z3-backed solver; returns nullptr when built without Z3.
+std::unique_ptr<Solver> make_z3_solver(ir::Context& ctx);
+
+// True when this build has the Z3 backend.
+bool have_z3();
+
+}  // namespace meissa::smt

@@ -1,0 +1,147 @@
+// Optional Z3 backend. Compiled in only when libz3 is available; the
+// factory returns nullptr otherwise. Used to cross-validate Meissa's own
+// BvSolver in tests and as an alternative engine in benchmarks.
+#include "smt/solver.hpp"
+
+#ifdef MEISSA_HAVE_Z3
+
+#include <z3++.h>
+
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace meissa::smt {
+
+namespace {
+
+class Z3Solver final : public Solver {
+ public:
+  explicit Z3Solver(ir::Context& ctx) : ctx_(ctx), solver_(z3_) {}
+
+  void push() override {
+    ++stats_.pushes;
+    solver_.push();
+  }
+  void pop() override {
+    ++stats_.pops;
+    solver_.pop();
+  }
+  void add(ir::ExprRef bexp) override { solver_.add(translate(bexp)); }
+
+  CheckResult check() override {
+    ++stats_.checks;
+    ++stats_.sat_calls;
+    switch (solver_.check()) {
+      case z3::sat: return CheckResult::kSat;
+      case z3::unsat: return CheckResult::kUnsat;
+      default: return CheckResult::kUnknown;
+    }
+  }
+
+  Model model() override {
+    z3::model m = solver_.get_model();
+    Model out;
+    for (const auto& [fid, var] : vars_) {
+      z3::expr v = m.eval(var, /*model_completion=*/true);
+      out.emplace(fid, v.get_numeral_uint64());
+    }
+    return out;
+  }
+
+  const SolverStats& stats() const override { return stats_; }
+
+ private:
+  z3::expr var_for(ir::FieldId f, int width) {
+    auto it = vars_.find(f);
+    if (it != vars_.end()) return it->second;
+    z3::expr v = z3_.bv_const(ctx_.fields.name(f).c_str(), width);
+    vars_.emplace(f, v);
+    return v;
+  }
+
+  z3::expr translate(ir::ExprRef e) {
+    auto it = cache_.find(e);
+    if (it != cache_.end()) return it->second;
+    z3::expr out(z3_);
+    switch (e->kind) {
+      case ir::ExprKind::kConst:
+        out = z3_.bv_val(e->value, static_cast<unsigned>(e->width));
+        break;
+      case ir::ExprKind::kBoolConst:
+        out = z3_.bool_val(e->value != 0);
+        break;
+      case ir::ExprKind::kField:
+        out = var_for(e->field, e->width);
+        break;
+      case ir::ExprKind::kArith: {
+        z3::expr a = translate(e->lhs);
+        z3::expr b = translate(e->rhs);
+        switch (e->arith_op()) {
+          case ir::ArithOp::kAdd: out = a + b; break;
+          case ir::ArithOp::kSub: out = a - b; break;
+          case ir::ArithOp::kMul: out = a * b; break;
+          case ir::ArithOp::kAnd: out = a & b; break;
+          case ir::ArithOp::kOr:  out = a | b; break;
+          case ir::ArithOp::kXor: out = a ^ b; break;
+          case ir::ArithOp::kShl: out = z3::shl(a, b); break;
+          case ir::ArithOp::kShr: out = z3::lshr(a, b); break;
+        }
+        break;
+      }
+      case ir::ExprKind::kCmp: {
+        z3::expr a = translate(e->lhs);
+        z3::expr b = translate(e->rhs);
+        switch (e->cmp_op()) {
+          case ir::CmpOp::kEq: out = a == b; break;
+          case ir::CmpOp::kNe: out = a != b; break;
+          case ir::CmpOp::kLt: out = z3::ult(a, b); break;
+          case ir::CmpOp::kLe: out = z3::ule(a, b); break;
+          case ir::CmpOp::kGt: out = z3::ugt(a, b); break;
+          case ir::CmpOp::kGe: out = z3::uge(a, b); break;
+        }
+        break;
+      }
+      case ir::ExprKind::kBool: {
+        z3::expr a = translate(e->lhs);
+        z3::expr b = translate(e->rhs);
+        out = e->bool_op() == ir::BoolOp::kAnd ? (a && b) : (a || b);
+        break;
+      }
+      case ir::ExprKind::kNot:
+        out = !translate(e->lhs);
+        break;
+    }
+    cache_.emplace(e, out);
+    return out;
+  }
+
+  ir::Context& ctx_;
+  z3::context z3_;
+  z3::solver solver_;
+  std::unordered_map<ir::FieldId, z3::expr> vars_;
+  std::unordered_map<ir::ExprRef, z3::expr> cache_;
+  SolverStats stats_;
+};
+
+}  // namespace
+
+std::unique_ptr<Solver> make_z3_solver(ir::Context& ctx) {
+  return std::make_unique<Z3Solver>(ctx);
+}
+
+bool have_z3() { return true; }
+
+}  // namespace meissa::smt
+
+#else  // !MEISSA_HAVE_Z3
+
+namespace meissa::smt {
+
+std::unique_ptr<Solver> make_z3_solver(ir::Context&) { return nullptr; }
+
+bool have_z3() { return false; }
+
+}  // namespace meissa::smt
+
+#endif

@@ -1,0 +1,500 @@
+#include "summary/summary.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace meissa::summary {
+
+namespace {
+
+// Dataflow state: C as a set for O(1) intersection, V/tops as in
+// PreCondition. `reached` distinguishes "no path reaches this node yet"
+// (bottom) from "reachable with empty knowledge".
+struct FlowState {
+  bool reached = false;
+  std::unordered_set<ir::ExprRef> conds;
+  std::unordered_map<ir::FieldId, ir::ExprRef> values;
+  std::unordered_set<ir::FieldId> tops;
+};
+
+// Symbolic value of `f` in a flow state: explicit binding, TOP, or the
+// input symbol itself.
+ir::ExprRef flow_value(const FlowState& s, ir::Context& ctx, ir::FieldId f) {
+  auto it = s.values.find(f);
+  if (it != s.values.end()) return it->second;
+  if (s.tops.count(f)) return nullptr;  // TOP
+  return ctx.var(f);
+}
+
+void meet_into(FlowState& a, const FlowState& b, ir::Context& ctx) {
+  if (!b.reached) return;
+  if (!a.reached) {
+    a = b;
+    return;
+  }
+  // C: intersection.
+  for (auto it = a.conds.begin(); it != a.conds.end();) {
+    it = b.conds.count(*it) ? std::next(it) : a.conds.erase(it);
+  }
+  // V: fields known to either side must agree, else TOP.
+  std::vector<ir::FieldId> interesting;
+  for (const auto& [f, v] : a.values) interesting.push_back(f);
+  for (ir::FieldId f : a.tops) interesting.push_back(f);
+  for (const auto& [f, v] : b.values) interesting.push_back(f);
+  for (ir::FieldId f : b.tops) interesting.push_back(f);
+  std::unordered_map<ir::FieldId, ir::ExprRef> values;
+  std::unordered_set<ir::FieldId> tops;
+  for (ir::FieldId f : interesting) {
+    if (tops.count(f) || values.count(f)) continue;
+    ir::ExprRef va = flow_value(a, ctx, f);
+    ir::ExprRef vb = flow_value(b, ctx, f);
+    if (va == nullptr || vb == nullptr || va != vb) {
+      tops.insert(f);
+    } else if (va != ctx.var(f)) {
+      values.emplace(f, va);
+    }
+  }
+  a.values = std::move(values);
+  a.tops = std::move(tops);
+}
+
+// Transfer function for one node.
+void transfer(FlowState& s, const cfg::Node& n, ir::Context& ctx) {
+  auto subst_known = [&](ir::ExprRef e) -> ir::ExprRef {
+    // Substitute V; nullptr result when any referenced field is TOP.
+    std::unordered_set<ir::FieldId> fs;
+    ir::collect_fields(e, fs);
+    for (ir::FieldId f : fs) {
+      if (s.tops.count(f)) return nullptr;
+    }
+    return ir::substitute(e, ctx.arena, [&](ir::FieldId f, int) {
+      auto it = s.values.find(f);
+      return it != s.values.end() ? it->second : nullptr;
+    });
+  };
+  if (n.is_hash) {
+    s.values.erase(n.hash.dest);
+    s.tops.insert(n.hash.dest);
+    return;
+  }
+  switch (n.stmt.kind) {
+    case ir::StmtKind::kNop:
+      return;
+    case ir::StmtKind::kAssign: {
+      ir::ExprRef v = subst_known(n.stmt.expr);
+      if (v == nullptr) {
+        s.values.erase(n.stmt.target);
+        s.tops.insert(n.stmt.target);
+      } else {
+        s.tops.erase(n.stmt.target);
+        if (v == ctx.var(n.stmt.target)) {
+          s.values.erase(n.stmt.target);
+        } else {
+          s.values[n.stmt.target] = v;
+        }
+      }
+      return;
+    }
+    case ir::StmtKind::kAssume: {
+      ir::ExprRef c = subst_known(n.stmt.expr);
+      if (c != nullptr && c->is_false()) {
+        // Constant-infeasible branch: no valid path continues through it,
+        // so it must not weaken the meet (Algorithm 2 intersects over
+        // *valid* paths only).
+        s.reached = false;
+        return;
+      }
+      if (c != nullptr && !c->is_true()) s.conds.insert(c);
+      return;
+    }
+  }
+}
+
+// Nodes from which `target` is reachable, and their predecessors within
+// that set.
+struct Region {
+  std::unordered_set<cfg::NodeId> nodes;
+  std::unordered_map<cfg::NodeId, std::vector<cfg::NodeId>> preds;
+  std::vector<cfg::NodeId> topo;  // topological order, entry first
+};
+
+Region region_reaching(const cfg::Cfg& g, cfg::NodeId target) {
+  // Reverse reachability over the predecessor relation.
+  std::unordered_map<cfg::NodeId, std::vector<cfg::NodeId>> all_preds;
+  for (cfg::NodeId id = 0; id < g.size(); ++id) {
+    for (cfg::NodeId s : g.node(id).succ) all_preds[s].push_back(id);
+  }
+  Region r;
+  std::vector<cfg::NodeId> work{target};
+  r.nodes.insert(target);
+  while (!work.empty()) {
+    cfg::NodeId cur = work.back();
+    work.pop_back();
+    for (cfg::NodeId p : all_preds[cur]) {
+      if (r.nodes.insert(p).second) work.push_back(p);
+    }
+  }
+  for (cfg::NodeId id : r.nodes) {
+    for (cfg::NodeId p : all_preds[id]) {
+      if (r.nodes.count(p)) r.preds[id].push_back(p);
+    }
+  }
+  // Kahn topological order within the region (edges restricted to region,
+  // and not leaving `target`).
+  std::unordered_map<cfg::NodeId, size_t> indeg;
+  for (cfg::NodeId id : r.nodes) indeg[id] = r.preds[id].size();
+  std::vector<cfg::NodeId> ready;
+  for (auto& [id, d] : indeg) {
+    if (d == 0) ready.push_back(id);
+  }
+  while (!ready.empty()) {
+    cfg::NodeId cur = ready.back();
+    ready.pop_back();
+    r.topo.push_back(cur);
+    if (cur == target) continue;
+    for (cfg::NodeId s : g.node(cur).succ) {
+      if (!r.nodes.count(s)) continue;
+      if (--indeg[s] == 0) ready.push_back(s);
+    }
+  }
+  util::check(r.topo.size() == r.nodes.size(),
+              "region_reaching: cyclic region");
+  return r;
+}
+
+}  // namespace
+
+PreCondition compute_precondition(ir::Context& ctx, const cfg::Cfg& g,
+                                  cfg::NodeId target) {
+  Region region = region_reaching(g, target);
+  std::unordered_map<cfg::NodeId, FlowState> in;
+  for (cfg::NodeId id : region.topo) {
+    FlowState state;
+    if (id == g.entry()) {
+      state.reached = true;
+    }
+    for (cfg::NodeId p : region.preds[id]) {
+      // OUT(p) = transfer(p, IN(p)); compute lazily per edge.
+      FlowState out = in[p];
+      if (out.reached) transfer(out, g.node(p), ctx);
+      meet_into(state, out, ctx);
+    }
+    in[id] = std::move(state);
+  }
+  FlowState& t = in[target];
+  PreCondition pc;
+  if (!t.reached) {
+    // Unreachable pipeline: an impossible pre-condition prunes everything.
+    pc.conds.push_back(ctx.arena.bool_const(false));
+    return pc;
+  }
+  pc.conds.assign(t.conds.begin(), t.conds.end());
+  pc.values = std::move(t.values);
+  pc.tops = std::move(t.tops);
+  return pc;
+}
+
+std::optional<PreCondition> compute_precondition_by_enumeration(
+    ir::Context& ctx, const cfg::Cfg& g, cfg::NodeId target,
+    size_t path_limit, uint64_t* smt_checks) {
+  sym::EngineOptions opts;
+  opts.stop = target;
+  opts.max_results = path_limit + 1;
+  sym::Engine eng(ctx, g, opts);
+  bool first = true;
+  std::unordered_set<ir::ExprRef> conds;
+  std::unordered_map<ir::FieldId, ir::ExprRef> values;  // agreeing values
+  std::unordered_set<ir::FieldId> tops;
+  // Per-field constant sets across paths (for value-set pre-conditions);
+  // a field leaves the map when any path gives it a non-constant value or
+  // the set grows beyond the merge limit.
+  constexpr size_t kMaxValueSet = 96;
+  std::unordered_map<ir::FieldId, std::unordered_set<uint64_t>> const_sets;
+  size_t count = 0;
+  eng.run([&](const sym::PathResult& r) {
+    if (++count > path_limit) return;
+    std::unordered_set<ir::ExprRef> rc(r.conds.begin(), r.conds.end());
+    if (first) {
+      conds = std::move(rc);
+      values = r.values;
+      first = false;
+      for (auto& [f, v] : r.values) {
+        if (v->is_const()) const_sets[f].insert(v->value);
+      }
+      return;
+    }
+    for (auto it = conds.begin(); it != conds.end();) {
+      it = rc.count(*it) ? std::next(it) : conds.erase(it);
+    }
+    std::vector<ir::FieldId> interesting;
+    for (auto& [f, v] : values) interesting.push_back(f);
+    for (auto& [f, v] : r.values) interesting.push_back(f);
+    for (ir::FieldId f : interesting) {
+      if (tops.count(f)) continue;
+      auto a = values.find(f);
+      ir::ExprRef va = a != values.end() ? a->second : ctx.var(f);
+      auto b = r.values.find(f);
+      ir::ExprRef vb = b != r.values.end() ? b->second : ctx.var(f);
+      if (va != vb) {
+        tops.insert(f);
+        values.erase(f);
+      }
+    }
+    for (auto it = const_sets.begin(); it != const_sets.end();) {
+      auto b = r.values.find(it->first);
+      if (b == r.values.end() || !b->second->is_const() ||
+          it->second.size() > kMaxValueSet) {
+        it = const_sets.erase(it);
+      } else {
+        it->second.insert(b->second->value);
+        ++it;
+      }
+    }
+  });
+  if (smt_checks != nullptr) *smt_checks += eng.stats().solver.checks;
+  if (count > path_limit) return std::nullopt;
+  PreCondition pc;
+  if (first) {
+    pc.conds.push_back(ctx.arena.bool_const(false));
+    return pc;
+  }
+  pc.conds.assign(conds.begin(), conds.end());
+  for (auto& [f, v] : values) {
+    if (v != ctx.var(f)) pc.values.emplace(f, v);
+  }
+  for (ir::FieldId f : tops) {
+    auto it = const_sets.find(f);
+    if (it != const_sets.end() && !it->second.empty()) {
+      pc.value_sets.emplace(
+          f, std::vector<uint64_t>(it->second.begin(), it->second.end()));
+    }
+  }
+  pc.tops = std::move(tops);
+  return pc;
+}
+
+namespace {
+
+// Encodes one internal valid path as a compact branch (Algorithm 2 lines
+// 12–25) and splices it between `entry` and `exit`.
+class PathEncoder {
+ public:
+  PathEncoder(ir::Context& ctx, cfg::Cfg& g, int instance,
+              const std::string& inst_name,
+              const std::unordered_map<ir::FieldId, ir::ExprRef>& seeds)
+      : ctx_(ctx), g_(g), instance_(instance), inst_name_(inst_name),
+        seeds_(seeds) {}
+
+  void encode(const sym::PathResult& r, cfg::NodeId entry, cfg::NodeId exit) {
+    // Changed fields: assigned inside the pipeline to something other than
+    // their seed. Skip snapshot fields themselves.
+    std::vector<std::pair<ir::FieldId, ir::ExprRef>> changed;
+    for (const auto& [f, v] : r.values) {
+      auto s = seeds_.find(f);
+      if (s != seeds_.end() && s->second == v) continue;  // still the seed
+      if (s == seeds_.end() && v == ctx_.var(f)) continue;  // identity
+      changed.push_back({f, v});
+    }
+    std::sort(changed.begin(), changed.end());  // deterministic order
+
+    // Substitution for raw reads of fields this path changes: a raw field
+    // occurrence means "value at pipeline entry", which Phase A snapshots.
+    std::unordered_set<ir::FieldId> changed_unseeded;
+    for (const auto& [f, v] : changed) {
+      if (!seeds_.count(f)) changed_unseeded.insert(f);
+    }
+    auto at_entry = [&](ir::ExprRef e) {
+      return ir::substitute(e, ctx_.arena, [&](ir::FieldId f, int w) -> ir::ExprRef {
+        if (changed_unseeded.count(f)) {
+          return ctx_.arena.field(snapshot_fid(f), w);
+        }
+        return nullptr;
+      });
+    };
+
+    std::vector<ir::ExprRef> conds;
+    conds.reserve(r.conds.size());
+    for (ir::ExprRef c : r.conds) conds.push_back(at_entry(c));
+    std::vector<std::pair<ir::FieldId, ir::ExprRef>> assigns;
+    for (const auto& [f, v] : changed) assigns.push_back({f, at_entry(v)});
+    std::vector<sym::HashObligation> obligations = r.obligations;
+    for (sym::HashObligation& o : obligations) {
+      for (ir::ExprRef& k : o.key_exprs) k = at_entry(k);
+    }
+
+    // Phase A: snapshot every @field the encoded expressions mention.
+    std::unordered_set<ir::FieldId> mentioned;
+    for (ir::ExprRef c : conds) ir::collect_fields(c, mentioned);
+    for (auto& [f, v] : assigns) ir::collect_fields(v, mentioned);
+    for (auto& o : obligations) {
+      for (ir::ExprRef k : o.key_exprs) ir::collect_fields(k, mentioned);
+    }
+    cfg::NodeId cur = entry;
+    auto link_next = [&](cfg::NodeId n) {
+      g_.node(n).instance = instance_;
+      g_.link(cur, n);
+      cur = n;
+    };
+    std::vector<ir::FieldId> snaps;
+    for (ir::FieldId f : mentioned) {
+      auto it = snapshot_of_.find(f);
+      if (it != snapshot_of_.end()) snaps.push_back(f);
+    }
+    std::sort(snaps.begin(), snaps.end());
+    for (ir::FieldId at : snaps) {
+      ir::FieldId orig = snapshot_of_.at(at);
+      link_next(g_.add(ir::Stmt::assign(at, ctx_.var(orig))));
+    }
+
+    // Phase B: hash definitions (into their fresh placeholders).
+    for (const sym::HashObligation& o : obligations) {
+      cfg::HashStmt h;
+      h.dest = o.placeholder;
+      h.algo = o.algo;
+      h.key_exprs = o.key_exprs;
+      link_next(g_.add_hash(std::move(h)));
+    }
+
+    // Guard: one predicate node with the whole path condition.
+    link_next(g_.add(ir::Stmt::assume(ctx_.arena.all_of(conds))));
+
+    // Phase C: the path's overall effects (order-independent: right-hand
+    // sides only mention snapshots, placeholders and untouched inputs).
+    for (const auto& [f, v] : assigns) {
+      link_next(g_.add(ir::Stmt::assign(f, v)));
+    }
+    g_.link(cur, exit);
+  }
+
+  // Snapshot field ("@<name>@<inst>") for `f`, record reverse mapping.
+  ir::FieldId snapshot_fid(ir::FieldId f) {
+    auto it = snapshot_for_.find(f);
+    if (it != snapshot_for_.end()) return it->second;
+    int w = ctx_.fields.width(f);
+    ir::FieldId at =
+        ctx_.fields.intern("@" + ctx_.fields.name(f) + "@" + inst_name_, w);
+    snapshot_for_.emplace(f, at);
+    snapshot_of_.emplace(at, f);
+    return at;
+  }
+
+  // Registers seed snapshots (fields seeded to @f by the summarizer).
+  void note_seed_snapshot(ir::FieldId at_field, ir::FieldId orig) {
+    snapshot_of_.emplace(at_field, orig);
+    snapshot_for_.emplace(orig, at_field);
+  }
+
+ private:
+  ir::Context& ctx_;
+  cfg::Cfg& g_;
+  int instance_;
+  const std::string& inst_name_;
+  const std::unordered_map<ir::FieldId, ir::ExprRef>& seeds_;
+  std::unordered_map<ir::FieldId, ir::FieldId> snapshot_for_;  // f -> @f
+  std::unordered_map<ir::FieldId, ir::FieldId> snapshot_of_;   // @f -> f
+};
+
+}  // namespace
+
+SummaryResult summarize(ir::Context& ctx, const cfg::Cfg& original,
+                        const SummaryOptions& opts) {
+  SummaryResult result;
+  result.graph = original;  // working copy
+  cfg::Cfg& g = result.graph;
+
+  for (size_t k = 0; k < g.instances().size(); ++k) {
+    const cfg::InstanceInfo& info = g.instances()[k];
+    auto t0 = std::chrono::steady_clock::now();
+    PipelineSummary ps;
+    ps.instance = info.name;
+    ps.paths_before = g.count_instance_paths(static_cast<int>(k));
+
+    // 1. Public pre-condition (Algorithm 2 lines 4–7): exact path
+    // enumeration, falling back to the dataflow meet on explosion.
+    PreCondition pc;
+    if (opts.precondition_filtering) {
+      if (opts.precondition_mode == SummaryOptions::PreconditionMode::kDataflow) {
+        pc = compute_precondition(ctx, g, info.entry);
+      } else {
+        std::optional<PreCondition> exact = compute_precondition_by_enumeration(
+            ctx, g, info.entry, opts.max_precondition_paths, &ps.smt_checks);
+        pc = exact ? std::move(*exact)
+                   : compute_precondition(ctx, g, info.entry);
+      }
+    }
+
+    // 2. Symbolic execution within the pipeline (line 9), seeded so that
+    // every expression it produces is in pipeline-entry terms.
+    sym::EngineOptions eopts;
+    eopts.start = info.entry;
+    eopts.stop = info.exit;
+    eopts.use_z3 = opts.use_z3;
+    eopts.check_every_predicate = opts.check_every_predicate;
+    sym::Engine eng(ctx, g, eopts);
+    std::unordered_map<ir::FieldId, ir::ExprRef> seeds;
+    PathEncoder encoder(ctx, g, static_cast<int>(k), info.name, seeds);
+    for (ir::ExprRef c : pc.conds) eng.add_precondition(c);
+    auto seed_snapshot = [&](ir::FieldId f) {
+      int w = ctx.fields.width(f);
+      ir::FieldId at =
+          ctx.fields.intern("@" + ctx.fields.name(f) + "@" + info.name, w);
+      encoder.note_seed_snapshot(at, f);
+      ir::ExprRef at_var = ctx.arena.field(at, w);
+      seeds.emplace(f, at_var);
+      eng.seed_value(f, at_var);
+      return at_var;
+    };
+    for (ir::FieldId f : pc.tops) {
+      ir::ExprRef at_var = seed_snapshot(f);
+      auto vs = pc.value_sets.find(f);
+      if (vs != pc.value_sets.end()) {
+        // Merged per-packet-type pre-condition: the entry value is one of
+        // the constants the predecessor paths produce (paper §7).
+        std::vector<ir::ExprRef> eqs;
+        for (uint64_t v : vs->second) {
+          eqs.push_back(ctx.arena.cmp(
+              ir::CmpOp::kEq, at_var,
+              ctx.arena.constant(v, ctx.fields.width(f))));
+        }
+        eng.add_precondition(ctx.arena.any_of(eqs));
+      }
+    }
+    for (const auto& [f, v] : pc.values) {
+      // Known entry value: seed the snapshot and teach the solver the
+      // binding @f == V_pub(f).
+      ir::ExprRef at_var = seed_snapshot(f);
+      eng.add_precondition(ctx.arena.cmp(ir::CmpOp::kEq, at_var, v));
+    }
+
+    std::vector<sym::PathResult> internal;
+    eng.run([&](const sym::PathResult& r) { internal.push_back(r); });
+
+    // 3. Replace the subgraph with the summarized branches (lines 11–25).
+    g.node(info.entry).succ.clear();
+    if (internal.empty()) {
+      // No packet can traverse this pipeline: a false guard keeps the
+      // subgraph single-entry single-exit while pruning all paths.
+      cfg::NodeId dead = g.add(ir::Stmt::assume(ctx.arena.bool_const(false)));
+      g.node(dead).instance = static_cast<int>(k);
+      g.link(info.entry, dead);
+      g.link(dead, info.exit);
+    }
+    for (const sym::PathResult& r : internal) {
+      encoder.encode(r, info.entry, info.exit);
+    }
+
+    ps.paths_after = internal.size();
+    ps.smt_checks += eng.stats().solver.checks;
+    ps.seconds = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+    result.total_smt_checks += ps.smt_checks;
+    result.per_pipeline.push_back(std::move(ps));
+  }
+  return result;
+}
+
+}  // namespace meissa::summary

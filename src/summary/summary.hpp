@@ -1,0 +1,96 @@
+// Code summary — the paper's core contribution (§3.3, Algorithm 2).
+//
+// Processes pipeline instances in topological order. For each pipeline it
+//   1. computes the *public pre-condition* (C_pub, V_pub): constraints and
+//      value bindings shared by every valid path from the CFG entry to the
+//      pipeline's entry (inter-pipeline public pre-condition filtering),
+//   2. symbolically executes the pipeline body under that pre-condition,
+//      collecting its valid internal paths (intra-pipeline redundancy
+//      elimination), and
+//   3. replaces the pipeline subgraph with one compact branch per valid
+//      path: entry-value snapshots (`@field@inst <- field`), hash
+//      definitions, a single predicate node carrying the path's guard
+//      conjunction, and the path's overall assignment effects — the
+//      auxiliary-variable encoding of §3.3 that preserves simultaneous-
+//      update atomicity.
+//
+// The pass preserves the set of valid paths and their path conditions
+// (paper §3.4); tests/summary_test.cpp checks this property on randomized
+// multi-pipeline programs.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include <optional>
+
+#include "sym/engine.hpp"
+
+namespace meissa::summary {
+
+struct SummaryOptions {
+  // Inter-pipeline public pre-condition filtering (ablatable; intra-
+  // pipeline redundancy elimination always runs).
+  bool precondition_filtering = true;
+  bool use_z3 = false;
+  bool check_every_predicate = false;  // paper-faithful Algorithm 1/2 mode
+  // Pre-condition computation: the default dataflow meet costs O(graph)
+  // and no solver calls; exact per-path enumeration (Algorithm 2 lines
+  // 4-7 verbatim) costs O(k * m^k) and is available for cross-checking.
+  enum class PreconditionMode { kDataflow, kEnumeration };
+  PreconditionMode precondition_mode = PreconditionMode::kEnumeration;
+  // Enumeration mode: beyond this many prefix paths, fall back to the
+  // dataflow meet.
+  size_t max_precondition_paths = 4096;
+};
+
+// The public pre-condition of one pipeline: constraints over program
+// inputs, plus per-field knowledge of the value every valid path assigns
+// (absent + not top = the field is untouched, i.e. still the input symbol).
+struct PreCondition {
+  std::vector<ir::ExprRef> conds;
+  std::unordered_map<ir::FieldId, ir::ExprRef> values;
+  std::unordered_set<ir::FieldId> tops;  // paths disagree: value unknown
+  // For tops whose per-path values are all constants: the merged value set
+  // (the paper's §7 "group pre-conditions by packet type ... merge them
+  // into a full summary", kept as one disjunctive pre-condition).
+  std::unordered_map<ir::FieldId, std::vector<uint64_t>> value_sets;
+};
+
+// Computes the pre-condition at `target` as a forward dataflow meet over
+// the DAG (equivalent to intersecting over all entry→target paths as in
+// Algorithm 2 lines 4–7, without enumerating them; the meet is the same
+// intersection, computed at join points).
+PreCondition compute_precondition(ir::Context& ctx, const cfg::Cfg& g,
+                                  cfg::NodeId target);
+
+// Primary implementation (Algorithm 2 verbatim): enumerates all valid
+// entry→target paths and intersects their constraints and value stacks.
+// Returns nullopt when more than `path_limit` prefix paths exist, in which
+// case callers fall back to the dataflow meet above. `smt_checks`, when
+// non-null, accumulates the solver checks spent on the enumeration.
+std::optional<PreCondition> compute_precondition_by_enumeration(
+    ir::Context& ctx, const cfg::Cfg& g, cfg::NodeId target,
+    size_t path_limit, uint64_t* smt_checks = nullptr);
+
+struct PipelineSummary {
+  std::string instance;
+  util::BigCount paths_before;  // possible paths in the original subgraph
+  uint64_t paths_after = 0;     // summarized (valid) paths
+  uint64_t smt_checks = 0;      // solver checks spent summarizing
+  double seconds = 0.0;
+};
+
+struct SummaryResult {
+  cfg::Cfg graph;  // the summarized CFG
+  std::vector<PipelineSummary> per_pipeline;
+  uint64_t total_smt_checks = 0;
+};
+
+// Runs code summary over `g` (which must have instance metadata).
+SummaryResult summarize(ir::Context& ctx, const cfg::Cfg& g,
+                        const SummaryOptions& opts = {});
+
+}  // namespace meissa::summary

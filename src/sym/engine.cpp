@@ -1,0 +1,272 @@
+#include "sym/engine.hpp"
+
+#include "util/error.hpp"
+
+namespace meissa::sym {
+
+namespace {
+
+// Collects `expr == const` conjuncts: the "constrained with one value"
+// test of paper §4 that lets hash results be computed concretely even
+// when the keys were pinned by match conditions rather than assignments.
+void collect_eq_pins(ir::ExprRef c,
+                     std::unordered_map<ir::ExprRef, uint64_t>& pins) {
+  if (c->kind == ir::ExprKind::kBool &&
+      c->bool_op() == ir::BoolOp::kAnd) {
+    collect_eq_pins(c->lhs, pins);
+    collect_eq_pins(c->rhs, pins);
+    return;
+  }
+  if (c->kind == ir::ExprKind::kCmp && c->cmp_op() == ir::CmpOp::kEq &&
+      c->rhs->kind == ir::ExprKind::kConst) {
+    pins.emplace(c->lhs, c->rhs->value);
+  }
+}
+
+}  // namespace
+
+Engine::Engine(ir::Context& ctx, const cfg::Cfg& g, EngineOptions opts)
+    : ctx_(ctx), g_(g), opts_(opts), state_(ctx) {
+  if (opts_.incremental) solver_ = make_solver();
+  if (opts_.stop != cfg::kNoNode) {
+    // Stop-mode exploration never needs nodes from which the stop node is
+    // unreachable; precompute the reverse-reachable region.
+    reaches_stop_.assign(g_.size(), false);
+    std::vector<std::vector<cfg::NodeId>> preds(g_.size());
+    for (cfg::NodeId id = 0; id < g_.size(); ++id) {
+      for (cfg::NodeId s : g_.node(id).succ) preds[s].push_back(id);
+    }
+    std::vector<cfg::NodeId> work{opts_.stop};
+    reaches_stop_[opts_.stop] = true;
+    while (!work.empty()) {
+      cfg::NodeId cur = work.back();
+      work.pop_back();
+      for (cfg::NodeId p : preds[cur]) {
+        if (!reaches_stop_[p]) {
+          reaches_stop_[p] = true;
+          work.push_back(p);
+        }
+      }
+    }
+  }
+}
+
+std::unique_ptr<smt::Solver> Engine::make_solver() const {
+  if (opts_.use_z3) {
+    auto s = smt::make_z3_solver(ctx_);
+    util::check(s != nullptr, "engine: Z3 backend requested but unavailable");
+    return s;
+  }
+  return smt::make_bv_solver(ctx_);
+}
+
+void Engine::add_precondition(ir::ExprRef c) {
+  util::check(c != nullptr && c->is_bool(), "precondition must be boolean");
+  preconds_.push_back(c);
+  if (solver_) solver_->add(c);
+}
+
+void Engine::seed_value(ir::FieldId f, ir::ExprRef value) {
+  state_.assign(f, value);
+}
+
+smt::CheckResult Engine::check_current() {
+  if (opts_.incremental) {
+    smt::CheckResult r = solver_->check();
+    stats_.solver = solver_->stats();
+    return r;
+  }
+  // Non-incremental: fresh solver, re-assert everything (p4pktgen-style).
+  auto s = make_solver();
+  for (ir::ExprRef c : preconds_) s->add(c);
+  for (ir::ExprRef c : state_.conds()) s->add(c);
+  smt::CheckResult r = s->check();
+  stats_.solver.checks += s->stats().checks;
+  stats_.solver.fast_path_hits += s->stats().fast_path_hits;
+  stats_.solver.sat_calls += s->stats().sat_calls;
+  return r;
+}
+
+void Engine::run(const Sink& sink) {
+  // An unsatisfiable precondition set prunes the whole exploration; check
+  // it once up front (otherwise predicate-free paths would never be
+  // validated against it in incremental mode).
+  if (!preconds_.empty() && opts_.incremental) {
+    if (check_current() == smt::CheckResult::kUnsat) {
+      ++stats_.pruned_paths;
+      return;
+    }
+  }
+  if (opts_.time_budget_seconds > 0) {
+    has_deadline_ = true;
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(opts_.time_budget_seconds));
+  }
+  cfg::NodeId start = opts_.start == cfg::kNoNode ? g_.entry() : opts_.start;
+  dfs(start, sink);
+  if (opts_.incremental) stats_.solver = solver_->stats();
+}
+
+void Engine::dfs(cfg::NodeId id, const Sink& sink) {
+  if (aborted_) return;
+  if (!reaches_stop_.empty() && !reaches_stop_[id]) return;
+  ++stats_.nodes_visited;
+  if (has_deadline_ && (stats_.nodes_visited & 0xff) == 0 &&
+      std::chrono::steady_clock::now() > deadline_) {
+    stats_.timed_out = true;
+    aborted_ = true;
+    return;
+  }
+  const cfg::Node& n = g_.node(id);
+  const SymState::Mark mark = state_.mark();
+  bool pushed = false;
+
+  // Leaves: the stop node (summary mode) or a successor-less terminal.
+  const bool is_leaf =
+      (opts_.stop != cfg::kNoNode && id == opts_.stop) || n.succ.empty();
+
+  // --- Execute the node's statement (skipped for the stop node). ---------
+  bool feasible = true;
+  if (!(opts_.stop != cfg::kNoNode && id == opts_.stop)) {
+    if (n.is_hash) {
+      // Paper §4: compute the hash when every key is pinned to a constant;
+      // otherwise leave the destination unconstrained and record an
+      // obligation for the driver.
+      std::vector<ir::ExprRef> keys;
+      bool all_const = true;
+      for (ir::FieldId k : n.hash.keys) {
+        keys.push_back(state_.value_of(k));
+        all_const &= keys.back()->is_const();
+      }
+      if (!n.hash.key_exprs.empty()) {
+        keys.clear();
+        all_const = true;
+        for (ir::ExprRef e : n.hash.key_exprs) {
+          keys.push_back(state_.subst(e));
+          all_const &= keys.back()->is_const();
+        }
+      }
+      if (!all_const) {
+        // Keys not pinned by assignment may still be pinned by equality
+        // conditions on the path (e.g. exact table matches).
+        std::unordered_map<ir::ExprRef, uint64_t> pins;
+        for (ir::ExprRef c : state_.conds()) collect_eq_pins(c, pins);
+        for (ir::ExprRef c : preconds_) collect_eq_pins(c, pins);
+        all_const = true;
+        for (ir::ExprRef& k : keys) {
+          if (k->is_const()) continue;
+          auto it = pins.find(k);
+          if (it != pins.end()) {
+            k = ctx_.arena.constant(it->second, k->width);
+          } else {
+            all_const = false;
+          }
+        }
+      }
+      const int dest_w = ctx_.fields.width(n.hash.dest);
+      if (all_const) {
+        std::vector<uint64_t> kv;
+        std::vector<int> kw;
+        for (ir::ExprRef e : keys) {
+          kv.push_back(e->value);
+          kw.push_back(e->width);
+        }
+        uint64_t h = p4::compute_hash(n.hash.algo, kv, kw, dest_w);
+        state_.assign(n.hash.dest, ctx_.arena.constant(h, dest_w));
+      } else {
+        ir::FieldId fresh = state_.fresh_symbol(dest_w);
+        state_.assign(n.hash.dest, ctx_.var(fresh));
+        HashObligation o;
+        o.placeholder = fresh;
+        o.algo = n.hash.algo;
+        o.key_exprs = keys;
+        for (ir::ExprRef e : keys) o.key_widths.push_back(e->width);
+        state_.add_obligation(std::move(o));
+      }
+    } else {
+      switch (n.stmt.kind) {
+        case ir::StmtKind::kNop:
+          break;
+        case ir::StmtKind::kAssign:
+          state_.assign(n.stmt.target, state_.subst(n.stmt.expr));
+          break;
+        case ir::StmtKind::kAssume: {
+          ir::ExprRef c = state_.subst(n.stmt.expr);
+          if (!opts_.check_every_predicate && c->is_true()) {
+            ++stats_.folded_checks;
+          } else if (!opts_.check_every_predicate && c->is_false()) {
+            ++stats_.folded_checks;
+            feasible = false;
+          } else {
+            state_.add_cond(c);
+            if (opts_.incremental) {
+              solver_->push();
+              solver_->add(c);
+            }
+            pushed = true;
+            if (opts_.early_termination) {
+              if (check_current() == smt::CheckResult::kUnsat) feasible = false;
+            }
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  if (feasible) {
+    if (is_leaf && opts_.stop != cfg::kNoNode && id != opts_.stop) {
+      // A terminal that is not the requested stop node: the path never
+      // reaches the target and is not a result (it is not pruned either -
+      // it simply lies outside the exploration's scope).
+      ++stats_.offtarget_paths;
+    } else if (is_leaf) {
+      // Without early termination nothing has been checked yet; validate
+      // the whole path condition once at the leaf.
+      bool valid = true;
+      if (!opts_.early_termination || !opts_.incremental) {
+        valid = check_current() == smt::CheckResult::kSat;
+      }
+      if (valid) {
+        ++stats_.valid_paths;
+        PathResult r;
+        r.path = cur_path_;
+        r.path.push_back(id);
+        r.conds = state_.conds();
+        r.values = state_.values();
+        r.obligations = state_.obligations();
+        r.exit = n.exit;
+        r.emit_instance = n.emit_instance;
+        sink(r);
+        if (opts_.max_results != 0 && stats_.valid_paths >= opts_.max_results) {
+          aborted_ = true;
+        }
+      } else {
+        ++stats_.pruned_paths;
+      }
+    } else {
+      cur_path_.push_back(id);
+      for (cfg::NodeId s : n.succ) {
+        dfs(s, sink);
+        if (aborted_) break;
+      }
+      cur_path_.pop_back();
+    }
+  } else {
+    ++stats_.pruned_paths;
+  }
+
+  if (pushed && opts_.incremental) solver_->pop();
+  state_.rollback(mark);
+}
+
+std::optional<smt::Model> Engine::solve_for_model(const PathResult& r) {
+  auto s = make_solver();
+  for (ir::ExprRef c : preconds_) s->add(c);
+  for (ir::ExprRef c : r.conds) s->add(c);
+  if (s->check() != smt::CheckResult::kSat) return std::nullopt;
+  return s->model();
+}
+
+}  // namespace meissa::sym

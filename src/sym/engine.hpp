@@ -1,0 +1,113 @@
+// The symbolic-execution engine — Algorithm 1 of the paper: DFS over the
+// CFG maintaining the value stack V and condition stack C, with early
+// termination (a satisfiability check at every predicate node) backed by
+// an incremental solver (push on descend, pop on backtrack).
+//
+// The engine is reused by three callers:
+//   * test-case generation over the whole (or summarized) CFG,
+//   * the code-summary pass, which runs it *within* one pipeline subgraph
+//     (custom start/stop nodes, seeded state and preconditions),
+//   * baselines, which disable early termination and/or incrementality.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <memory>
+
+#include "cfg/cfg.hpp"
+#include "smt/solver.hpp"
+#include "sym/state.hpp"
+
+namespace meissa::sym {
+
+struct EngineOptions {
+  // Prune at every predicate node (paper §3.2). Off = check only at leaves
+  // (the Gauntlet-style model-based mode).
+  bool early_termination = true;
+  // Paper-faithful Algorithm 1: a solver call at EVERY predicate node
+  // (Fig. 6's Sym.Predicate rule). Off (default) enables this
+  // implementation's optimization of deciding constant-folded predicates
+  // without touching the solver.
+  bool check_every_predicate = false;
+  // Reuse one incremental solver with push/pop. Off = build a fresh solver
+  // and re-assert the whole condition stack at every check (p4pktgen-style).
+  bool incremental = true;
+  // Use the Z3 backend instead of Meissa's own solver.
+  bool use_z3 = false;
+  // Exploration starts here (kNoNode: the CFG entry)...
+  cfg::NodeId start = cfg::kNoNode;
+  // ...and treats this node as a leaf without executing it (kNoNode: run to
+  // terminals). Used by code summary to stop at a pipeline's entry/exit.
+  cfg::NodeId stop = cfg::kNoNode;
+  // Safety cap on emitted results; 0 = unlimited.
+  uint64_t max_results = 0;
+  // Wall-clock budget in seconds; 0 = unlimited. Exceeding it aborts the
+  // exploration and sets EngineStats::timed_out (used to reproduce the
+  // paper's one-hour-budget timeouts, Fig. 9).
+  double time_budget_seconds = 0;
+};
+
+struct EngineStats {
+  uint64_t valid_paths = 0;     // results emitted
+  uint64_t pruned_paths = 0;    // DFS branches cut (early termination/leaf)
+  uint64_t folded_checks = 0;   // predicates decided by substitution alone
+  uint64_t nodes_visited = 0;
+  // Terminals reached that were not the requested stop node (stop mode).
+  uint64_t offtarget_paths = 0;
+  bool timed_out = false;
+  smt::SolverStats solver;      // checks = the paper's "# of SMT calls"
+};
+
+// One explored valid path, in input terms.
+struct PathResult {
+  cfg::Path path;
+  std::vector<ir::ExprRef> conds;  // path condition conjuncts
+  std::unordered_map<ir::FieldId, ir::ExprRef> values;  // final V
+  std::vector<HashObligation> obligations;
+  cfg::ExitKind exit = cfg::ExitKind::kNone;
+  int emit_instance = -1;
+};
+
+class Engine {
+ public:
+  using Sink = std::function<void(const PathResult&)>;
+
+  Engine(ir::Context& ctx, const cfg::Cfg& g, EngineOptions opts = {});
+
+  // Asserted before exploration; constrains every path (used for public
+  // pre-conditions and LPI assumes).
+  void add_precondition(ir::ExprRef c);
+  // Seeds the value stack (used by code summary: entry snapshots / V_pub).
+  void seed_value(ir::FieldId f, ir::ExprRef value);
+
+  // Runs the DFS; invokes `sink` for every valid path found.
+  void run(const Sink& sink);
+
+  const EngineStats& stats() const { return stats_; }
+
+  // Solves this result's path condition (plus preconditions) and returns a
+  // satisfying input assignment; nullopt if (unexpectedly) unsat. The model
+  // covers every field mentioned; unmentioned inputs are free.
+  std::optional<smt::Model> solve_for_model(const PathResult& r);
+
+ private:
+  void dfs(cfg::NodeId id, const Sink& sink);
+  // Returns kSat/kUnsat for the current condition stack.
+  smt::CheckResult check_current();
+  std::unique_ptr<smt::Solver> make_solver() const;
+
+  ir::Context& ctx_;
+  const cfg::Cfg& g_;
+  EngineOptions opts_;
+  SymState state_;
+  std::unique_ptr<smt::Solver> solver_;  // incremental mode
+  std::vector<ir::ExprRef> preconds_;
+  cfg::Path cur_path_;
+  std::vector<bool> reaches_stop_;  // stop mode: region that reaches stop
+  EngineStats stats_;
+  bool aborted_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_deadline_ = false;
+};
+
+}  // namespace meissa::sym

@@ -1,0 +1,100 @@
+// Symbolic state for DFS path exploration: the paper's value stack V and
+// condition stack C (§3.2, Fig. 6), with O(1) undo for backtracking.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "cfg/cfg.hpp"
+#include "ir/stmt.hpp"
+
+namespace meissa::sym {
+
+// A hash whose keys were not pinned to constants at execution time: the
+// destination was left as the fresh symbol `placeholder`, and the test
+// driver must later verify hash(keys...) == model(placeholder) (paper §4).
+struct HashObligation {
+  ir::FieldId placeholder = ir::kInvalidField;
+  p4::HashAlgo algo = p4::HashAlgo::kCrc16;
+  std::vector<ir::ExprRef> key_exprs;  // input-terms at execution time
+  std::vector<int> key_widths;
+};
+
+// The mutable symbolic state of one DFS exploration. All three stacks
+// (values, conditions, hash obligations) support mark/rollback.
+class SymState {
+ public:
+  explicit SymState(ir::Context& ctx) : ctx_(ctx) {}
+
+  // Current symbolic value of a field: its assigned expression, or the
+  // field variable itself when never assigned (the input symbol).
+  ir::ExprRef value_of(ir::FieldId f) {
+    auto it = values_.find(f);
+    if (it != values_.end()) return it->second;
+    return ctx_.var(f);
+  }
+
+  // ⟦V⟧e — substitutes current values into `e` (re-simplifying).
+  ir::ExprRef subst(ir::ExprRef e) {
+    return ir::substitute(e, ctx_.arena, [this](ir::FieldId f, int) {
+      auto it = values_.find(f);
+      return it != values_.end() ? it->second : nullptr;
+    });
+  }
+
+  void assign(ir::FieldId f, ir::ExprRef value) {
+    auto it = values_.find(f);
+    undo_.push_back({f, it != values_.end() ? it->second : nullptr});
+    values_[f] = value;
+  }
+
+  void add_cond(ir::ExprRef c) { conds_.push_back(c); }
+  void add_obligation(HashObligation o) { obligations_.push_back(std::move(o)); }
+
+  const std::vector<ir::ExprRef>& conds() const { return conds_; }
+  const std::vector<HashObligation>& obligations() const {
+    return obligations_;
+  }
+  const std::unordered_map<ir::FieldId, ir::ExprRef>& values() const {
+    return values_;
+  }
+
+  struct Mark {
+    size_t undo;
+    size_t conds;
+    size_t obligations;
+  };
+  Mark mark() const { return {undo_.size(), conds_.size(), obligations_.size()}; }
+
+  void rollback(const Mark& m) {
+    while (undo_.size() > m.undo) {
+      auto& [f, prev] = undo_.back();
+      if (prev == nullptr) {
+        values_.erase(f);
+      } else {
+        values_[f] = prev;
+      }
+      undo_.pop_back();
+    }
+    conds_.resize(m.conds);
+    obligations_.resize(m.obligations);
+  }
+
+  // Allocates a fresh, never-constrained symbol of the given width
+  // (used for unpinned hash results).
+  ir::FieldId fresh_symbol(int width) {
+    std::string name = "$free." + std::to_string(ctx_.fresh_counter++);
+    return ctx_.fields.intern(name, width);
+  }
+
+  ir::Context& ctx() { return ctx_; }
+
+ private:
+  ir::Context& ctx_;
+  std::unordered_map<ir::FieldId, ir::ExprRef> values_;
+  std::vector<std::pair<ir::FieldId, ir::ExprRef>> undo_;
+  std::vector<ir::ExprRef> conds_;
+  std::vector<HashObligation> obligations_;
+};
+
+}  // namespace meissa::sym

@@ -1,0 +1,15 @@
+#include "util/big_count.hpp"
+
+#include <cstdio>
+
+namespace meissa::util {
+
+std::string BigCount::str() const {
+  if (is_zero()) return "0";
+  if (has_exact_) return std::to_string(exact_);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "10^%.1f", log10_);
+  return buf;
+}
+
+}  // namespace meissa::util

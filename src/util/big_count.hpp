@@ -1,0 +1,87 @@
+// Arbitrary-magnitude path counters.
+//
+// Static path counts of production data planes overflow every integer type
+// (the paper reports programs with 10^197 possible paths). BigCount tracks
+// counts exactly while they fit in a uint64_t and as a base-10 logarithm
+// beyond that, which is all Figures 11c/12c need.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace meissa::util {
+
+class BigCount {
+ public:
+  BigCount() noexcept = default;
+  static BigCount zero() noexcept { return BigCount(); }
+  static BigCount one() noexcept { return of(1); }
+
+  static BigCount of(uint64_t v) noexcept {
+    BigCount c;
+    c.exact_ = v;
+    c.has_exact_ = true;
+    c.log10_ = v == 0 ? -std::numeric_limits<double>::infinity()
+                      : std::log10(static_cast<double>(v));
+    return c;
+  }
+
+  bool is_zero() const noexcept { return has_exact_ && exact_ == 0; }
+
+  // True while the count still fits in a uint64_t.
+  bool is_exact() const noexcept { return has_exact_; }
+  uint64_t exact() const noexcept { return exact_; }
+
+  // log10 of the count; -inf for zero.
+  double log10() const noexcept { return log10_; }
+
+  // The count as a double; exact when small, +inf beyond double range.
+  double value() const noexcept {
+    if (has_exact_) return static_cast<double>(exact_);
+    return std::pow(10.0, log10_);
+  }
+
+  BigCount operator*(const BigCount& o) const noexcept {
+    if (is_zero() || o.is_zero()) return zero();
+    BigCount c;
+    if (has_exact_ && o.has_exact_ &&
+        exact_ <= std::numeric_limits<uint64_t>::max() / o.exact_) {
+      return of(exact_ * o.exact_);
+    }
+    c.has_exact_ = false;
+    c.log10_ = log10_ + o.log10_;
+    return c;
+  }
+
+  BigCount& operator*=(const BigCount& o) noexcept { return *this = *this * o; }
+
+  BigCount operator+(const BigCount& o) const noexcept {
+    if (is_zero()) return o;
+    if (o.is_zero()) return *this;
+    if (has_exact_ && o.has_exact_ &&
+        exact_ <= std::numeric_limits<uint64_t>::max() - o.exact_) {
+      return of(exact_ + o.exact_);
+    }
+    // log10(a + b) = max + log10(1 + 10^(min - max))
+    double hi = log10_ > o.log10_ ? log10_ : o.log10_;
+    double lo = log10_ > o.log10_ ? o.log10_ : log10_;
+    BigCount c;
+    c.has_exact_ = false;
+    c.log10_ = hi + std::log10(1.0 + std::pow(10.0, lo - hi));
+    return c;
+  }
+
+  BigCount& operator+=(const BigCount& o) noexcept { return *this = *this + o; }
+
+  // Human-readable form: exact when small, "10^k" when astronomical.
+  std::string str() const;
+
+ private:
+  uint64_t exact_ = 0;
+  bool has_exact_ = true;
+  double log10_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace meissa::util

@@ -1,0 +1,39 @@
+// Bit-manipulation helpers for fixed-width (1..64 bit) values.
+#pragma once
+
+#include <cstdint>
+#include "util/error.hpp"
+
+namespace meissa::util {
+
+// Maximum bit-vector width supported throughout Meissa. Wider protocol
+// fields (e.g. IPv6 addresses) are modeled as multiple adjacent fields.
+inline constexpr int kMaxWidth = 64;
+
+// All-ones mask for a `width`-bit value. width must be in [1, 64].
+constexpr uint64_t mask_bits(int width) noexcept {
+  return width >= 64 ? ~uint64_t{0} : ((uint64_t{1} << width) - 1);
+}
+
+// Truncates `v` to `width` bits.
+constexpr uint64_t truncate(uint64_t v, int width) noexcept {
+  return v & mask_bits(width);
+}
+
+// True when `v` fits in `width` bits without truncation.
+constexpr bool fits(uint64_t v, int width) noexcept {
+  return truncate(v, width) == v;
+}
+
+// Extracts the bit at position `i` (0 = least significant).
+constexpr bool bit_at(uint64_t v, int i) noexcept { return (v >> i) & 1u; }
+
+// Validates a field/constant width, throwing on out-of-range values.
+inline void check_width(int width) {
+  if (width < 1 || width > kMaxWidth) {
+    throw InternalError("bit width out of range [1,64]: " +
+                        std::to_string(width));
+  }
+}
+
+}  // namespace meissa::util

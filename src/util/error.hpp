@@ -1,0 +1,52 @@
+// Error handling primitives shared by all Meissa modules.
+//
+// Meissa uses exceptions for genuinely exceptional conditions (malformed
+// inputs, internal invariant violations) and plain return values for
+// expected outcomes (UNSAT queries, failed test cases).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace meissa::util {
+
+// Base class for all errors thrown by Meissa.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Input that does not conform to the expected language/format.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, int line)
+      : Error("parse error (line " + std::to_string(line) + "): " + what),
+        line_(line) {}
+  int line() const noexcept { return line_; }
+
+ private:
+  int line_;
+};
+
+// A semantic problem in an otherwise well-formed program (e.g. a table
+// matching on an undeclared field).
+class ValidationError : public Error {
+ public:
+  explicit ValidationError(const std::string& what)
+      : Error("validation error: " + what) {}
+};
+
+// An internal invariant was violated; indicates a bug in Meissa itself.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what)
+      : Error("internal error: " + what) {}
+};
+
+// Throws InternalError when `cond` is false. Used for invariants that must
+// hold regardless of user input; never for validating external data.
+inline void check(bool cond, const char* msg) {
+  if (!cond) throw InternalError(msg);
+}
+
+}  // namespace meissa::util

@@ -1,0 +1,45 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomized components (rule-set generators, property tests, workload
+// synthesis) take an explicit Rng so runs are reproducible from a seed.
+#pragma once
+
+#include <cstdint>
+#include "util/bits.hpp"
+
+namespace meissa::util {
+
+// splitmix64: tiny, fast, and statistically solid for test-data generation.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) noexcept
+      : state_(seed) {}
+
+  uint64_t next() noexcept {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform value in [0, bound). bound must be > 0.
+  uint64_t below(uint64_t bound) noexcept { return next() % bound; }
+
+  // Uniform value in [lo, hi] inclusive.
+  uint64_t range(uint64_t lo, uint64_t hi) noexcept {
+    return lo + below(hi - lo + 1);
+  }
+
+  // Uniform `width`-bit value.
+  uint64_t bits(int width) noexcept { return truncate(next(), width); }
+
+  // Bernoulli trial with probability num/den.
+  bool chance(uint64_t num, uint64_t den) noexcept {
+    return below(den) < num;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace meissa::util

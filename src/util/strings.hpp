@@ -1,0 +1,26 @@
+// Small string helpers used by the DSL parsers and report printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace meissa::util {
+
+// Splits `s` on `sep`, keeping empty pieces.
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+// Removes leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+// True when `s` starts with / ends with the given prefix/suffix.
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Renders v as 0x-prefixed hex.
+std::string hex(uint64_t v);
+
+}  // namespace meissa::util

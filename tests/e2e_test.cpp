@@ -1,0 +1,201 @@
+// End-to-end integration tests: generate test cases, inject them into the
+// behavioral device, and check the report — on clean compiles (everything
+// passes) and with injected toolchain faults (failures detected).
+#include <gtest/gtest.h>
+
+#include "driver/tester.hpp"
+#include "sim/toolchain.hpp"
+#include "testlib.hpp"
+
+namespace meissa::driver {
+namespace {
+
+class EndToEnd : public ::testing::Test {
+ protected:
+  TestReport run(const p4::DataPlane& dp, const p4::RuleSet& rules,
+                 ir::Context& ctx, sim::FaultSpec fault = {},
+                 std::vector<spec::Intent> intents = {},
+                 TestRunOptions opts = {}) {
+    sim::DeviceProgram compiled = sim::compile(dp, rules, ctx, fault);
+    sim::Device device(compiled, ctx);
+    Meissa meissa(ctx, dp, rules, opts);
+    return meissa.test(device, intents);
+  }
+};
+
+TEST_F(EndToEnd, Fig7CleanCompilePassesAllCases) {
+  ir::Context ctx;
+  p4::DataPlane dp = testlib::make_fig7_plane(ctx);
+  p4::RuleSet rules = testlib::fig7_rules(3);
+  TestReport r = run(dp, rules, ctx);
+  EXPECT_EQ(r.templates, 5u);
+  EXPECT_EQ(r.cases, 5u);
+  EXPECT_TRUE(r.all_passed()) << r.str();
+}
+
+TEST_F(EndToEnd, Fig8CleanCompilePassesAllCases) {
+  ir::Context ctx;
+  p4::DataPlane dp = testlib::make_fig8_plane(ctx);
+  p4::RuleSet rules = testlib::fig8_rules();
+  TestReport r = run(dp, rules, ctx);
+  EXPECT_EQ(r.templates, 5u);
+  EXPECT_TRUE(r.all_passed()) << r.str();
+}
+
+TEST_F(EndToEnd, Fig7WithoutSummaryAlsoPasses) {
+  ir::Context ctx;
+  p4::DataPlane dp = testlib::make_fig7_plane(ctx);
+  p4::RuleSet rules = testlib::fig7_rules(3);
+  TestRunOptions opts;
+  opts.gen.code_summary = false;
+  TestReport r = run(dp, rules, ctx, {}, {}, opts);
+  EXPECT_EQ(r.cases, 5u);
+  EXPECT_TRUE(r.all_passed()) << r.str();
+}
+
+TEST_F(EndToEnd, DroppedAssignmentFaultIsDetected) {
+  ir::Context ctx;
+  p4::DataPlane dp = testlib::make_fig7_plane(ctx);
+  p4::RuleSet rules = testlib::fig7_rules(3);
+  sim::FaultSpec fault;
+  fault.kind = sim::FaultKind::kDropAssignment;
+  fault.action = "set_dmac";  // device forgets to rewrite the MAC
+  TestReport r = run(dp, rules, ctx, fault);
+  EXPECT_GT(r.failed, 0u);
+  // The diagnosis names the field that diverged.
+  ASSERT_FALSE(r.failures.empty());
+  bool mentions_dst = false;
+  for (const std::string& p : r.failures[0].model_problems) {
+    mentions_dst |= p.find("eth.dst") != std::string::npos;
+  }
+  EXPECT_TRUE(mentions_dst) << r.str();
+}
+
+TEST_F(EndToEnd, WrongDefaultActionFaultIsDetected) {
+  ir::Context ctx;
+  p4::DataPlane dp = testlib::make_fig7_plane(ctx);
+  p4::RuleSet rules = testlib::fig7_rules(3);
+  sim::FaultSpec fault;
+  fault.kind = sim::FaultKind::kWrongDefaultAction;
+  fault.table = "ipv4_host";  // miss no longer drops
+  TestReport r = run(dp, rules, ctx, fault);
+  EXPECT_GT(r.failed, 0u);
+}
+
+TEST_F(EndToEnd, SwappedAssignmentFaultIsDetected) {
+  ir::Context ctx;
+  p4::DataPlane dp = testlib::make_fig8_plane(ctx);
+  p4::RuleSet rules = testlib::fig8_rules();
+  sim::FaultSpec fault;
+  fault.kind = sim::FaultKind::kSwappedAssignments;
+  fault.action = "set_port";  // only one assignment: no effect expected
+  TestReport r = run(dp, rules, ctx, fault);
+  EXPECT_TRUE(r.all_passed()) << "single-assignment action cannot swap";
+
+  ir::Context ctx2;
+  p4::DataPlane dp2 = testlib::make_fig7_plane(ctx2);
+  p4::RuleSet rules2 = testlib::fig7_rules(2);
+  // Give set_dmac a second assignment so the swap has something to do:
+  // it also writes eth.src.
+  for (p4::ActionDef& a : dp2.program.actions) {
+    if (a.name == "set_dmac") {
+      a.ops.push_back(p4::ActionOp::assign(
+          "hdr.eth.src", ctx2.field_var(p4::param_field("set_dmac", "mac"),
+                                        48)));
+    }
+  }
+  sim::FaultSpec fault2;
+  fault2.kind = sim::FaultKind::kSwappedAssignments;
+  fault2.action = "set_dmac";
+  TestReport r2 = run(dp2, rules2, ctx2, fault2);
+  // dst/src both get the same value here, so swapping dests is only
+  // observable when old values differ — the model expects dst=src=mac,
+  // the device computes them in swapped order; with equal RHS the swap is
+  // benign. Accept either outcome but require the run to complete.
+  EXPECT_GT(r2.cases, 0u);
+}
+
+TEST_F(EndToEnd, ParserSelectFaultIsDetected) {
+  ir::Context ctx;
+  p4::DataPlane dp = testlib::make_fig7_plane(ctx);
+  p4::RuleSet rules = testlib::fig7_rules(3);
+  sim::FaultSpec fault;
+  fault.kind = sim::FaultKind::kParserSkipSelect;
+  fault.parser_state = "start";  // ipv4 is never parsed on the device
+  TestReport r = run(dp, rules, ctx, fault);
+  EXPECT_GT(r.failed, 0u);
+}
+
+TEST_F(EndToEnd, MetadataGarbageFaultIsDetected) {
+  // A program that branches on a metadata flag it never initializes
+  // explicitly (relying on the toolchain's zero-init): the fault makes
+  // the device take the wrong branch.
+  ir::Context ctx;
+  p4::DataPlane dp = testlib::make_fig8_plane(ctx);
+  p4::RuleSet rules = testlib::fig8_rules();
+  // meta.l4_kind defaults to 0; egress sets 6/17. Add an ingress guard
+  // that only forwards when meta.l4_kind == 0 at entry (always true when
+  // zeroed, garbage otherwise).
+  p4::PipelineDef& ig = dp.program.pipelines[0];
+  p4::ControlBlock guarded;
+  guarded.stmts.push_back(p4::ControlStmt::if_else(
+      ctx.arena.cmp(ir::CmpOp::kEq, ctx.field_var("meta.l4_kind", 8),
+                    ctx.arena.constant(0, 8)),
+      ig.control));
+  ig.control = guarded;
+  sim::FaultSpec fault;
+  fault.kind = sim::FaultKind::kSkipMetadataZero;
+  TestReport r = run(dp, rules, ctx, fault);
+  EXPECT_GT(r.failed, 0u) << r.str();
+}
+
+TEST_F(EndToEnd, FailureReportsCarryTraces) {
+  ir::Context ctx;
+  p4::DataPlane dp = testlib::make_fig7_plane(ctx);
+  p4::RuleSet rules = testlib::fig7_rules(3);
+  sim::FaultSpec fault;
+  fault.kind = sim::FaultKind::kDropAssignment;
+  fault.action = "set_dmac";
+  TestReport r = run(dp, rules, ctx, fault);
+  ASSERT_FALSE(r.failures.empty());
+  EXPECT_FALSE(r.failures[0].symbolic_trace.empty());
+  EXPECT_FALSE(r.failures[0].physical_trace.empty());
+  EXPECT_NE(r.str().find("FAIL"), std::string::npos);
+}
+
+TEST_F(EndToEnd, IntentViolationDetectedOnCorrectCompile) {
+  // A *code bug* scenario: the program forwards host 0 to port 1, but the
+  // operator's intent says packets to host 0 must be dropped. Compile is
+  // clean; only the intent check can catch it.
+  ir::Context ctx;
+  p4::DataPlane dp = testlib::make_fig7_plane(ctx);
+  p4::RuleSet rules = testlib::fig7_rules(2);
+  spec::IntentBuilder ib(ctx, dp.program, "blocklist-host0");
+  ib.assume(ctx.arena.cmp(ir::CmpOp::kEq, ib.in("hdr.ipv4.dst"),
+                          ib.num(0x0a000000, 32)));
+  ib.expect_dropped();
+  TestReport r = run(dp, rules, ctx, {}, {ib.build()});
+  EXPECT_GT(r.failed, 0u);
+  bool intent_flagged = false;
+  for (const CaseRecord& f : r.failures) {
+    intent_flagged |= !f.intent_problems.empty();
+  }
+  EXPECT_TRUE(intent_flagged) << r.str();
+}
+
+TEST_F(EndToEnd, GenerationAssumesRestrictTemplates) {
+  ir::Context ctx;
+  p4::DataPlane dp = testlib::make_fig7_plane(ctx);
+  p4::RuleSet rules = testlib::fig7_rules(3);
+  TestRunOptions opts;
+  // Only test IPv4 traffic to host 1 (the §6 per-sub-case workflow).
+  opts.gen.assumes.push_back(
+      ctx.arena.cmp(ir::CmpOp::kEq, ctx.field_var("in.hdr.ipv4.dst", 32),
+                    ctx.arena.constant(0x0a000001, 32)));
+  TestReport r = run(dp, rules, ctx, {}, {}, opts);
+  EXPECT_EQ(r.templates, 2u);  // host-1 path + non-ip path
+  EXPECT_TRUE(r.all_passed()) << r.str();
+}
+
+}  // namespace
+}  // namespace meissa::driver

@@ -1,0 +1,178 @@
+// Unit tests for the expression arena: hash-consing, folding, evaluation,
+// and substitution.
+#include <gtest/gtest.h>
+
+#include "ir/stmt.hpp"
+#include "util/rng.hpp"
+
+namespace meissa::ir {
+namespace {
+
+class ExprTest : public ::testing::Test {
+ protected:
+  Context ctx;
+};
+
+TEST_F(ExprTest, HashConsingSharesStructurallyEqualNodes) {
+  ExprRef a1 = ctx.field_var("hdr.ipv4.ttl", 8);
+  ExprRef a2 = ctx.field_var("hdr.ipv4.ttl", 8);
+  EXPECT_EQ(a1, a2);
+  ExprRef s1 = ctx.arena.arith(ArithOp::kSub, a1, ctx.arena.constant(1, 8));
+  ExprRef s2 = ctx.arena.arith(ArithOp::kSub, a2, ctx.arena.constant(1, 8));
+  EXPECT_EQ(s1, s2);
+}
+
+TEST_F(ExprTest, ConstantFolding) {
+  ExprRef c = ctx.arena.arith(ArithOp::kAdd, ctx.arena.constant(250, 8),
+                              ctx.arena.constant(10, 8));
+  ASSERT_TRUE(c->is_const());
+  EXPECT_EQ(c->value, 4u);  // 8-bit wraparound
+  ExprRef cmp = ctx.arena.cmp(CmpOp::kLt, ctx.arena.constant(3, 16),
+                              ctx.arena.constant(4, 16));
+  EXPECT_TRUE(cmp->is_true());
+}
+
+TEST_F(ExprTest, IdentitySimplifications) {
+  ExprRef x = ctx.field_var("x", 16);
+  EXPECT_EQ(ctx.arena.arith(ArithOp::kAdd, x, ctx.arena.constant(0, 16)), x);
+  EXPECT_EQ(ctx.arena.arith(ArithOp::kAnd, x, ctx.arena.constant(0xffff, 16)),
+            x);
+  ExprRef zero = ctx.arena.arith(ArithOp::kAnd, x, ctx.arena.constant(0, 16));
+  ASSERT_TRUE(zero->is_const());
+  EXPECT_EQ(zero->value, 0u);
+  EXPECT_EQ(ctx.arena.arith(ArithOp::kXor, x, x)->value, 0u);
+}
+
+TEST_F(ExprTest, CmpAgainstSelfAndExtremes) {
+  ExprRef x = ctx.field_var("x", 8);
+  EXPECT_TRUE(ctx.arena.cmp(CmpOp::kEq, x, x)->is_true());
+  EXPECT_TRUE(ctx.arena.cmp(CmpOp::kLt, x, x)->is_false());
+  EXPECT_TRUE(ctx.arena.cmp(CmpOp::kGe, x, ctx.arena.constant(0, 8))->is_true());
+  EXPECT_TRUE(
+      ctx.arena.cmp(CmpOp::kGt, x, ctx.arena.constant(255, 8))->is_false());
+}
+
+TEST_F(ExprTest, BooleanShortCircuitConstruction) {
+  ExprRef x = ctx.field_var("x", 8);
+  ExprRef p = ctx.arena.cmp(CmpOp::kEq, x, ctx.arena.constant(1, 8));
+  EXPECT_EQ(ctx.arena.band(ctx.arena.bool_const(true), p), p);
+  EXPECT_TRUE(ctx.arena.band(ctx.arena.bool_const(false), p)->is_false());
+  EXPECT_TRUE(ctx.arena.bor(ctx.arena.bool_const(true), p)->is_true());
+  EXPECT_EQ(ctx.arena.bor(ctx.arena.bool_const(false), p), p);
+  EXPECT_EQ(ctx.arena.band(p, p), p);
+}
+
+TEST_F(ExprTest, NegationPushesIntoComparisons) {
+  ExprRef x = ctx.field_var("x", 8);
+  ExprRef eq = ctx.arena.cmp(CmpOp::kEq, x, ctx.arena.constant(5, 8));
+  ExprRef ne = ctx.arena.bnot(eq);
+  EXPECT_EQ(ne->kind, ExprKind::kCmp);
+  EXPECT_EQ(ne->cmp_op(), CmpOp::kNe);
+  EXPECT_EQ(ctx.arena.bnot(ne), eq);
+}
+
+TEST_F(ExprTest, EvalComputesModularArithmetic) {
+  ExprRef x = ctx.field_var("x", 8);
+  ExprRef y = ctx.field_var("y", 8);
+  ExprRef e = ctx.arena.arith(ArithOp::kMul, ctx.arena.arith(ArithOp::kAdd, x, y),
+                              ctx.arena.constant(3, 8));
+  ConcreteState s{{ctx.fields.require("x"), 100}, {ctx.fields.require("y"), 60}};
+  // (100 + 60) mod 256 = 160; 160 * 3 mod 256 = 480 mod 256 = 224
+  EXPECT_EQ(eval(e, s), std::optional<uint64_t>(224));
+}
+
+TEST_F(ExprTest, EvalReturnsNulloptOnUnboundField) {
+  ExprRef x = ctx.field_var("x", 8);
+  ConcreteState s;
+  EXPECT_EQ(eval(x, s), std::nullopt);
+  // But short-circuiting can still decide some boolean expressions.
+  ExprRef p = ctx.arena.cmp(CmpOp::kEq, x, ctx.arena.constant(1, 8));
+  ExprRef decided = ctx.arena.bor(ctx.arena.bool_const(true), p);
+  EXPECT_TRUE(decided->is_true());
+}
+
+TEST_F(ExprTest, SubstituteRewritesAndSimplifies) {
+  ExprRef x = ctx.field_var("x", 8);
+  ExprRef y = ctx.field_var("y", 8);
+  FieldId fx = ctx.fields.require("x");
+  // x + y with x := 7 becomes 7 + y
+  ExprRef e = ctx.arena.arith(ArithOp::kAdd, x, y);
+  ExprRef r = substitute(e, ctx.arena, [&](FieldId f, int w) -> ExprRef {
+    return f == fx ? ctx.arena.constant(7, w) : nullptr;
+  });
+  // x == x - substitution makes the comparison decidable
+  ExprRef p = ctx.arena.cmp(CmpOp::kEq, e, ctx.arena.arith(ArithOp::kAdd, y, ctx.arena.constant(7, 8)));
+  ExprRef pr = substitute(p, ctx.arena, [&](FieldId f, int w) -> ExprRef {
+    return f == fx ? ctx.arena.constant(7, w) : nullptr;
+  });
+  EXPECT_TRUE(pr->is_true());
+  ConcreteState s{{ctx.fields.require("y"), 9}};
+  EXPECT_EQ(eval(r, s), std::optional<uint64_t>(16));
+}
+
+TEST_F(ExprTest, MaskedEqBuildsTernaryShape) {
+  ExprRef ip = ctx.field_var("hdr.ipv4.dst", 32);
+  ExprRef m = ctx.arena.masked_eq(ip, 0xffff0000u, 0x7f010000u);
+  ConcreteState s{{ctx.fields.require("hdr.ipv4.dst"), 0x7f01fffeu}};
+  EXPECT_EQ(eval(m, s), std::optional<uint64_t>(1));
+  s[ctx.fields.require("hdr.ipv4.dst")] = 0x7f02fffeu;
+  EXPECT_EQ(eval(m, s), std::optional<uint64_t>(0));
+  // Zero mask matches everything.
+  EXPECT_TRUE(ctx.arena.masked_eq(ip, 0, 0x1234)->is_true());
+}
+
+TEST_F(ExprTest, CollectFieldsFindsAllLeaves) {
+  ExprRef x = ctx.field_var("x", 8);
+  ExprRef y = ctx.field_var("y", 8);
+  ExprRef p = ctx.arena.band(
+      ctx.arena.cmp(CmpOp::kLt, x, ctx.arena.constant(9, 8)),
+      ctx.arena.cmp(CmpOp::kEq, y, ctx.arena.constant(2, 8)));
+  std::unordered_set<FieldId> fs;
+  collect_fields(p, fs);
+  EXPECT_EQ(fs.size(), 2u);
+}
+
+TEST_F(ExprTest, ToStringRendersReadableText) {
+  ExprRef x = ctx.field_var("pkt.port", 9);
+  ExprRef p = ctx.arena.cmp(CmpOp::kEq, x, ctx.arena.constant(5, 9));
+  EXPECT_EQ(to_string(p, ctx.fields), "(pkt.port == 5)");
+}
+
+// Property: arena folding agrees with direct evaluation on random exprs.
+TEST_F(ExprTest, PropertyFoldingMatchesEvaluation) {
+  util::Rng rng(42);
+  ExprRef x = ctx.field_var("x", 16);
+  ExprRef y = ctx.field_var("y", 16);
+  FieldId fx = ctx.fields.require("x");
+  FieldId fy = ctx.fields.require("y");
+  const ArithOp ops[] = {ArithOp::kAdd, ArithOp::kSub, ArithOp::kMul,
+                         ArithOp::kAnd, ArithOp::kOr,  ArithOp::kXor,
+                         ArithOp::kShl, ArithOp::kShr};
+  for (int i = 0; i < 500; ++i) {
+    // Build a random small expression tree over {x, y, consts}.
+    std::vector<ExprRef> leaves = {x, y, ctx.arena.constant(rng.bits(16), 16),
+                                   ctx.arena.constant(rng.bits(4), 16)};
+    ExprRef a = leaves[rng.below(leaves.size())];
+    ExprRef b = leaves[rng.below(leaves.size())];
+    ExprRef c = ctx.arena.arith(ops[rng.below(8)], a, b);
+    ExprRef d = ctx.arena.arith(ops[rng.below(8)], c,
+                                leaves[rng.below(leaves.size())]);
+    ConcreteState s{{fx, rng.bits(16)}, {fy, rng.bits(16)}};
+    auto direct = [&](ExprRef e, auto&& self) -> uint64_t {
+      switch (e->kind) {
+        case ExprKind::kConst: return e->value;
+        case ExprKind::kField: return util::truncate(s.at(e->field), 16);
+        case ExprKind::kArith:
+          return apply_arith(e->arith_op(), self(e->lhs, self),
+                             self(e->rhs, self), e->width);
+        default: ADD_FAILURE(); return 0;
+      }
+    };
+    auto ev = eval(d, s);
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_EQ(*ev, direct(d, direct));
+  }
+}
+
+}  // namespace
+}  // namespace meissa::ir

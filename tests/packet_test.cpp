@@ -1,0 +1,149 @@
+// Tests for the packet substrate: bit-level wire IO, serialization against
+// program header definitions, diffing, and internet checksums.
+#include <gtest/gtest.h>
+
+#include "apps/demos.hpp"
+#include "packet/checksum.hpp"
+#include "packet/packet.hpp"
+#include "packet/wire.hpp"
+#include "util/rng.hpp"
+
+namespace meissa::packet {
+namespace {
+
+TEST(Wire, BitRoundTripAcrossByteBoundaries) {
+  BitWriter w;
+  w.put(0b101, 3);
+  w.put(0x1f, 5);       // completes the first byte
+  w.put(0xabcd, 16);    // two aligned bytes
+  w.put(1, 1);
+  w.put(0x7f, 7);
+  ASSERT_TRUE(w.byte_aligned());
+  std::vector<uint8_t> bytes = std::move(w).take();
+  ASSERT_EQ(bytes.size(), 4u);
+
+  BitReader r(bytes);
+  EXPECT_EQ(r.get(3), std::optional<uint64_t>(0b101));
+  EXPECT_EQ(r.get(5), std::optional<uint64_t>(0x1f));
+  EXPECT_EQ(r.get(16), std::optional<uint64_t>(0xabcd));
+  EXPECT_EQ(r.get(1), std::optional<uint64_t>(1));
+  EXPECT_EQ(r.get(7), std::optional<uint64_t>(0x7f));
+  EXPECT_EQ(r.get(1), std::nullopt);  // exhausted
+}
+
+TEST(Wire, MsbFirstLayout) {
+  BitWriter w;
+  w.put(0x0800, 16);
+  std::vector<uint8_t> bytes = std::move(w).take();
+  ASSERT_EQ(bytes.size(), 2u);
+  EXPECT_EQ(bytes[0], 0x08);  // network byte order falls out of MSB-first
+  EXPECT_EQ(bytes[1], 0x00);
+}
+
+TEST(Wire, PropertyRandomFieldSequencesRoundTrip) {
+  util::Rng rng(77);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<std::pair<uint64_t, int>> fields;
+    int total_bits = 0;
+    BitWriter w;
+    for (int i = 0; i < 20; ++i) {
+      int width = static_cast<int>(rng.range(1, 48));
+      uint64_t v = rng.bits(width);
+      fields.push_back({v, width});
+      w.put(v, width);
+      total_bits += width;
+    }
+    while (total_bits % 8 != 0) {
+      w.put(0, 1);
+      ++total_bits;
+    }
+    std::vector<uint8_t> bytes = std::move(w).take();
+    BitReader r(bytes);
+    for (auto& [v, width] : fields) {
+      EXPECT_EQ(r.get(width), std::optional<uint64_t>(v));
+    }
+  }
+}
+
+TEST(Packet, SerializeParseRoundTrip) {
+  ir::Context ctx;
+  p4::DataPlane dp = apps::demos::make_fig7_plane(ctx);
+  Packet pkt;
+  HeaderValues eth;
+  eth.header = "eth";
+  eth.values = {0x112233445566, 0x665544332211, 0x0800};
+  HeaderValues ipv4;
+  ipv4.header = "ipv4";
+  const p4::HeaderDef* def = dp.program.find_header("ipv4");
+  ipv4.values.assign(def->fields.size(), 0);
+  pkt.headers = {eth, ipv4};
+  pkt.find("ipv4")->set_field(*def, "dst", 0x0a000001);
+  pkt.find("ipv4")->set_field(*def, "ttl", 64);
+  pkt.payload = {0xde, 0xad};
+
+  std::vector<uint8_t> bytes = serialize(dp.program, pkt);
+  EXPECT_EQ(bytes.size(), 14u + 20u + 2u);  // eth + ipv4 + payload
+
+  auto parsed = parse_as(dp.program, {"eth", "ipv4"}, bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(diff_packets(dp.program, pkt, *parsed).equal);
+  EXPECT_EQ(parsed->find("ipv4")->field(*def, "dst"), 0x0a000001u);
+  EXPECT_EQ(parsed->payload, (std::vector<uint8_t>{0xde, 0xad}));
+}
+
+TEST(Packet, ParseAsRejectsShortInput) {
+  ir::Context ctx;
+  p4::DataPlane dp = apps::demos::make_fig7_plane(ctx);
+  std::vector<uint8_t> short_bytes(10, 0);
+  EXPECT_FALSE(parse_as(dp.program, {"eth"}, short_bytes).has_value());
+}
+
+TEST(Packet, DiffReportsFieldLevelDifferences) {
+  ir::Context ctx;
+  p4::DataPlane dp = apps::demos::make_fig7_plane(ctx);
+  Packet a, b;
+  HeaderValues eth;
+  eth.header = "eth";
+  eth.values = {1, 2, 0x0800};
+  a.headers = {eth};
+  eth.values = {1, 3, 0x0800};
+  b.headers = {eth};
+  PacketDiff d = diff_packets(dp.program, a, b);
+  EXPECT_FALSE(d.equal);
+  ASSERT_EQ(d.differences.size(), 1u);
+  EXPECT_NE(d.differences[0].find("eth.src"), std::string::npos);
+}
+
+TEST(Checksum, Rfc1071Examples) {
+  // Classic RFC 1071 example data.
+  std::vector<uint8_t> data = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(ones_complement_sum(data), 0xddf2);
+  EXPECT_EQ(internet_checksum(data), static_cast<uint16_t>(~0xddf2));
+  // Embedding the checksum makes the folded sum 0xffff.
+  data.push_back(static_cast<uint8_t>(internet_checksum(data) >> 8));
+  data.push_back(static_cast<uint8_t>(internet_checksum(
+      std::vector<uint8_t>(data.begin(), data.end() - 1)) & 0xff));
+  // (Odd-length handling differs; just verify checksum_ok on a clean pair.)
+  std::vector<uint8_t> pair = {0x12, 0x34};
+  uint16_t c = internet_checksum(pair);
+  pair.push_back(static_cast<uint8_t>(c >> 8));
+  pair.push_back(static_cast<uint8_t>(c & 0xff));
+  EXPECT_TRUE(checksum_ok(pair));
+}
+
+TEST(Checksum, HashAlgosAreStable) {
+  // Regression values: device, engine and checker must all agree on these.
+  // Ones-complement: 0xdead + 0xbeef = 0x19d9c; fold carry -> 0x9d9d.
+  EXPECT_EQ(p4::compute_hash(p4::HashAlgo::kCsum16, {0xdead, 0xbeef},
+                             {16, 16}, 16),
+            static_cast<uint64_t>(~uint16_t(0x9d9d)) & 0xffff);
+  uint64_t crc = p4::compute_hash(p4::HashAlgo::kCrc16, {0x01020304}, {32}, 16);
+  EXPECT_EQ(crc, p4::compute_hash(p4::HashAlgo::kCrc16, {0x01020304}, {32}, 16));
+  EXPECT_NE(crc, p4::compute_hash(p4::HashAlgo::kCrc16, {0x01020305}, {32}, 16));
+  EXPECT_EQ(p4::compute_hash(p4::HashAlgo::kIdentityXor, {0xf0f0, 0x0ff0},
+                             {16, 16}, 16),
+            0xff00u);
+}
+
+}  // namespace
+}  // namespace meissa::packet

@@ -1,0 +1,399 @@
+// Tests for the SMT layer: the SAT core, the domain fast path, the
+// bit-blaster, incremental push/pop, and cross-checks against brute force
+// and (when available) Z3.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "smt/bv_solver.hpp"
+#include "smt/sat.hpp"
+#include "smt/solver.hpp"
+#include "util/rng.hpp"
+
+namespace meissa::smt {
+namespace {
+
+using ir::ArithOp;
+using ir::CmpOp;
+using ir::ExprRef;
+
+// ---------------------------------------------------------------- SAT core
+
+TEST(SatSolver, TrivialSatAndUnsat) {
+  SatSolver s;
+  Lit a = Lit::make(s.new_var(), false);
+  Lit b = Lit::make(s.new_var(), false);
+  s.add_binary(a, b);
+  EXPECT_TRUE(s.solve({}));
+  s.add_unit(~a);
+  s.add_unit(~b);
+  EXPECT_FALSE(s.solve({}));
+}
+
+TEST(SatSolver, AssumptionsDoNotPersist) {
+  SatSolver s;
+  Lit a = Lit::make(s.new_var(), false);
+  Lit b = Lit::make(s.new_var(), false);
+  s.add_binary(~a, b);  // a -> b
+  EXPECT_TRUE(s.solve({a, ~b}) == false);  // a ∧ ¬b contradicts a -> b
+  EXPECT_TRUE(s.solve({a}));
+  EXPECT_TRUE(s.model_value(b.var()));
+  EXPECT_TRUE(s.solve({~b}));  // earlier assumptions are gone
+  EXPECT_FALSE(s.model_value(b.var()));
+}
+
+TEST(SatSolver, PigeonholeThreeIntoTwoIsUnsat) {
+  // 3 pigeons, 2 holes: forces genuine conflict analysis.
+  SatSolver s;
+  Lit p[3][2];
+  for (auto& row : p)
+    for (Lit& l : row) l = Lit::make(s.new_var(), false);
+  for (auto& row : p) s.add_binary(row[0], row[1]);
+  for (int h = 0; h < 2; ++h) {
+    for (int i = 0; i < 3; ++i) {
+      for (int j = i + 1; j < 3; ++j) {
+        s.add_binary(~p[i][h], ~p[j][h]);
+      }
+    }
+  }
+  EXPECT_FALSE(s.solve({}));
+}
+
+TEST(SatSolver, RandomThreeSatAgreesWithBruteForce) {
+  util::Rng rng(7);
+  for (int round = 0; round < 60; ++round) {
+    const int nvars = 8;
+    const int nclauses = static_cast<int>(rng.range(10, 38));
+    SatSolver s;
+    std::vector<uint32_t> vars;
+    for (int i = 0; i < nvars; ++i) vars.push_back(s.new_var());
+    std::vector<std::vector<Lit>> clauses;
+    for (int c = 0; c < nclauses; ++c) {
+      std::vector<Lit> cl;
+      for (int k = 0; k < 3; ++k) {
+        cl.push_back(Lit::make(vars[rng.below(nvars)], rng.chance(1, 2)));
+      }
+      clauses.push_back(cl);
+      s.add_clause(cl);
+    }
+    bool brute = false;
+    for (uint32_t m = 0; m < (1u << nvars) && !brute; ++m) {
+      bool all = true;
+      for (const auto& cl : clauses) {
+        bool any = false;
+        for (Lit l : cl) {
+          // var index = vars[i]; map back by position
+          for (int i = 0; i < nvars; ++i) {
+            if (vars[static_cast<size_t>(i)] == l.var()) {
+              bool v = (m >> i) & 1;
+              if (v != l.sign()) any = true;
+            }
+          }
+        }
+        if (!any) {
+          all = false;
+          break;
+        }
+      }
+      if (all) brute = true;
+    }
+    EXPECT_EQ(s.solve({}), brute) << "round " << round;
+  }
+}
+
+// --------------------------------------------------------------- Fast path
+
+class BvSolverTest : public ::testing::Test {
+ protected:
+  ir::Context ctx;
+  BvSolver solver{ctx};
+
+  ExprRef fv(const char* name, int w) { return ctx.field_var(name, w); }
+  ExprRef c(uint64_t v, int w) { return ctx.arena.constant(v, w); }
+};
+
+TEST_F(BvSolverTest, ExactMatchConflictIsUnsatViaFastPath) {
+  ExprRef port = fv("srcPort", 16);
+  solver.add(ctx.arena.cmp(CmpOp::kEq, port, c(80, 16)));
+  solver.add(ctx.arena.cmp(CmpOp::kEq, port, c(443, 16)));
+  EXPECT_EQ(solver.check(), CheckResult::kUnsat);
+  EXPECT_EQ(solver.stats().fast_path_hits, 1u);
+  EXPECT_EQ(solver.stats().sat_calls, 0u);
+}
+
+TEST_F(BvSolverTest, TernaryAndIntervalComposeInFastPath) {
+  ExprRef ip = fv("dstIP", 32);
+  // dstIP in 127.1.0.0/16, dstIP > 0x7f010050, dstIP != 0x7f010051
+  solver.add(ctx.arena.masked_eq(ip, 0xffff0000u, 0x7f010000u));
+  solver.add(ctx.arena.cmp(CmpOp::kGt, ip, c(0x7f010050u, 32)));
+  solver.add(ctx.arena.cmp(CmpOp::kNe, ip, c(0x7f010051u, 32)));
+  ASSERT_EQ(solver.check(), CheckResult::kSat);
+  Model m = solver.model();
+  uint64_t v = m.at(ctx.fields.require("dstIP"));
+  EXPECT_EQ(v & 0xffff0000u, 0x7f010000u);
+  EXPECT_GT(v, 0x7f010050u);
+  EXPECT_NE(v, 0x7f010051u);
+}
+
+TEST_F(BvSolverTest, EmptyIntervalIsUnsat) {
+  ExprRef x = fv("x", 8);
+  solver.add(ctx.arena.cmp(CmpOp::kGt, x, c(200, 8)));
+  solver.add(ctx.arena.cmp(CmpOp::kLt, x, c(100, 8)));
+  EXPECT_EQ(solver.check(), CheckResult::kUnsat);
+}
+
+TEST_F(BvSolverTest, ForcedBitsVsIntervalInteraction) {
+  ExprRef x = fv("x", 8);
+  // x & 0b1000_0000 == 0 (top bit clear) and x >= 200 -> impossible.
+  solver.add(ctx.arena.masked_eq(x, 0x80, 0x00));
+  solver.add(ctx.arena.cmp(CmpOp::kGe, x, c(200, 8)));
+  EXPECT_EQ(solver.check(), CheckResult::kUnsat);
+}
+
+TEST_F(BvSolverTest, ValueSetDisjunctionsDecideInFastPath) {
+  // (port == 8 || port == 72 || port == 200) && port >= 100
+  ExprRef port = fv("eg_spec", 9);
+  ExprRef set = ctx.arena.any_of({
+      ctx.arena.cmp(ir::CmpOp::kEq, port, c(8, 9)),
+      ctx.arena.cmp(ir::CmpOp::kEq, port, c(72, 9)),
+      ctx.arena.cmp(ir::CmpOp::kEq, port, c(200, 9)),
+  });
+  solver.add(set);
+  solver.push();
+  solver.add(ctx.arena.cmp(ir::CmpOp::kGe, port, c(100, 9)));
+  ASSERT_EQ(solver.check(), CheckResult::kSat);
+  EXPECT_EQ(solver.model().at(ctx.fields.require("eg_spec")), 200u);
+  EXPECT_EQ(solver.stats().sat_calls, 0u);  // pure fast path
+  solver.pop();
+  solver.push();
+  solver.add(ctx.arena.cmp(ir::CmpOp::kGt, port, c(300, 9)));
+  EXPECT_EQ(solver.check(), CheckResult::kUnsat);
+  solver.pop();
+}
+
+TEST_F(BvSolverTest, ValueSetIntersectsWithExactMatch) {
+  ExprRef f = fv("vni", 24);
+  solver.add(ctx.arena.any_of({
+      ctx.arena.cmp(ir::CmpOp::kEq, f, c(100, 24)),
+      ctx.arena.cmp(ir::CmpOp::kEq, f, c(200, 24)),
+  }));
+  solver.add(ctx.arena.cmp(ir::CmpOp::kEq, f, c(200, 24)));
+  ASSERT_EQ(solver.check(), CheckResult::kSat);
+  EXPECT_EQ(solver.model().at(ctx.fields.require("vni")), 200u);
+  solver.add(ctx.arena.cmp(ir::CmpOp::kNe, f, c(200, 24)));
+  EXPECT_EQ(solver.check(), CheckResult::kUnsat);
+}
+
+TEST_F(BvSolverTest, MixedFieldDisjunctionGoesToSatCore) {
+  ExprRef a = fv("a", 8);
+  ExprRef b = fv("b", 8);
+  solver.add(ctx.arena.bor(ctx.arena.cmp(ir::CmpOp::kEq, a, c(1, 8)),
+                           ctx.arena.cmp(ir::CmpOp::kEq, b, c(2, 8))));
+  solver.add(ctx.arena.cmp(ir::CmpOp::kNe, a, c(1, 8)));
+  ASSERT_EQ(solver.check(), CheckResult::kSat);
+  EXPECT_GE(solver.stats().sat_calls, 1u);
+  EXPECT_EQ(solver.model().at(ctx.fields.require("b")), 2u);
+}
+
+// ------------------------------------------------------------ SAT fallback
+
+TEST_F(BvSolverTest, ArithmeticAcrossFieldsNeedsSatCore) {
+  ExprRef a = fv("a", 8);
+  ExprRef b = fv("b", 8);
+  solver.add(ctx.arena.cmp(CmpOp::kEq, ctx.arena.arith(ArithOp::kAdd, a, b),
+                           c(10, 8)));
+  solver.add(ctx.arena.cmp(CmpOp::kGt, a, c(200, 8)));
+  ASSERT_EQ(solver.check(), CheckResult::kSat);
+  EXPECT_GE(solver.stats().sat_calls, 1u);
+  Model m = solver.model();
+  uint64_t va = m.at(ctx.fields.require("a"));
+  uint64_t vb = m.at(ctx.fields.require("b"));
+  EXPECT_EQ((va + vb) & 0xff, 10u);
+  EXPECT_GT(va, 200u);
+}
+
+TEST_F(BvSolverTest, DisjunctionNeedsSatCore) {
+  ExprRef x = fv("x", 8);
+  ExprRef p80 = ctx.arena.cmp(CmpOp::kEq, x, c(80, 8));
+  ExprRef p443 = ctx.arena.cmp(CmpOp::kEq, x, c(44, 8));
+  solver.add(ctx.arena.bor(p80, p443));
+  solver.add(ctx.arena.cmp(CmpOp::kNe, x, c(80, 8)));
+  ASSERT_EQ(solver.check(), CheckResult::kSat);
+  EXPECT_EQ(solver.model().at(ctx.fields.require("x")), 44u);
+}
+
+TEST_F(BvSolverTest, MultiplicationSemantics) {
+  ExprRef x = fv("x", 8);
+  // 3 * x == 9 has solution x = 3 (and also wrapped ones); check model.
+  solver.add(ctx.arena.cmp(
+      CmpOp::kEq, ctx.arena.arith(ArithOp::kMul, x, c(3, 8)), c(9, 8)));
+  ASSERT_EQ(solver.check(), CheckResult::kSat);
+  uint64_t v = solver.model().at(ctx.fields.require("x"));
+  EXPECT_EQ((v * 3) & 0xff, 9u);
+}
+
+TEST_F(BvSolverTest, VariableShiftSemantics) {
+  ExprRef x = fv("x", 8);
+  ExprRef k = fv("k", 8);
+  // (x << k) == 0x80 with x odd forces k == 7.
+  solver.add(ctx.arena.cmp(
+      CmpOp::kEq, ctx.arena.arith(ArithOp::kShl, x, k), c(0x80, 8)));
+  solver.add(ctx.arena.masked_eq(x, 0x01, 0x01));
+  ASSERT_EQ(solver.check(), CheckResult::kSat);
+  Model m = solver.model();
+  uint64_t vx = m.at(ctx.fields.require("x"));
+  uint64_t vk = m.at(ctx.fields.require("k"));
+  uint64_t shifted = vk >= 8 ? 0 : (vx << vk) & 0xff;
+  EXPECT_EQ(shifted, 0x80u);
+}
+
+TEST_F(BvSolverTest, ShiftBeyondWidthYieldsZero) {
+  ExprRef x = fv("x", 8);
+  ExprRef k = fv("k", 8);
+  solver.add(ctx.arena.cmp(CmpOp::kGe, k, c(8, 8)));
+  solver.add(ctx.arena.cmp(
+      CmpOp::kNe, ctx.arena.arith(ArithOp::kShl, x, k), c(0, 8)));
+  EXPECT_EQ(solver.check(), CheckResult::kUnsat);
+}
+
+// ------------------------------------------------------------- Incremental
+
+TEST_F(BvSolverTest, PushPopRestoresSatisfiability) {
+  ExprRef x = fv("x", 16);
+  solver.add(ctx.arena.cmp(CmpOp::kEq, x, c(0x800, 16)));
+  EXPECT_EQ(solver.check(), CheckResult::kSat);
+  solver.push();
+  solver.add(ctx.arena.cmp(CmpOp::kNe, x, c(0x800, 16)));
+  EXPECT_EQ(solver.check(), CheckResult::kUnsat);
+  solver.pop();
+  EXPECT_EQ(solver.check(), CheckResult::kSat);
+  EXPECT_EQ(solver.model().at(ctx.fields.require("x")), 0x800u);
+}
+
+TEST_F(BvSolverTest, DeepPushPopNesting) {
+  ExprRef x = fv("x", 8);
+  for (int i = 0; i < 6; ++i) {
+    solver.push();
+    solver.add(ctx.arena.cmp(CmpOp::kNe, x, c(static_cast<uint64_t>(i), 8)));
+    EXPECT_EQ(solver.check(), CheckResult::kSat);
+  }
+  solver.push();
+  // Pin x to a value excluded two levels down.
+  solver.add(ctx.arena.cmp(CmpOp::kEq, x, c(3, 8)));
+  EXPECT_EQ(solver.check(), CheckResult::kUnsat);
+  solver.pop();
+  for (int i = 0; i < 6; ++i) solver.pop();
+  solver.add(ctx.arena.cmp(CmpOp::kEq, x, c(3, 8)));
+  EXPECT_EQ(solver.check(), CheckResult::kSat);
+}
+
+// ----------------------------------------------- Cross-check vs brute force
+
+// Property test: random conjunctions over two 6-bit fields, compared with
+// exhaustive enumeration. Exercises fast path and SAT core both.
+TEST(BvSolverProperty, AgreesWithBruteForceOnRandomConjunctions) {
+  util::Rng rng(1234);
+  for (int round = 0; round < 120; ++round) {
+    ir::Context ctx;
+    BvSolver solver(ctx);
+    ExprRef x = ctx.field_var("x", 6);
+    ExprRef y = ctx.field_var("y", 6);
+    std::vector<ExprRef> conjuncts;
+    const int n = static_cast<int>(rng.range(1, 5));
+    for (int i = 0; i < n; ++i) {
+      ExprRef lhs;
+      switch (rng.below(4)) {
+        case 0: lhs = x; break;
+        case 1: lhs = y; break;
+        case 2:
+          lhs = ctx.arena.arith(ArithOp::kAdd, x, y);
+          break;
+        default:
+          lhs = ctx.arena.arith(ArithOp::kAnd, x,
+                                ctx.arena.constant(rng.bits(6), 6));
+          break;
+      }
+      CmpOp op = static_cast<CmpOp>(rng.below(6));
+      ExprRef atom = ctx.arena.cmp(op, lhs, ctx.arena.constant(rng.bits(6), 6));
+      if (rng.chance(1, 4)) atom = ctx.arena.bnot(atom);
+      conjuncts.push_back(atom);
+      solver.add(atom);
+    }
+    bool brute = false;
+    for (uint64_t vx = 0; vx < 64 && !brute; ++vx) {
+      for (uint64_t vy = 0; vy < 64 && !brute; ++vy) {
+        ir::ConcreteState s{{ctx.fields.require("x"), vx},
+                            {ctx.fields.require("y"), vy}};
+        bool all = true;
+        for (ExprRef e : conjuncts) {
+          auto v = ir::eval(e, s);
+          if (!v || !*v) {
+            all = false;
+            break;
+          }
+        }
+        if (all) brute = true;
+      }
+    }
+    CheckResult r = solver.check();
+    ASSERT_NE(r, CheckResult::kUnknown);
+    EXPECT_EQ(r == CheckResult::kSat, brute) << "round " << round;
+    if (r == CheckResult::kSat) {
+      // The model must actually satisfy the conjunction.
+      Model m = solver.model();
+      ir::ConcreteState s;
+      for (auto& [f, v] : m) s[f] = v;
+      // Unconstrained fields default to zero.
+      s.try_emplace(ctx.fields.require("x"), 0);
+      s.try_emplace(ctx.fields.require("y"), 0);
+      for (ExprRef e : conjuncts) {
+        auto v = ir::eval(e, s);
+        ASSERT_TRUE(v.has_value());
+        EXPECT_EQ(*v, 1u) << "model violates conjunct in round " << round;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------- Cross-check vs Z3
+
+TEST(BvSolverVsZ3, RandomFormulasAgree) {
+  if (!have_z3()) GTEST_SKIP() << "built without Z3";
+  util::Rng rng(99);
+  for (int round = 0; round < 80; ++round) {
+    ir::Context ctx;
+    auto ours = make_bv_solver(ctx);
+    auto z3 = make_z3_solver(ctx);
+    ExprRef x = ctx.field_var("x", 12);
+    ExprRef y = ctx.field_var("y", 12);
+    ExprRef z = ctx.field_var("z", 12);
+    const ArithOp aops[] = {ArithOp::kAdd, ArithOp::kSub, ArithOp::kMul,
+                            ArithOp::kAnd, ArithOp::kOr,  ArithOp::kXor,
+                            ArithOp::kShl, ArithOp::kShr};
+    auto rand_aexp = [&]() {
+      ExprRef leaves[] = {x, y, z, ctx.arena.constant(rng.bits(12), 12)};
+      ExprRef a = leaves[rng.below(4)];
+      ExprRef b = leaves[rng.below(4)];
+      return ctx.arena.arith(aops[rng.below(8)], a, b);
+    };
+    const int n = static_cast<int>(rng.range(1, 4));
+    for (int i = 0; i < n; ++i) {
+      ExprRef atom = ctx.arena.cmp(static_cast<CmpOp>(rng.below(6)),
+                                   rand_aexp(), rand_aexp());
+      if (rng.chance(1, 3)) {
+        atom = ctx.arena.bor(atom, ctx.arena.cmp(static_cast<CmpOp>(rng.below(6)),
+                                                 rand_aexp(), rand_aexp()));
+      }
+      ours->add(atom);
+      z3->add(atom);
+    }
+    CheckResult a = ours->check();
+    CheckResult b = z3->check();
+    ASSERT_NE(a, CheckResult::kUnknown);
+    ASSERT_NE(b, CheckResult::kUnknown);
+    EXPECT_EQ(a, b) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace meissa::smt

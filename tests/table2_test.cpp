@@ -1,0 +1,33 @@
+// Reproduces the paper's Table 2: for each of the 16 bug scenarios, the
+// five tools must produce exactly the paper's detection verdicts.
+#include <gtest/gtest.h>
+
+#include "apps/table2.hpp"
+
+namespace meissa::apps {
+namespace {
+
+class Table2 : public ::testing::TestWithParam<int> {};
+
+TEST_P(Table2, MatchesPaperMatrix) {
+  const int index = GetParam();
+  ir::Context ctx;
+  BugScenario bug = make_bug(ctx, index);
+  Table2Row row = evaluate_bug(ctx, bug, /*budget_seconds=*/30);
+  std::array<bool, 5> want = paper_matrix(index);
+  EXPECT_EQ(row.meissa, want[0]) << "Meissa on bug " << index << " ("
+                                 << bug.name << ") " << row.notes;
+  EXPECT_EQ(row.p4pktgen, want[1]) << "p4pktgen on bug " << index << " ("
+                                   << bug.name << ") " << row.notes;
+  EXPECT_EQ(row.pta, want[2]) << "PTA on bug " << index << " (" << bug.name
+                              << ") " << row.notes;
+  EXPECT_EQ(row.gauntlet, want[3]) << "Gauntlet on bug " << index << " ("
+                                   << bug.name << ") " << row.notes;
+  EXPECT_EQ(row.aquila, want[4]) << "Aquila on bug " << index << " ("
+                                 << bug.name << ") " << row.notes;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBugs, Table2, ::testing::Range(1, 17));
+
+}  // namespace
+}  // namespace meissa::apps

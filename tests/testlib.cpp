@@ -1,0 +1,131 @@
+#include "testlib.hpp"
+
+#include "apps/demos.hpp"
+
+namespace meissa::testlib {
+
+p4::DataPlane make_fig7_plane(ir::Context& ctx) {
+  return apps::demos::make_fig7_plane(ctx);
+}
+p4::RuleSet fig7_rules(int n_hosts) { return apps::demos::fig7_rules(n_hosts); }
+p4::DataPlane make_fig8_plane(ir::Context& ctx) {
+  return apps::demos::make_fig8_plane(ctx);
+}
+p4::RuleSet fig8_rules() { return apps::demos::fig8_rules(); }
+
+std::optional<ConcreteOutcome> concrete_run(const cfg::Cfg& g,
+                                            ir::ConcreteState initial,
+                                            const ir::Context& ctx) {
+  // Backtracking walk: at forks, try successors in order; commit to the
+  // first that completes. Statement evaluation mirrors cfg::eval_path.
+  std::optional<ConcreteOutcome> result;
+  cfg::Path path;
+  auto walk = [&](auto&& self, cfg::NodeId id, ir::ConcreteState s) -> bool {
+    const cfg::Node& n = g.node(id);
+    cfg::Path one{id};
+    auto after = cfg::eval_path(g, one, std::move(s), ctx);
+    if (!after) return false;
+    path.push_back(id);
+    if (n.succ.empty()) {
+      ConcreteOutcome out;
+      out.terminal = id;
+      out.exit = n.exit;
+      out.emit_instance = n.emit_instance;
+      out.state = *after;
+      out.path = path;
+      result = out;
+      return true;
+    }
+    for (cfg::NodeId succ : n.succ) {
+      if (self(self, succ, *after)) return true;
+    }
+    path.pop_back();
+    return false;
+  };
+  walk(walk, g.entry(), std::move(initial));
+  return result;
+}
+
+std::vector<ir::FieldId> random_cfg_fields(ir::Context& ctx) {
+  std::vector<ir::FieldId> fs;
+  for (int i = 0; i < 4; ++i) {
+    fs.push_back(ctx.fields.intern("x" + std::to_string(i), 8));
+  }
+  return fs;
+}
+
+cfg::Cfg random_pipeline_cfg(ir::Context& ctx, util::Rng& rng, int k,
+                             int diamonds_per_pipe) {
+  std::vector<ir::FieldId> fields = random_cfg_fields(ctx);
+  cfg::Cfg g;
+  auto rand_aexp = [&](int depth) -> ir::ExprRef {
+    auto self = [&](auto&& rec, int d) -> ir::ExprRef {
+      if (d == 0 || rng.chance(1, 3)) {
+        if (rng.chance(1, 2)) {
+          return ctx.arena.constant(rng.bits(8), 8);
+        }
+        return ctx.var(fields[rng.below(fields.size())]);
+      }
+      const ir::ArithOp ops[] = {ir::ArithOp::kAdd, ir::ArithOp::kSub,
+                                 ir::ArithOp::kAnd, ir::ArithOp::kOr,
+                                 ir::ArithOp::kXor};
+      return ctx.arena.arith(ops[rng.below(5)], rec(rec, d - 1), rec(rec, d - 1));
+    };
+    return self(self, depth);
+  };
+  auto rand_cond = [&]() {
+    return ctx.arena.cmp(static_cast<ir::CmpOp>(rng.below(6)),
+                         ctx.var(fields[rng.below(fields.size())]),
+                         ctx.arena.constant(rng.bits(rng.chance(1, 2) ? 2 : 8), 8));
+  };
+
+  cfg::NodeId entry = g.add(ir::Stmt::nop());
+  g.set_entry(entry);
+  cfg::NodeId cur = entry;
+  for (int pipe = 0; pipe < k; ++pipe) {
+    cfg::InstanceInfo info;
+    info.name = "p" + std::to_string(pipe);
+    info.pipeline = info.name;
+    cfg::NodeId pentry = g.add(ir::Stmt::nop());
+    g.link(cur, pentry);
+    info.entry = pentry;
+    cfg::NodeId c = pentry;
+    for (int d = 0; d < diamonds_per_pipe; ++d) {
+      ir::ExprRef cond = rand_cond();
+      cfg::NodeId fork = g.add(ir::Stmt::nop());
+      g.link(c, fork);
+      cfg::NodeId join = g.add(ir::Stmt::nop());
+      for (int side = 0; side < 2; ++side) {
+        ir::ExprRef guard = side == 0 ? cond : ctx.arena.bnot(cond);
+        cfg::NodeId a = g.add(ir::Stmt::assume(guard));
+        g.link(fork, a);
+        cfg::NodeId b = a;
+        int assigns = static_cast<int>(rng.range(0, 2));
+        for (int i = 0; i < assigns; ++i) {
+          cfg::NodeId asg = g.add(ir::Stmt::assign(
+              fields[rng.below(fields.size())], rand_aexp(2)));
+          g.link(b, asg);
+          b = asg;
+        }
+        g.link(b, join);
+      }
+      c = join;
+    }
+    cfg::NodeId pexit = g.add(ir::Stmt::nop());
+    g.link(c, pexit);
+    info.exit = pexit;
+    for (cfg::NodeId n = pentry; n <= pexit; ++n) {
+      g.node(n).instance = static_cast<int>(g.instances().size());
+    }
+    g.instances().push_back(std::move(info));
+    cur = pexit;
+  }
+  cfg::NodeId emit = g.add(ir::Stmt::nop());
+  g.node(emit).exit = cfg::ExitKind::kEmit;
+  g.node(emit).emit_instance = k - 1;
+  g.link(cur, emit);
+  g.check_well_formed();
+  return g;
+}
+
+}  // namespace meissa::testlib

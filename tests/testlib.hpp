@@ -1,0 +1,51 @@
+// Shared fixtures for Meissa tests: small hand-built data planes, a
+// random-CFG generator for property tests, and a concrete reference
+// interpreter used as the ground-truth oracle.
+#pragma once
+
+#include <optional>
+
+#include "cfg/build.hpp"
+#include "p4/rules.hpp"
+#include "util/rng.hpp"
+
+namespace meissa::testlib {
+
+// The paper's Fig. 7 workload: table ipv4_host (dstIP -> egressPort)
+// followed by table mac_agent (egressPort -> dstMAC), with `n_hosts`
+// entries in each. Single pipeline, single switch.
+p4::DataPlane make_fig7_plane(ir::Context& ctx);
+p4::RuleSet fig7_rules(int n_hosts);
+
+// The paper's Fig. 8 shape: an ingress pipeline that routes TCP to the
+// egress pipeline (eg_spec == 1) and drops everything else, and an egress
+// pipeline that branches on TCP vs UDP — so "proto == TCP" is a public
+// pre-condition of the egress and its UDP branch is summarized away.
+p4::DataPlane make_fig8_plane(ir::Context& ctx);
+p4::RuleSet fig8_rules();
+
+// Result of concretely interpreting a CFG: which terminal was reached and
+// the final state. Interpretation backtracks at forks (assume-guarded
+// branches), so it is a ground-truth "which path does this input drive"
+// oracle independent of the symbolic engine.
+struct ConcreteOutcome {
+  cfg::NodeId terminal = cfg::kNoNode;
+  cfg::ExitKind exit = cfg::ExitKind::kNone;
+  int emit_instance = -1;
+  ir::ConcreteState state;
+  cfg::Path path;
+};
+
+std::optional<ConcreteOutcome> concrete_run(const cfg::Cfg& g,
+                                            ir::ConcreteState initial,
+                                            const ir::Context& ctx);
+
+// Random multi-pipeline CFG for property tests: `k` pipeline instances in
+// a chain, each a DAG of assume/assign diamonds over a small field set.
+cfg::Cfg random_pipeline_cfg(ir::Context& ctx, util::Rng& rng, int k,
+                             int diamonds_per_pipe);
+
+// The fields random_pipeline_cfg draws from (interned as x0..x3, 8 bits).
+std::vector<ir::FieldId> random_cfg_fields(ir::Context& ctx);
+
+}  // namespace meissa::testlib

@@ -1,0 +1,81 @@
+// Tests for the util module: bit helpers, BigCount arithmetic, strings,
+// and the deterministic RNG.
+#include <gtest/gtest.h>
+
+#include "util/big_count.hpp"
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace meissa::util {
+namespace {
+
+TEST(Bits, MasksAndTruncation) {
+  EXPECT_EQ(mask_bits(1), 1u);
+  EXPECT_EQ(mask_bits(9), 0x1ffu);
+  EXPECT_EQ(mask_bits(64), ~uint64_t{0});
+  EXPECT_EQ(truncate(0x1ff, 8), 0xffu);
+  EXPECT_TRUE(fits(255, 8));
+  EXPECT_FALSE(fits(256, 8));
+  EXPECT_TRUE(bit_at(0b100, 2));
+  EXPECT_FALSE(bit_at(0b100, 1));
+  EXPECT_THROW(check_width(0), InternalError);
+  EXPECT_THROW(check_width(65), InternalError);
+}
+
+TEST(BigCount, ExactWhileSmallLogBeyond) {
+  BigCount c = BigCount::of(68);
+  EXPECT_TRUE(c.is_exact());
+  EXPECT_EQ(c.value(), 68.0);  // exactly, no pow() round-trip
+  EXPECT_EQ(c.str(), "68");
+
+  BigCount big = BigCount::of(1);
+  for (int i = 0; i < 100; ++i) big *= BigCount::of(100);  // 10^200
+  EXPECT_FALSE(big.is_exact());
+  EXPECT_NEAR(big.log10(), 200.0, 0.5);
+  EXPECT_EQ(big.str().rfind("10^", 0), 0u);
+}
+
+TEST(BigCount, SumAndProductLaws) {
+  BigCount a = BigCount::of(1000);
+  BigCount b = BigCount::of(24);
+  EXPECT_EQ((a + b).value(), 1024.0);
+  EXPECT_EQ((a * b).value(), 24000.0);
+  EXPECT_TRUE((BigCount::zero() * a).is_zero());
+  EXPECT_EQ((BigCount::zero() + a).value(), 1000.0);
+  // Log-domain addition stays accurate for large values.
+  BigCount big = BigCount::of(1);
+  for (int i = 0; i < 30; ++i) big *= BigCount::of(10);
+  BigCount twice = big + big;
+  EXPECT_NEAR(twice.log10() - big.log10(), std::log10(2.0), 1e-9);
+}
+
+TEST(Strings, SplitTrimAffixes) {
+  auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(trim("  x y\t\n"), "x y");
+  EXPECT_TRUE(starts_with("hdr.ipv4.dst", "hdr."));
+  EXPECT_TRUE(ends_with("hdr.ipv4.$valid", ".$valid"));
+  EXPECT_FALSE(ends_with("x", "longer"));
+  EXPECT_EQ(hex(0xbeef), "0xbeef");
+  EXPECT_EQ(format("%d-%s", 7, "x"), "7-x");
+}
+
+TEST(Rng, DeterministicAndInRange) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = r.range(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+    EXPECT_TRUE(fits(r.bits(9), 9));
+  }
+}
+
+}  // namespace
+}  // namespace meissa::util
