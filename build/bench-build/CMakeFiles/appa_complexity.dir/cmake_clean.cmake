@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/appa_complexity"
+  "../bench/appa_complexity.pdb"
+  "CMakeFiles/appa_complexity.dir/appa_complexity.cpp.o"
+  "CMakeFiles/appa_complexity.dir/appa_complexity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appa_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

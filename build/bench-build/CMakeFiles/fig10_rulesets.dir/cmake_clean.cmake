@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_rulesets"
+  "../bench/fig10_rulesets.pdb"
+  "CMakeFiles/fig10_rulesets.dir/fig10_rulesets.cpp.o"
+  "CMakeFiles/fig10_rulesets.dir/fig10_rulesets.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_rulesets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

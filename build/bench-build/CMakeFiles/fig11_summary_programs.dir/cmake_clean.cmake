@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_summary_programs"
+  "../bench/fig11_summary_programs.pdb"
+  "CMakeFiles/fig11_summary_programs.dir/fig11_summary_programs.cpp.o"
+  "CMakeFiles/fig11_summary_programs.dir/fig11_summary_programs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_summary_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

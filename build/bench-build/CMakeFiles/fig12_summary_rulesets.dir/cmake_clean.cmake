@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_summary_rulesets"
+  "../bench/fig12_summary_rulesets.pdb"
+  "CMakeFiles/fig12_summary_rulesets.dir/fig12_summary_rulesets.cpp.o"
+  "CMakeFiles/fig12_summary_rulesets.dir/fig12_summary_rulesets.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_summary_rulesets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_scalability"
+  "../bench/fig9_scalability.pdb"
+  "CMakeFiles/fig9_scalability.dir/fig9_scalability.cpp.o"
+  "CMakeFiles/fig9_scalability.dir/fig9_scalability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

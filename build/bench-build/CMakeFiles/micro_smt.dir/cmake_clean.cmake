@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_smt"
+  "../bench/micro_smt.pdb"
+  "CMakeFiles/micro_smt.dir/micro_smt.cpp.o"
+  "CMakeFiles/micro_smt.dir/micro_smt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

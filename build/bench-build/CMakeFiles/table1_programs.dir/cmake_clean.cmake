@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_programs"
+  "../bench/table1_programs.pdb"
+  "CMakeFiles/table1_programs.dir/table1_programs.cpp.o"
+  "CMakeFiles/table1_programs.dir/table1_programs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

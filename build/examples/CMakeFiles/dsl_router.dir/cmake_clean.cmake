@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsl_router.dir/dsl_router.cpp.o"
+  "CMakeFiles/dsl_router.dir/dsl_router.cpp.o.d"
+  "dsl_router"
+  "dsl_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsl_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

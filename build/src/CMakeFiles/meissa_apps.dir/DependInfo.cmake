@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/acl.cpp" "src/CMakeFiles/meissa_apps.dir/apps/acl.cpp.o" "gcc" "src/CMakeFiles/meissa_apps.dir/apps/acl.cpp.o.d"
+  "/root/repo/src/apps/bugs.cpp" "src/CMakeFiles/meissa_apps.dir/apps/bugs.cpp.o" "gcc" "src/CMakeFiles/meissa_apps.dir/apps/bugs.cpp.o.d"
+  "/root/repo/src/apps/demos.cpp" "src/CMakeFiles/meissa_apps.dir/apps/demos.cpp.o" "gcc" "src/CMakeFiles/meissa_apps.dir/apps/demos.cpp.o.d"
+  "/root/repo/src/apps/gateways.cpp" "src/CMakeFiles/meissa_apps.dir/apps/gateways.cpp.o" "gcc" "src/CMakeFiles/meissa_apps.dir/apps/gateways.cpp.o.d"
+  "/root/repo/src/apps/mtag.cpp" "src/CMakeFiles/meissa_apps.dir/apps/mtag.cpp.o" "gcc" "src/CMakeFiles/meissa_apps.dir/apps/mtag.cpp.o.d"
+  "/root/repo/src/apps/protocols.cpp" "src/CMakeFiles/meissa_apps.dir/apps/protocols.cpp.o" "gcc" "src/CMakeFiles/meissa_apps.dir/apps/protocols.cpp.o.d"
+  "/root/repo/src/apps/router.cpp" "src/CMakeFiles/meissa_apps.dir/apps/router.cpp.o" "gcc" "src/CMakeFiles/meissa_apps.dir/apps/router.cpp.o.d"
+  "/root/repo/src/apps/rulegen.cpp" "src/CMakeFiles/meissa_apps.dir/apps/rulegen.cpp.o" "gcc" "src/CMakeFiles/meissa_apps.dir/apps/rulegen.cpp.o.d"
+  "/root/repo/src/apps/switchp4.cpp" "src/CMakeFiles/meissa_apps.dir/apps/switchp4.cpp.o" "gcc" "src/CMakeFiles/meissa_apps.dir/apps/switchp4.cpp.o.d"
+  "/root/repo/src/apps/table2.cpp" "src/CMakeFiles/meissa_apps.dir/apps/table2.cpp.o" "gcc" "src/CMakeFiles/meissa_apps.dir/apps/table2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/meissa_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meissa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meissa_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meissa_summary.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meissa_sym.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meissa_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meissa_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meissa_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meissa_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meissa_p4.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meissa_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meissa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

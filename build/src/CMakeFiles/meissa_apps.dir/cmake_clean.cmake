@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meissa_apps.dir/apps/acl.cpp.o"
+  "CMakeFiles/meissa_apps.dir/apps/acl.cpp.o.d"
+  "CMakeFiles/meissa_apps.dir/apps/bugs.cpp.o"
+  "CMakeFiles/meissa_apps.dir/apps/bugs.cpp.o.d"
+  "CMakeFiles/meissa_apps.dir/apps/demos.cpp.o"
+  "CMakeFiles/meissa_apps.dir/apps/demos.cpp.o.d"
+  "CMakeFiles/meissa_apps.dir/apps/gateways.cpp.o"
+  "CMakeFiles/meissa_apps.dir/apps/gateways.cpp.o.d"
+  "CMakeFiles/meissa_apps.dir/apps/mtag.cpp.o"
+  "CMakeFiles/meissa_apps.dir/apps/mtag.cpp.o.d"
+  "CMakeFiles/meissa_apps.dir/apps/protocols.cpp.o"
+  "CMakeFiles/meissa_apps.dir/apps/protocols.cpp.o.d"
+  "CMakeFiles/meissa_apps.dir/apps/router.cpp.o"
+  "CMakeFiles/meissa_apps.dir/apps/router.cpp.o.d"
+  "CMakeFiles/meissa_apps.dir/apps/rulegen.cpp.o"
+  "CMakeFiles/meissa_apps.dir/apps/rulegen.cpp.o.d"
+  "CMakeFiles/meissa_apps.dir/apps/switchp4.cpp.o"
+  "CMakeFiles/meissa_apps.dir/apps/switchp4.cpp.o.d"
+  "CMakeFiles/meissa_apps.dir/apps/table2.cpp.o"
+  "CMakeFiles/meissa_apps.dir/apps/table2.cpp.o.d"
+  "libmeissa_apps.a"
+  "libmeissa_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meissa_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/aquila.cpp" "src/CMakeFiles/meissa_baselines.dir/baselines/aquila.cpp.o" "gcc" "src/CMakeFiles/meissa_baselines.dir/baselines/aquila.cpp.o.d"
+  "/root/repo/src/baselines/gauntlet.cpp" "src/CMakeFiles/meissa_baselines.dir/baselines/gauntlet.cpp.o" "gcc" "src/CMakeFiles/meissa_baselines.dir/baselines/gauntlet.cpp.o.d"
+  "/root/repo/src/baselines/p4pktgen.cpp" "src/CMakeFiles/meissa_baselines.dir/baselines/p4pktgen.cpp.o" "gcc" "src/CMakeFiles/meissa_baselines.dir/baselines/p4pktgen.cpp.o.d"
+  "/root/repo/src/baselines/pta.cpp" "src/CMakeFiles/meissa_baselines.dir/baselines/pta.cpp.o" "gcc" "src/CMakeFiles/meissa_baselines.dir/baselines/pta.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/meissa_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meissa_summary.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meissa_sym.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meissa_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meissa_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meissa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meissa_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meissa_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meissa_p4.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meissa_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meissa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meissa_baselines.dir/baselines/aquila.cpp.o"
+  "CMakeFiles/meissa_baselines.dir/baselines/aquila.cpp.o.d"
+  "CMakeFiles/meissa_baselines.dir/baselines/gauntlet.cpp.o"
+  "CMakeFiles/meissa_baselines.dir/baselines/gauntlet.cpp.o.d"
+  "CMakeFiles/meissa_baselines.dir/baselines/p4pktgen.cpp.o"
+  "CMakeFiles/meissa_baselines.dir/baselines/p4pktgen.cpp.o.d"
+  "CMakeFiles/meissa_baselines.dir/baselines/pta.cpp.o"
+  "CMakeFiles/meissa_baselines.dir/baselines/pta.cpp.o.d"
+  "libmeissa_baselines.a"
+  "libmeissa_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meissa_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cfg/build.cpp" "src/CMakeFiles/meissa_cfg.dir/cfg/build.cpp.o" "gcc" "src/CMakeFiles/meissa_cfg.dir/cfg/build.cpp.o.d"
+  "/root/repo/src/cfg/cfg.cpp" "src/CMakeFiles/meissa_cfg.dir/cfg/cfg.cpp.o" "gcc" "src/CMakeFiles/meissa_cfg.dir/cfg/cfg.cpp.o.d"
+  "/root/repo/src/cfg/eval.cpp" "src/CMakeFiles/meissa_cfg.dir/cfg/eval.cpp.o" "gcc" "src/CMakeFiles/meissa_cfg.dir/cfg/eval.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/meissa_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meissa_p4.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meissa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meissa_cfg.dir/cfg/build.cpp.o"
+  "CMakeFiles/meissa_cfg.dir/cfg/build.cpp.o.d"
+  "CMakeFiles/meissa_cfg.dir/cfg/cfg.cpp.o"
+  "CMakeFiles/meissa_cfg.dir/cfg/cfg.cpp.o.d"
+  "CMakeFiles/meissa_cfg.dir/cfg/eval.cpp.o"
+  "CMakeFiles/meissa_cfg.dir/cfg/eval.cpp.o.d"
+  "libmeissa_cfg.a"
+  "libmeissa_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meissa_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meissa_driver.dir/driver/checker.cpp.o"
+  "CMakeFiles/meissa_driver.dir/driver/checker.cpp.o.d"
+  "CMakeFiles/meissa_driver.dir/driver/generator.cpp.o"
+  "CMakeFiles/meissa_driver.dir/driver/generator.cpp.o.d"
+  "CMakeFiles/meissa_driver.dir/driver/report.cpp.o"
+  "CMakeFiles/meissa_driver.dir/driver/report.cpp.o.d"
+  "CMakeFiles/meissa_driver.dir/driver/sender.cpp.o"
+  "CMakeFiles/meissa_driver.dir/driver/sender.cpp.o.d"
+  "CMakeFiles/meissa_driver.dir/driver/tester.cpp.o"
+  "CMakeFiles/meissa_driver.dir/driver/tester.cpp.o.d"
+  "libmeissa_driver.a"
+  "libmeissa_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meissa_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/expr.cpp" "src/CMakeFiles/meissa_ir.dir/ir/expr.cpp.o" "gcc" "src/CMakeFiles/meissa_ir.dir/ir/expr.cpp.o.d"
+  "/root/repo/src/ir/field.cpp" "src/CMakeFiles/meissa_ir.dir/ir/field.cpp.o" "gcc" "src/CMakeFiles/meissa_ir.dir/ir/field.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/meissa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

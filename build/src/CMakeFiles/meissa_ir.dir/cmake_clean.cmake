@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meissa_ir.dir/ir/expr.cpp.o"
+  "CMakeFiles/meissa_ir.dir/ir/expr.cpp.o.d"
+  "CMakeFiles/meissa_ir.dir/ir/field.cpp.o"
+  "CMakeFiles/meissa_ir.dir/ir/field.cpp.o.d"
+  "libmeissa_ir.a"
+  "libmeissa_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meissa_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/p4/dsl.cpp" "src/CMakeFiles/meissa_p4.dir/p4/dsl.cpp.o" "gcc" "src/CMakeFiles/meissa_p4.dir/p4/dsl.cpp.o.d"
+  "/root/repo/src/p4/program.cpp" "src/CMakeFiles/meissa_p4.dir/p4/program.cpp.o" "gcc" "src/CMakeFiles/meissa_p4.dir/p4/program.cpp.o.d"
+  "/root/repo/src/p4/rules.cpp" "src/CMakeFiles/meissa_p4.dir/p4/rules.cpp.o" "gcc" "src/CMakeFiles/meissa_p4.dir/p4/rules.cpp.o.d"
+  "/root/repo/src/p4/validate.cpp" "src/CMakeFiles/meissa_p4.dir/p4/validate.cpp.o" "gcc" "src/CMakeFiles/meissa_p4.dir/p4/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/meissa_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meissa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

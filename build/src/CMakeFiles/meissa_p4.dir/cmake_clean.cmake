@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meissa_p4.dir/p4/dsl.cpp.o"
+  "CMakeFiles/meissa_p4.dir/p4/dsl.cpp.o.d"
+  "CMakeFiles/meissa_p4.dir/p4/program.cpp.o"
+  "CMakeFiles/meissa_p4.dir/p4/program.cpp.o.d"
+  "CMakeFiles/meissa_p4.dir/p4/rules.cpp.o"
+  "CMakeFiles/meissa_p4.dir/p4/rules.cpp.o.d"
+  "CMakeFiles/meissa_p4.dir/p4/validate.cpp.o"
+  "CMakeFiles/meissa_p4.dir/p4/validate.cpp.o.d"
+  "libmeissa_p4.a"
+  "libmeissa_p4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meissa_p4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

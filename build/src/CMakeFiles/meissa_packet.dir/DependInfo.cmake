@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/packet/checksum.cpp" "src/CMakeFiles/meissa_packet.dir/packet/checksum.cpp.o" "gcc" "src/CMakeFiles/meissa_packet.dir/packet/checksum.cpp.o.d"
+  "/root/repo/src/packet/packet.cpp" "src/CMakeFiles/meissa_packet.dir/packet/packet.cpp.o" "gcc" "src/CMakeFiles/meissa_packet.dir/packet/packet.cpp.o.d"
+  "/root/repo/src/packet/wire.cpp" "src/CMakeFiles/meissa_packet.dir/packet/wire.cpp.o" "gcc" "src/CMakeFiles/meissa_packet.dir/packet/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/meissa_p4.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meissa_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meissa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

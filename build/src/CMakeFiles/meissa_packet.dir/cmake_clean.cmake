@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meissa_packet.dir/packet/checksum.cpp.o"
+  "CMakeFiles/meissa_packet.dir/packet/checksum.cpp.o.d"
+  "CMakeFiles/meissa_packet.dir/packet/packet.cpp.o"
+  "CMakeFiles/meissa_packet.dir/packet/packet.cpp.o.d"
+  "CMakeFiles/meissa_packet.dir/packet/wire.cpp.o"
+  "CMakeFiles/meissa_packet.dir/packet/wire.cpp.o.d"
+  "libmeissa_packet.a"
+  "libmeissa_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meissa_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

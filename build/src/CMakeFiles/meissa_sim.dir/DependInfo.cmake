@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/device.cpp" "src/CMakeFiles/meissa_sim.dir/sim/device.cpp.o" "gcc" "src/CMakeFiles/meissa_sim.dir/sim/device.cpp.o.d"
+  "/root/repo/src/sim/fault.cpp" "src/CMakeFiles/meissa_sim.dir/sim/fault.cpp.o" "gcc" "src/CMakeFiles/meissa_sim.dir/sim/fault.cpp.o.d"
+  "/root/repo/src/sim/toolchain.cpp" "src/CMakeFiles/meissa_sim.dir/sim/toolchain.cpp.o" "gcc" "src/CMakeFiles/meissa_sim.dir/sim/toolchain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/meissa_p4.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meissa_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meissa_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meissa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meissa_sim.dir/sim/device.cpp.o"
+  "CMakeFiles/meissa_sim.dir/sim/device.cpp.o.d"
+  "CMakeFiles/meissa_sim.dir/sim/fault.cpp.o"
+  "CMakeFiles/meissa_sim.dir/sim/fault.cpp.o.d"
+  "CMakeFiles/meissa_sim.dir/sim/toolchain.cpp.o"
+  "CMakeFiles/meissa_sim.dir/sim/toolchain.cpp.o.d"
+  "libmeissa_sim.a"
+  "libmeissa_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meissa_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smt/bitblast.cpp" "src/CMakeFiles/meissa_smt.dir/smt/bitblast.cpp.o" "gcc" "src/CMakeFiles/meissa_smt.dir/smt/bitblast.cpp.o.d"
+  "/root/repo/src/smt/bv_solver.cpp" "src/CMakeFiles/meissa_smt.dir/smt/bv_solver.cpp.o" "gcc" "src/CMakeFiles/meissa_smt.dir/smt/bv_solver.cpp.o.d"
+  "/root/repo/src/smt/domain.cpp" "src/CMakeFiles/meissa_smt.dir/smt/domain.cpp.o" "gcc" "src/CMakeFiles/meissa_smt.dir/smt/domain.cpp.o.d"
+  "/root/repo/src/smt/sat.cpp" "src/CMakeFiles/meissa_smt.dir/smt/sat.cpp.o" "gcc" "src/CMakeFiles/meissa_smt.dir/smt/sat.cpp.o.d"
+  "/root/repo/src/smt/z3_solver.cpp" "src/CMakeFiles/meissa_smt.dir/smt/z3_solver.cpp.o" "gcc" "src/CMakeFiles/meissa_smt.dir/smt/z3_solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/meissa_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meissa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meissa_smt.dir/smt/bitblast.cpp.o"
+  "CMakeFiles/meissa_smt.dir/smt/bitblast.cpp.o.d"
+  "CMakeFiles/meissa_smt.dir/smt/bv_solver.cpp.o"
+  "CMakeFiles/meissa_smt.dir/smt/bv_solver.cpp.o.d"
+  "CMakeFiles/meissa_smt.dir/smt/domain.cpp.o"
+  "CMakeFiles/meissa_smt.dir/smt/domain.cpp.o.d"
+  "CMakeFiles/meissa_smt.dir/smt/sat.cpp.o"
+  "CMakeFiles/meissa_smt.dir/smt/sat.cpp.o.d"
+  "CMakeFiles/meissa_smt.dir/smt/z3_solver.cpp.o"
+  "CMakeFiles/meissa_smt.dir/smt/z3_solver.cpp.o.d"
+  "libmeissa_smt.a"
+  "libmeissa_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meissa_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meissa_spec.dir/spec/intent.cpp.o"
+  "CMakeFiles/meissa_spec.dir/spec/intent.cpp.o.d"
+  "CMakeFiles/meissa_spec.dir/spec/lpi.cpp.o"
+  "CMakeFiles/meissa_spec.dir/spec/lpi.cpp.o.d"
+  "libmeissa_spec.a"
+  "libmeissa_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meissa_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

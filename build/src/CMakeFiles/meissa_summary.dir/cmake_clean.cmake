@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meissa_summary.dir/summary/summary.cpp.o"
+  "CMakeFiles/meissa_summary.dir/summary/summary.cpp.o.d"
+  "libmeissa_summary.a"
+  "libmeissa_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meissa_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meissa_sym.dir/sym/engine.cpp.o"
+  "CMakeFiles/meissa_sym.dir/sym/engine.cpp.o.d"
+  "CMakeFiles/meissa_sym.dir/sym/template.cpp.o"
+  "CMakeFiles/meissa_sym.dir/sym/template.cpp.o.d"
+  "libmeissa_sym.a"
+  "libmeissa_sym.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meissa_sym.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

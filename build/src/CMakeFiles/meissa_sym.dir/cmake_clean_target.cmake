@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmeissa_sym.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meissa_util.dir/util/big_count.cpp.o"
+  "CMakeFiles/meissa_util.dir/util/big_count.cpp.o.d"
+  "CMakeFiles/meissa_util.dir/util/strings.cpp.o"
+  "CMakeFiles/meissa_util.dir/util/strings.cpp.o.d"
+  "libmeissa_util.a"
+  "libmeissa_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meissa_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

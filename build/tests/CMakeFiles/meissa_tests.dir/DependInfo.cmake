@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps_test.cpp" "tests/CMakeFiles/meissa_tests.dir/apps_test.cpp.o" "gcc" "tests/CMakeFiles/meissa_tests.dir/apps_test.cpp.o.d"
+  "/root/repo/tests/baseline_test.cpp" "tests/CMakeFiles/meissa_tests.dir/baseline_test.cpp.o" "gcc" "tests/CMakeFiles/meissa_tests.dir/baseline_test.cpp.o.d"
+  "/root/repo/tests/cfg_test.cpp" "tests/CMakeFiles/meissa_tests.dir/cfg_test.cpp.o" "gcc" "tests/CMakeFiles/meissa_tests.dir/cfg_test.cpp.o.d"
+  "/root/repo/tests/device_test.cpp" "tests/CMakeFiles/meissa_tests.dir/device_test.cpp.o" "gcc" "tests/CMakeFiles/meissa_tests.dir/device_test.cpp.o.d"
+  "/root/repo/tests/driver_test.cpp" "tests/CMakeFiles/meissa_tests.dir/driver_test.cpp.o" "gcc" "tests/CMakeFiles/meissa_tests.dir/driver_test.cpp.o.d"
+  "/root/repo/tests/dsl_test.cpp" "tests/CMakeFiles/meissa_tests.dir/dsl_test.cpp.o" "gcc" "tests/CMakeFiles/meissa_tests.dir/dsl_test.cpp.o.d"
+  "/root/repo/tests/e2e_test.cpp" "tests/CMakeFiles/meissa_tests.dir/e2e_test.cpp.o" "gcc" "tests/CMakeFiles/meissa_tests.dir/e2e_test.cpp.o.d"
+  "/root/repo/tests/engine_extra_test.cpp" "tests/CMakeFiles/meissa_tests.dir/engine_extra_test.cpp.o" "gcc" "tests/CMakeFiles/meissa_tests.dir/engine_extra_test.cpp.o.d"
+  "/root/repo/tests/engine_test.cpp" "tests/CMakeFiles/meissa_tests.dir/engine_test.cpp.o" "gcc" "tests/CMakeFiles/meissa_tests.dir/engine_test.cpp.o.d"
+  "/root/repo/tests/ir_expr_test.cpp" "tests/CMakeFiles/meissa_tests.dir/ir_expr_test.cpp.o" "gcc" "tests/CMakeFiles/meissa_tests.dir/ir_expr_test.cpp.o.d"
+  "/root/repo/tests/packet_test.cpp" "tests/CMakeFiles/meissa_tests.dir/packet_test.cpp.o" "gcc" "tests/CMakeFiles/meissa_tests.dir/packet_test.cpp.o.d"
+  "/root/repo/tests/smt_solver_test.cpp" "tests/CMakeFiles/meissa_tests.dir/smt_solver_test.cpp.o" "gcc" "tests/CMakeFiles/meissa_tests.dir/smt_solver_test.cpp.o.d"
+  "/root/repo/tests/spec_test.cpp" "tests/CMakeFiles/meissa_tests.dir/spec_test.cpp.o" "gcc" "tests/CMakeFiles/meissa_tests.dir/spec_test.cpp.o.d"
+  "/root/repo/tests/summary_test.cpp" "tests/CMakeFiles/meissa_tests.dir/summary_test.cpp.o" "gcc" "tests/CMakeFiles/meissa_tests.dir/summary_test.cpp.o.d"
+  "/root/repo/tests/table2_test.cpp" "tests/CMakeFiles/meissa_tests.dir/table2_test.cpp.o" "gcc" "tests/CMakeFiles/meissa_tests.dir/table2_test.cpp.o.d"
+  "/root/repo/tests/testlib.cpp" "tests/CMakeFiles/meissa_tests.dir/testlib.cpp.o" "gcc" "tests/CMakeFiles/meissa_tests.dir/testlib.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/meissa_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/meissa_tests.dir/util_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/meissa_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meissa_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meissa_summary.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meissa_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meissa_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meissa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meissa_sym.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meissa_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meissa_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meissa_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meissa_p4.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meissa_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/meissa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
