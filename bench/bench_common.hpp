@@ -5,6 +5,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,31 @@ inline std::string outcome(const baselines::BaselineResult& r) {
   char buf[32];
   std::snprintf(buf, sizeof buf, "%.2fs", r.seconds);
   return buf;
+}
+
+// Parses `--threads N` (0 = hardware concurrency) from the bench binary's
+// command line; any other argument is ignored.
+inline int parse_threads(int argc, char** argv, int fallback = 1) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--threads") return std::atoi(argv[i + 1]);
+  }
+  return fallback;
+}
+
+// One machine-readable line per run: per-phase wall times and headline
+// counters, for scripted scaling sweeps over --threads.
+inline void print_phase_json(const std::string& program, const char* variant,
+                             int threads, const driver::GenStats& s) {
+  std::printf(
+      "{\"program\":\"%s\",\"variant\":\"%s\",\"threads\":%d,"
+      "\"build_seconds\":%.6f,\"summary_seconds\":%.6f,"
+      "\"dfs_seconds\":%.6f,\"total_seconds\":%.6f,"
+      "\"templates\":%llu,\"smt_checks\":%llu,\"timed_out\":%s}\n",
+      program.c_str(), variant, threads, s.build_seconds, s.summary_seconds,
+      s.dfs_seconds, s.total_seconds,
+      static_cast<unsigned long long>(s.templates),
+      static_cast<unsigned long long>(s.smt_checks),
+      s.timed_out ? "true" : "false");
 }
 
 inline double now_seconds() {

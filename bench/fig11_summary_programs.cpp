@@ -5,11 +5,16 @@
 //
 // Expected shape: summary reduces time (paper: 1.2-5.0x), SMT calls
 // (paper: 1.8-14.9x) and paths (paper: 10^60-10^390x).
+//
+// `--threads N` runs the generator with N workers (0 = hardware
+// concurrency); a JSON line with per-phase wall times follows each row.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace meissa;
-  std::printf("== Figure 11: code summary effectiveness (gw-1..gw-4) ==\n\n");
+  const int threads = bench::parse_threads(argc, argv);
+  std::printf("== Figure 11: code summary effectiveness (gw-1..gw-4, "
+              "%d threads) ==\n\n", threads);
   std::printf("%-7s | %10s %10s %7s | %9s %9s %7s | %12s %12s\n", "prog",
               "time w/", "time w/o", "ratio", "SMT w/", "SMT w/o", "ratio",
               "paths w/", "paths w/o");
@@ -25,6 +30,7 @@ int main() {
     driver::GenOptions with;
     with.check_every_predicate = true;  // the paper's Algorithm 1/2
     with.build.elide_disjoint_negations = false;
+    with.threads = threads;
     driver::Generator gw(ctx, app.dp, app.rules, with);
     bench::Timer t1;
     gw.generate();
@@ -36,6 +42,7 @@ int main() {
     without.code_summary = false;
     without.check_every_predicate = true;
     without.build.elide_disjoint_negations = false;
+    without.threads = threads;
     driver::Generator go(ctx2, app2.dp, app2.rules, without);
     bench::Timer t2;
     go.generate();
@@ -50,6 +57,8 @@ int main() {
                         1, gw.stats().smt_checks)),
                 gw.stats().paths_summarized.str().c_str(),
                 go.stats().paths_original.str().c_str());
+    bench::print_phase_json(app.name, "summary", threads, gw.stats());
+    bench::print_phase_json(app.name, "no-summary", threads, go.stats());
   }
 
   // Ablation: intra-pipeline elimination only (pre-condition filtering off).

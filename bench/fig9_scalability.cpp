@@ -6,16 +6,22 @@
 // slower on the open-source programs (and p4pktgen covers far fewer
 // behaviours) and unsupported on gw-*; Aquila falls behind on gw-1/gw-2
 // and times out on gw-3/gw-4 under the budget.
+//
+// `--threads N` runs Meissa's generator with N workers (0 = hardware
+// concurrency); a JSON line with per-phase wall times follows each row.
 #include "bench_common.hpp"
 
 namespace {
 constexpr double kBudget = 60;  // seconds; the paper used one hour
 }
 
-int main() {
+int main(int argc, char** argv) {
   using namespace meissa;
-  std::printf("== Figure 9: generation time per program (budget %.0fs) ==\n\n",
-              kBudget);
+  const int threads = bench::parse_threads(argc, argv);
+  std::printf(
+      "== Figure 9: generation time per program (budget %.0fs, %d threads) "
+      "==\n\n",
+      kBudget, threads);
   std::printf("%-10s | %-12s %-9s | %-16s %-16s %-16s\n", "program",
               "Meissa", "#tmpl", "Aquila", "p4pktgen", "Gauntlet");
   std::printf("-----------+------------------------+-------------------------"
@@ -27,6 +33,7 @@ int main() {
     apps::AppBundle app = bench::make_program(ctx, name);
     driver::GenOptions gen;
     gen.time_budget_seconds = kBudget;
+    gen.threads = threads;
     driver::Generator meissa(ctx, app.dp, app.rules, gen);
     bench::Timer t;
     auto templates = meissa.generate();
@@ -69,6 +76,7 @@ int main() {
                 meissa.stats().timed_out ? "o (timeout)" : mcol,
                 templates.size(), bench::outcome(aq).c_str(),
                 bench::outcome(pg).c_str(), bench::outcome(gl).c_str());
+    bench::print_phase_json(name, "meissa", threads, meissa.stats());
   }
   std::printf(
       "\nShape checks: Meissa finishes on every program including gw-3/gw-4;\n"

@@ -1,8 +1,10 @@
 #include "driver/generator.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "spec/intent.hpp"
+#include "util/thread_pool.hpp"
 
 namespace meissa::driver {
 
@@ -24,11 +26,13 @@ Generator::Generator(ir::Context& ctx, const p4::DataPlane& dp,
 }
 
 std::vector<sym::TestCaseTemplate> Generator::generate() {
+  const int threads = util::resolve_threads(opts_.threads);
   if (opts_.code_summary && !summarized_) {
     auto t0 = std::chrono::steady_clock::now();
     summary::SummaryOptions so = opts_.summary;
     so.use_z3 = opts_.use_z3;
     so.check_every_predicate = opts_.check_every_predicate;
+    so.threads = threads;
     summarized_ = summary::summarize(ctx_, original_, so);
     stats_.summary_seconds = secs_since(t0);
     stats_.pipelines = summarized_->per_pipeline;
@@ -44,6 +48,7 @@ std::vector<sym::TestCaseTemplate> Generator::generate() {
   eopts.use_z3 = opts_.use_z3;
   eopts.max_results = opts_.max_templates;
   eopts.time_budget_seconds = opts_.time_budget_seconds;
+  eopts.fresh_ns = "dfs";
   engine_ = std::make_unique<sym::Engine>(ctx_, *active_, eopts);
   for (ir::ExprRef a : opts_.assumes) {
     engine_->add_precondition(spec::assume_to_precondition(a, ctx_));
@@ -52,7 +57,10 @@ std::vector<sym::TestCaseTemplate> Generator::generate() {
   auto t0 = std::chrono::steady_clock::now();
   std::vector<sym::TestCaseTemplate> templates;
   const bool diagnose = opts_.detect_invalid_reads && !opts_.code_summary;
-  engine_->run([&](const sym::PathResult& r) {
+  // Always the sharded exploration, whatever the thread count: threads=1
+  // runs the same shards inline, so shard namespaces — and therefore the
+  // emitted templates — are byte-identical across thread counts.
+  engine_->run_parallel([&](const sym::PathResult& r) {
     sym::TestCaseTemplate t =
         sym::make_template(ctx_, *active_, r, templates.size());
     if (diagnose) {
@@ -60,7 +68,12 @@ std::vector<sym::TestCaseTemplate> Generator::generate() {
       stats_.diagnostics += t.diagnostics.size();
     }
     templates.push_back(std::move(t));
-  });
+  }, threads);
+  // Emission order is already sequential-DFS order; keep the contract
+  // explicit (and robust to future sink changes).
+  std::stable_sort(templates.begin(), templates.end(),
+                   [](const sym::TestCaseTemplate& a,
+                      const sym::TestCaseTemplate& b) { return a.id < b.id; });
   stats_.dfs_seconds = secs_since(t0);
   stats_.engine = engine_->stats();
   stats_.timed_out = engine_->stats().timed_out;

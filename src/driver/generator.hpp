@@ -28,6 +28,10 @@ struct GenOptions {
   bool detect_invalid_reads = true;
   uint64_t max_templates = 0;  // 0 = unlimited
   double time_budget_seconds = 0;  // 0 = unlimited (final DFS budget)
+  // Worker threads for the summary pass and the final DFS (0 = hardware
+  // concurrency). Any value yields the same templates: the exploration is
+  // sharded deterministically and results merge in sequential DFS order.
+  int threads = 0;
 };
 
 struct GenStats {
@@ -43,6 +47,23 @@ struct GenStats {
   util::BigCount paths_summarized;  // possible paths after code summary
   std::vector<summary::PipelineSummary> pipelines;
   sym::EngineStats engine;
+
+  // Accumulate another run's stats (benchmark aggregation across apps).
+  GenStats& operator+=(const GenStats& o) {
+    timed_out = timed_out || o.timed_out;
+    build_seconds += o.build_seconds;
+    summary_seconds += o.summary_seconds;
+    dfs_seconds += o.dfs_seconds;
+    total_seconds += o.total_seconds;
+    smt_checks += o.smt_checks;
+    templates += o.templates;
+    diagnostics += o.diagnostics;
+    paths_original += o.paths_original;
+    paths_summarized += o.paths_summarized;
+    pipelines.insert(pipelines.end(), o.pipelines.begin(), o.pipelines.end());
+    engine += o.engine;
+    return *this;
+  }
 };
 
 class Generator {

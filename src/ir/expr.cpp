@@ -93,12 +93,23 @@ ExprArena::ExprArena() {
 }
 
 ExprRef ExprArena::intern(Expr e) {
-  auto it = interned_.find(e);
-  if (it != interned_.end()) return it->second;
-  nodes_.push_back(e);
-  ExprRef ref = &nodes_.back();
-  interned_.emplace(e, ref);
+  Shard& s = shards_[Hash{}(e) % kShards];
+  std::lock_guard<std::mutex> lk(s.mu);
+  auto it = s.interned.find(e);
+  if (it != s.interned.end()) return it->second;
+  s.nodes.push_back(e);
+  ExprRef ref = &s.nodes.back();
+  s.interned.emplace(e, ref);
   return ref;
+}
+
+size_t ExprArena::node_count() const {
+  size_t n = 0;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lk(s.mu);
+    n += s.nodes.size();
+  }
+  return n;
 }
 
 ExprRef ExprArena::constant(uint64_t v, int width) {

@@ -8,11 +8,19 @@
 // subexpressions share one node, so structural equality is pointer
 // equality — which the symbolic executor and the code-summary pass rely on
 // when intersecting path conditions.
+//
+// Thread safety: interning is safe to call concurrently. The intern table
+// is sharded by structural hash, each shard owning its nodes in a deque
+// (stable addresses), so parallel engine workers and concurrent
+// code-summary passes can share one arena. Hash-consing keeps pointer
+// identity canonical regardless of which thread interns a node first.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -96,7 +104,7 @@ class ExprArena {
   // (field & mask) == value — the ternary-match predicate shape.
   ExprRef masked_eq(ExprRef f, uint64_t mask, uint64_t value);
 
-  size_t node_count() const noexcept { return nodes_.size(); }
+  size_t node_count() const;
 
  private:
   ExprRef intern(Expr e);
@@ -108,8 +116,16 @@ class ExprArena {
     bool operator()(const Expr& a, const Expr& b) const noexcept;
   };
 
-  std::deque<Expr> nodes_;  // stable addresses; owns every node
-  std::unordered_map<Expr, ExprRef, Hash, Eq> interned_;
+  // One intern shard: a lock, the nodes it owns (deque: stable addresses),
+  // and the consing map. Shard choice is a pure function of the node's
+  // structural hash, so identical nodes always meet in the same shard.
+  static constexpr size_t kShards = 16;
+  struct Shard {
+    mutable std::mutex mu;
+    std::deque<Expr> nodes;
+    std::unordered_map<Expr, ExprRef, Hash, Eq> interned;
+  };
+  std::array<Shard, kShards> shards_;
   ExprRef true_ = nullptr;
   ExprRef false_ = nullptr;
 };

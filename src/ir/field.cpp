@@ -1,9 +1,12 @@
 #include "ir/field.hpp"
 
+#include <mutex>
+
 namespace meissa::ir {
 
 FieldId FieldTable::intern(std::string_view name, int width) {
   util::check_width(width);
+  std::unique_lock<std::shared_mutex> lk(mu_);
   auto it = by_name_.find(std::string(name));
   if (it != by_name_.end()) {
     if (entries_[it->second].width != width) {
@@ -19,6 +22,7 @@ FieldId FieldTable::intern(std::string_view name, int width) {
 }
 
 FieldId FieldTable::find(std::string_view name) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
   auto it = by_name_.find(std::string(name));
   return it == by_name_.end() ? kInvalidField : it->second;
 }

@@ -7,10 +7,11 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 #include "util/bits.hpp"
 #include "util/error.hpp"
@@ -23,6 +24,12 @@ inline constexpr FieldId kInvalidField = ~FieldId{0};
 // Interning table mapping field names to ids and recording bit widths.
 // Field names follow the dotted convention of the paper: "hdr.ipv4.dst_addr",
 // "pkt.ig_port", "hdr.ipv4.$valid@ingress0".
+//
+// Thread safety: concurrent intern/lookup is safe (reader-writer lock;
+// entries live in a deque so references returned by name() stay valid
+// across later interns). Ids are dense and assigned in intern order — with
+// concurrent interning the *numbering* is scheduling-dependent, so nothing
+// user-visible may depend on numeric id order (sort by name instead).
 class FieldTable {
  public:
   // Interns `name` with the given bit width. Re-interning an existing name
@@ -35,16 +42,26 @@ class FieldTable {
   // Like find(), but throws ValidationError when absent.
   FieldId require(std::string_view name) const;
 
-  const std::string& name(FieldId id) const { return entries_.at(id).name; }
-  int width(FieldId id) const { return entries_.at(id).width; }
-  size_t size() const noexcept { return entries_.size(); }
+  const std::string& name(FieldId id) const {
+    std::shared_lock<std::shared_mutex> lk(mu_);
+    return entries_.at(id).name;
+  }
+  int width(FieldId id) const {
+    std::shared_lock<std::shared_mutex> lk(mu_);
+    return entries_.at(id).width;
+  }
+  size_t size() const {
+    std::shared_lock<std::shared_mutex> lk(mu_);
+    return entries_.size();
+  }
 
  private:
   struct Entry {
     std::string name;
     int width;
   };
-  std::vector<Entry> entries_;
+  mutable std::shared_mutex mu_;
+  std::deque<Entry> entries_;  // stable addresses for name() references
   std::unordered_map<std::string, FieldId> by_name_;
 };
 

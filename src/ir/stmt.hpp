@@ -2,6 +2,7 @@
 // `assume bexp`, plus the shared Context that owns fields and expressions.
 #pragma once
 
+#include <atomic>
 #include <memory>
 
 #include "ir/expr.hpp"
@@ -36,8 +37,11 @@ struct Context {
   FieldTable fields;
   ExprArena arena;
   // Monotonic counter for fresh "$free.N" symbols (unpinned hash results);
-  // shared so independent engine runs never reuse a symbol name.
-  uint64_t fresh_counter = 0;
+  // shared so independent engine runs never reuse a symbol name. Atomic so
+  // concurrent explorations can allocate without a lock — but note the
+  // numbering then depends on scheduling; deterministic callers pass a
+  // fresh-symbol namespace to the engine instead (see EngineOptions).
+  std::atomic<uint64_t> fresh_counter{0};
 
   // Convenience: intern a field and build its variable expression.
   ExprRef field_var(std::string_view name, int width) {

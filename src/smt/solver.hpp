@@ -34,6 +34,17 @@ struct SolverStats {
   uint64_t sat_calls = 0;
   uint64_t pushes = 0;
   uint64_t pops = 0;
+
+  // Accumulate counters from another solver (e.g. per-worker solvers in a
+  // parallel exploration).
+  SolverStats& operator+=(const SolverStats& o) {
+    checks += o.checks;
+    fast_path_hits += o.fast_path_hits;
+    sat_calls += o.sat_calls;
+    pushes += o.pushes;
+    pops += o.pops;
+    return *this;
+  }
 };
 
 class Solver {

@@ -5,10 +5,21 @@
 
 #include "util/error.hpp"
 #include "util/strings.hpp"
+#include "util/thread_pool.hpp"
 
 namespace meissa::summary {
 
 namespace {
+
+// Sorts fields by name. FieldIds are assigned in interning order, which is
+// scheduling-dependent when explorations run concurrently; names are not,
+// so every ordering decision that shapes the summarized graph uses names.
+void sort_fields_by_name(std::vector<ir::FieldId>& fs,
+                         const ir::FieldTable& fields) {
+  std::sort(fs.begin(), fs.end(), [&](ir::FieldId a, ir::FieldId b) {
+    return fields.name(a) < fields.name(b);
+  });
+}
 
 // Dataflow state: C as a set for O(1) intersection, V/tops as in
 // PreCondition. `reached` distinguishes "no path reaches this node yet"
@@ -192,6 +203,12 @@ PreCondition compute_precondition(ir::Context& ctx, const cfg::Cfg& g,
     return pc;
   }
   pc.conds.assign(t.conds.begin(), t.conds.end());
+  // The set iterates in pointer order, which varies with interning order;
+  // sort by rendering for a scheduling-independent result.
+  std::sort(pc.conds.begin(), pc.conds.end(),
+            [&](ir::ExprRef a, ir::ExprRef b) {
+              return ir::to_string(a, ctx.fields) < ir::to_string(b, ctx.fields);
+            });
   pc.values = std::move(t.values);
   pc.tops = std::move(t.tops);
   return pc;
@@ -199,12 +216,14 @@ PreCondition compute_precondition(ir::Context& ctx, const cfg::Cfg& g,
 
 std::optional<PreCondition> compute_precondition_by_enumeration(
     ir::Context& ctx, const cfg::Cfg& g, cfg::NodeId target,
-    size_t path_limit, uint64_t* smt_checks) {
+    size_t path_limit, uint64_t* smt_checks, const std::string& fresh_ns) {
   sym::EngineOptions opts;
   opts.stop = target;
   opts.max_results = path_limit + 1;
+  opts.fresh_ns = fresh_ns;
   sym::Engine eng(ctx, g, opts);
   bool first = true;
+  std::vector<ir::ExprRef> cond_order;  // first path's conds, in path order
   std::unordered_set<ir::ExprRef> conds;
   std::unordered_map<ir::FieldId, ir::ExprRef> values;  // agreeing values
   std::unordered_set<ir::FieldId> tops;
@@ -219,6 +238,13 @@ std::optional<PreCondition> compute_precondition_by_enumeration(
     std::unordered_set<ir::ExprRef> rc(r.conds.begin(), r.conds.end());
     if (first) {
       conds = std::move(rc);
+      for (ir::ExprRef c : r.conds) {
+        if (cond_order.empty() || std::find(cond_order.begin(),
+                                            cond_order.end(),
+                                            c) == cond_order.end()) {
+          cond_order.push_back(c);
+        }
+      }
       values = r.values;
       first = false;
       for (auto& [f, v] : r.values) {
@@ -261,15 +287,20 @@ std::optional<PreCondition> compute_precondition_by_enumeration(
     pc.conds.push_back(ctx.arena.bool_const(false));
     return pc;
   }
-  pc.conds.assign(conds.begin(), conds.end());
+  // Surviving conjuncts in first-path order: deterministic because the
+  // enumeration itself is a sequential DFS.
+  for (ir::ExprRef c : cond_order) {
+    if (conds.count(c)) pc.conds.push_back(c);
+  }
   for (auto& [f, v] : values) {
     if (v != ctx.var(f)) pc.values.emplace(f, v);
   }
   for (ir::FieldId f : tops) {
     auto it = const_sets.find(f);
     if (it != const_sets.end() && !it->second.empty()) {
-      pc.value_sets.emplace(
-          f, std::vector<uint64_t>(it->second.begin(), it->second.end()));
+      std::vector<uint64_t> vals(it->second.begin(), it->second.end());
+      std::sort(vals.begin(), vals.end());
+      pc.value_sets.emplace(f, std::move(vals));
     }
   }
   pc.tops = std::move(tops);
@@ -298,7 +329,10 @@ class PathEncoder {
       if (s == seeds_.end() && v == ctx_.var(f)) continue;  // identity
       changed.push_back({f, v});
     }
-    std::sort(changed.begin(), changed.end());  // deterministic order
+    std::sort(changed.begin(), changed.end(),
+              [&](const auto& a, const auto& b) {
+                return ctx_.fields.name(a.first) < ctx_.fields.name(b.first);
+              });  // deterministic (name-based) order
 
     // Substitution for raw reads of fields this path changes: a raw field
     // occurrence means "value at pipeline entry", which Phase A snapshots.
@@ -343,7 +377,7 @@ class PathEncoder {
       auto it = snapshot_of_.find(f);
       if (it != snapshot_of_.end()) snaps.push_back(f);
     }
-    std::sort(snaps.begin(), snaps.end());
+    sort_fields_by_name(snaps, ctx_.fields);
     for (ir::FieldId at : snaps) {
       ir::FieldId orig = snapshot_of_.at(at);
       link_next(g_.add(ir::Stmt::assign(at, ctx_.var(orig))));
@@ -399,18 +433,64 @@ class PathEncoder {
 
 }  // namespace
 
+namespace {
+
+// Everything the explore phase of one pipeline produces, kept until the
+// (sequential) encode phase splices it into the graph.
+struct InstanceWork {
+  PipelineSummary ps;
+  std::vector<sym::PathResult> internal;
+  std::unordered_map<ir::FieldId, ir::ExprRef> seeds;
+  // (@field, field) pairs, in seeding order, replayed into the encoder.
+  std::vector<std::pair<ir::FieldId, ir::FieldId>> seed_snaps;
+};
+
+// Pipeline dependency: k depends on j when j's exit reaches k's entry in
+// the original graph (then j's summarized branches lie inside k's
+// pre-condition region and must exist before k's explore phase).
+std::vector<std::vector<size_t>> instance_deps(const cfg::Cfg& g) {
+  const size_t n = g.instances().size();
+  std::vector<std::vector<size_t>> deps(n);
+  for (size_t j = 0; j < n; ++j) {
+    // Forward reachability from j's exit.
+    std::vector<bool> seen(g.size(), false);
+    std::vector<cfg::NodeId> work{g.instances()[j].exit};
+    seen[g.instances()[j].exit] = true;
+    while (!work.empty()) {
+      cfg::NodeId cur = work.back();
+      work.pop_back();
+      for (cfg::NodeId s : g.node(cur).succ) {
+        if (!seen[s]) {
+          seen[s] = true;
+          work.push_back(s);
+        }
+      }
+    }
+    for (size_t k = 0; k < n; ++k) {
+      if (k != j && seen[g.instances()[k].entry]) deps[k].push_back(j);
+    }
+  }
+  return deps;
+}
+
+}  // namespace
+
 SummaryResult summarize(ir::Context& ctx, const cfg::Cfg& original,
                         const SummaryOptions& opts) {
   SummaryResult result;
   result.graph = original;  // working copy
   cfg::Cfg& g = result.graph;
+  const size_t n = g.instances().size();
+  if (n == 0) return result;
 
-  for (size_t k = 0; k < g.instances().size(); ++k) {
+  // Explore one pipeline: pre-condition, seeding, body exploration. Reads
+  // the graph and interns fields/expressions, but never mutates the graph —
+  // safe to run concurrently for independent pipelines.
+  auto explore = [&](size_t k, InstanceWork& w) {
     const cfg::InstanceInfo& info = g.instances()[k];
     auto t0 = std::chrono::steady_clock::now();
-    PipelineSummary ps;
-    ps.instance = info.name;
-    ps.paths_before = g.count_instance_paths(static_cast<int>(k));
+    w.ps.instance = info.name;
+    w.ps.paths_before = g.count_instance_paths(static_cast<int>(k));
 
     // 1. Public pre-condition (Algorithm 2 lines 4–7): exact path
     // enumeration, falling back to the dataflow meet on explosion.
@@ -420,7 +500,8 @@ SummaryResult summarize(ir::Context& ctx, const cfg::Cfg& original,
         pc = compute_precondition(ctx, g, info.entry);
       } else {
         std::optional<PreCondition> exact = compute_precondition_by_enumeration(
-            ctx, g, info.entry, opts.max_precondition_paths, &ps.smt_checks);
+            ctx, g, info.entry, opts.max_precondition_paths, &w.ps.smt_checks,
+            "pre." + info.name);
         pc = exact ? std::move(*exact)
                    : compute_precondition(ctx, g, info.entry);
       }
@@ -433,21 +514,24 @@ SummaryResult summarize(ir::Context& ctx, const cfg::Cfg& original,
     eopts.stop = info.exit;
     eopts.use_z3 = opts.use_z3;
     eopts.check_every_predicate = opts.check_every_predicate;
+    eopts.fresh_ns = info.name;
     sym::Engine eng(ctx, g, eopts);
-    std::unordered_map<ir::FieldId, ir::ExprRef> seeds;
-    PathEncoder encoder(ctx, g, static_cast<int>(k), info.name, seeds);
     for (ir::ExprRef c : pc.conds) eng.add_precondition(c);
     auto seed_snapshot = [&](ir::FieldId f) {
-      int w = ctx.fields.width(f);
+      int width = ctx.fields.width(f);
       ir::FieldId at =
-          ctx.fields.intern("@" + ctx.fields.name(f) + "@" + info.name, w);
-      encoder.note_seed_snapshot(at, f);
-      ir::ExprRef at_var = ctx.arena.field(at, w);
-      seeds.emplace(f, at_var);
+          ctx.fields.intern("@" + ctx.fields.name(f) + "@" + info.name, width);
+      w.seed_snaps.emplace_back(at, f);
+      ir::ExprRef at_var = ctx.arena.field(at, width);
+      w.seeds.emplace(f, at_var);
       eng.seed_value(f, at_var);
       return at_var;
     };
-    for (ir::FieldId f : pc.tops) {
+    // Seed in field-name order: FieldId numbering is interning order,
+    // which is scheduling-dependent under concurrent exploration.
+    std::vector<ir::FieldId> tops(pc.tops.begin(), pc.tops.end());
+    sort_fields_by_name(tops, ctx.fields);
+    for (ir::FieldId f : tops) {
       ir::ExprRef at_var = seed_snapshot(f);
       auto vs = pc.value_sets.find(f);
       if (vs != pc.value_sets.end()) {
@@ -462,19 +546,36 @@ SummaryResult summarize(ir::Context& ctx, const cfg::Cfg& original,
         eng.add_precondition(ctx.arena.any_of(eqs));
       }
     }
-    for (const auto& [f, v] : pc.values) {
+    std::vector<ir::FieldId> known;
+    known.reserve(pc.values.size());
+    for (const auto& [f, v] : pc.values) known.push_back(f);
+    sort_fields_by_name(known, ctx.fields);
+    for (ir::FieldId f : known) {
       // Known entry value: seed the snapshot and teach the solver the
       // binding @f == V_pub(f).
       ir::ExprRef at_var = seed_snapshot(f);
-      eng.add_precondition(ctx.arena.cmp(ir::CmpOp::kEq, at_var, v));
+      eng.add_precondition(
+          ctx.arena.cmp(ir::CmpOp::kEq, at_var, pc.values.at(f)));
     }
 
-    std::vector<sym::PathResult> internal;
-    eng.run([&](const sym::PathResult& r) { internal.push_back(r); });
+    eng.run([&](const sym::PathResult& r) { w.internal.push_back(r); });
 
-    // 3. Replace the subgraph with the summarized branches (lines 11–25).
+    w.ps.paths_after = w.internal.size();
+    w.ps.smt_checks += eng.stats().solver.checks;
+    w.ps.seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  };
+
+  // Encode one explored pipeline: replace the subgraph with the summarized
+  // branches (lines 11–25). Mutates the graph — runs sequentially, in
+  // instance order, so node ids are thread-count-independent.
+  auto encode = [&](size_t k, InstanceWork& w) {
+    const cfg::InstanceInfo& info = g.instances()[k];
+    PathEncoder encoder(ctx, g, static_cast<int>(k), info.name, w.seeds);
+    for (const auto& [at, f] : w.seed_snaps) encoder.note_seed_snapshot(at, f);
     g.node(info.entry).succ.clear();
-    if (internal.empty()) {
+    if (w.internal.empty()) {
       // No packet can traverse this pipeline: a false guard keeps the
       // subgraph single-entry single-exit while pruning all paths.
       cfg::NodeId dead = g.add(ir::Stmt::assume(ctx.arena.bool_const(false)));
@@ -482,17 +583,37 @@ SummaryResult summarize(ir::Context& ctx, const cfg::Cfg& original,
       g.link(info.entry, dead);
       g.link(dead, info.exit);
     }
-    for (const sym::PathResult& r : internal) {
+    for (const sym::PathResult& r : w.internal) {
       encoder.encode(r, info.entry, info.exit);
     }
+  };
 
-    ps.paths_after = internal.size();
-    ps.smt_checks += eng.stats().solver.checks;
-    ps.seconds = std::chrono::duration<double>(
-                     std::chrono::steady_clock::now() - t0)
-                     .count();
-    result.total_smt_checks += ps.smt_checks;
-    result.per_pipeline.push_back(std::move(ps));
+  // Process in dependency waves: explore a wave's pipelines concurrently
+  // (read-only on the graph), then splice their summaries sequentially.
+  const std::vector<std::vector<size_t>> deps = instance_deps(g);
+  std::vector<InstanceWork> work(n);
+  std::vector<bool> done(n, false);
+  util::ThreadPool pool(util::resolve_threads(opts.threads));
+  size_t completed = 0;
+  while (completed < n) {
+    std::vector<size_t> wave;
+    for (size_t k = 0; k < n; ++k) {
+      if (done[k]) continue;
+      bool ready = true;
+      for (size_t j : deps[k]) ready &= done[j];
+      if (ready) wave.push_back(k);
+    }
+    util::check(!wave.empty(), "summarize: cyclic pipeline dependencies");
+    pool.run(wave.size(), [&](size_t i) { explore(wave[i], work[wave[i]]); });
+    for (size_t k : wave) {
+      encode(k, work[k]);
+      done[k] = true;
+      ++completed;
+    }
+  }
+  for (InstanceWork& w : work) {
+    result.total_smt_checks += w.ps.smt_checks;
+    result.per_pipeline.push_back(std::move(w.ps));
   }
   return result;
 }

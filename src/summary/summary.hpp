@@ -44,6 +44,13 @@ struct SummaryOptions {
   // Enumeration mode: beyond this many prefix paths, fall back to the
   // dataflow meet.
   size_t max_precondition_paths = 4096;
+  // Worker threads for the per-pipeline explore phase (1 = sequential).
+  // Pipelines are grouped into dependency waves (instance k depends on j
+  // when j's exit reaches k's entry); each wave's pre-condition + body
+  // explorations run concurrently, then the graph splices are applied
+  // sequentially in instance order — so the summarized graph (node ids
+  // included) is identical for every thread count.
+  int threads = 1;
 };
 
 // The public pre-condition of one pipeline: constraints over program
@@ -71,9 +78,12 @@ PreCondition compute_precondition(ir::Context& ctx, const cfg::Cfg& g,
 // Returns nullopt when more than `path_limit` prefix paths exist, in which
 // case callers fall back to the dataflow meet above. `smt_checks`, when
 // non-null, accumulates the solver checks spent on the enumeration.
+// `fresh_ns`, when non-empty, namespaces the enumeration's fresh symbols
+// (deterministic names under concurrent summarization).
 std::optional<PreCondition> compute_precondition_by_enumeration(
     ir::Context& ctx, const cfg::Cfg& g, cfg::NodeId target,
-    size_t path_limit, uint64_t* smt_checks = nullptr);
+    size_t path_limit, uint64_t* smt_checks = nullptr,
+    const std::string& fresh_ns = {});
 
 struct PipelineSummary {
   std::string instance;

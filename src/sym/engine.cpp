@@ -1,6 +1,7 @@
 #include "sym/engine.hpp"
 
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace meissa::sym {
 
@@ -23,11 +24,62 @@ void collect_eq_pins(ir::ExprRef c,
   }
 }
 
+// How many prefix shards run_parallel aims for. Fixed (not derived from the
+// thread count) so the shard decomposition — and with it every fresh-symbol
+// namespace and the merge order — is identical for any number of workers.
+constexpr size_t kTargetShards = 32;
+
 }  // namespace
 
+// One exploration's mutable state: the paper's V and C stacks, the
+// incremental solver, the node path, and counters. The owning Engine holds
+// only immutable configuration (graph, options, preconditions, seeds), so
+// several contexts can explore concurrently.
+struct Engine::ExplorationContext {
+  Engine& eng;
+  SymState state;
+  std::unique_ptr<smt::Solver> solver;  // incremental mode
+  cfg::Path cur_path;
+  EngineStats stats;
+  bool aborted = false;
+  std::chrono::steady_clock::time_point deadline{};
+  bool has_deadline = false;
+
+  ExplorationContext(Engine& e, const std::string& fresh_ns)
+      : eng(e), state(e.ctx_) {
+    if (!fresh_ns.empty()) state.set_fresh_ns(fresh_ns);
+    for (const auto& [f, v] : e.seeds_) state.assign(f, v);
+    if (e.opts_.incremental) {
+      solver = e.make_solver();
+      for (ir::ExprRef c : e.preconds_) solver->add(c);
+    }
+  }
+
+  void set_deadline(double budget_seconds) {
+    if (budget_seconds <= 0) return;
+    has_deadline = true;
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double>(budget_seconds));
+  }
+
+  // Folds the incremental solver's counters into `stats` (done once, at the
+  // end, because Solver::stats() is cumulative).
+  void finish() {
+    if (eng.opts_.incremental) stats.solver = solver->stats();
+  }
+
+  smt::CheckResult check_current();
+  // DFS from `id`. While `force` is set and `depth + 1 < force->size()`,
+  // recursion is pinned to the forced prefix instead of fanning out over
+  // all successors — this replays a shard's prefix, rebuilding V/C and the
+  // solver stack exactly as the sequential DFS would have them on arrival.
+  void dfs(cfg::NodeId id, const Sink& sink, const cfg::Path* force,
+           size_t depth);
+};
+
 Engine::Engine(ir::Context& ctx, const cfg::Cfg& g, EngineOptions opts)
-    : ctx_(ctx), g_(g), opts_(opts), state_(ctx) {
-  if (opts_.incremental) solver_ = make_solver();
+    : ctx_(ctx), g_(g), opts_(std::move(opts)) {
   if (opts_.stop != cfg::kNoNode) {
     // Stop-mode exploration never needs nodes from which the stop node is
     // unreachable; precompute the reverse-reachable region.
@@ -63,72 +115,166 @@ std::unique_ptr<smt::Solver> Engine::make_solver() const {
 void Engine::add_precondition(ir::ExprRef c) {
   util::check(c != nullptr && c->is_bool(), "precondition must be boolean");
   preconds_.push_back(c);
-  if (solver_) solver_->add(c);
 }
 
 void Engine::seed_value(ir::FieldId f, ir::ExprRef value) {
-  state_.assign(f, value);
+  seeds_.emplace_back(f, value);
 }
 
-smt::CheckResult Engine::check_current() {
-  if (opts_.incremental) {
-    smt::CheckResult r = solver_->check();
-    stats_.solver = solver_->stats();
+smt::CheckResult Engine::ExplorationContext::check_current() {
+  if (eng.opts_.incremental) {
+    smt::CheckResult r = solver->check();
+    stats.solver = solver->stats();
     return r;
   }
   // Non-incremental: fresh solver, re-assert everything (p4pktgen-style).
-  auto s = make_solver();
-  for (ir::ExprRef c : preconds_) s->add(c);
-  for (ir::ExprRef c : state_.conds()) s->add(c);
+  auto s = eng.make_solver();
+  for (ir::ExprRef c : eng.preconds_) s->add(c);
+  for (ir::ExprRef c : state.conds()) s->add(c);
   smt::CheckResult r = s->check();
-  stats_.solver.checks += s->stats().checks;
-  stats_.solver.fast_path_hits += s->stats().fast_path_hits;
-  stats_.solver.sat_calls += s->stats().sat_calls;
+  stats.solver.checks += s->stats().checks;
+  stats.solver.fast_path_hits += s->stats().fast_path_hits;
+  stats.solver.sat_calls += s->stats().sat_calls;
   return r;
 }
 
 void Engine::run(const Sink& sink) {
+  ExplorationContext ec(*this, opts_.fresh_ns);
   // An unsatisfiable precondition set prunes the whole exploration; check
   // it once up front (otherwise predicate-free paths would never be
   // validated against it in incremental mode).
   if (!preconds_.empty() && opts_.incremental) {
-    if (check_current() == smt::CheckResult::kUnsat) {
-      ++stats_.pruned_paths;
+    if (ec.check_current() == smt::CheckResult::kUnsat) {
+      ++ec.stats.pruned_paths;
+      ec.finish();
+      stats_ = ec.stats;
       return;
     }
   }
-  if (opts_.time_budget_seconds > 0) {
-    has_deadline_ = true;
-    deadline_ = std::chrono::steady_clock::now() +
-                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                    std::chrono::duration<double>(opts_.time_budget_seconds));
-  }
+  ec.set_deadline(opts_.time_budget_seconds);
   cfg::NodeId start = opts_.start == cfg::kNoNode ? g_.entry() : opts_.start;
-  dfs(start, sink);
-  if (opts_.incremental) stats_.solver = solver_->stats();
+  ec.dfs(start, sink, nullptr, 0);
+  ec.finish();
+  stats_ = ec.stats;
 }
 
-void Engine::dfs(cfg::NodeId id, const Sink& sink) {
-  if (aborted_) return;
-  if (!reaches_stop_.empty() && !reaches_stop_[id]) return;
-  ++stats_.nodes_visited;
-  if (has_deadline_ && (stats_.nodes_visited & 0xff) == 0 &&
-      std::chrono::steady_clock::now() > deadline_) {
-    stats_.timed_out = true;
-    aborted_ = true;
+std::vector<cfg::Path> Engine::compute_shards(size_t target) const {
+  cfg::NodeId start = opts_.start == cfg::kNoNode ? g_.entry() : opts_.start;
+  if (!reaches_stop_.empty() && !reaches_stop_[start]) return {};
+  std::vector<cfg::Path> shards{{start}};
+  bool grew = true;
+  while (shards.size() < target && grew) {
+    grew = false;
+    std::vector<cfg::Path> next;
+    next.reserve(shards.size() * 2);
+    for (cfg::Path& p : shards) {
+      const cfg::Node& n = g_.node(p.back());
+      const bool at_stop = opts_.stop != cfg::kNoNode && p.back() == opts_.stop;
+      if (at_stop || n.succ.empty()) {
+        next.push_back(std::move(p));  // complete path: a closed shard
+        continue;
+      }
+      for (cfg::NodeId s : n.succ) {
+        // Off-target successors (stop mode) contribute no results; the
+        // sequential DFS abandons them on entry, so skip them here too.
+        if (!reaches_stop_.empty() && !reaches_stop_[s]) continue;
+        cfg::Path q = p;
+        q.push_back(s);
+        next.push_back(std::move(q));
+        grew = true;
+      }
+    }
+    shards = std::move(next);
+  }
+  return shards;
+}
+
+void Engine::run_parallel(const Sink& sink, int threads) {
+  threads = util::resolve_threads(threads);
+  // Precondition precheck, as in run().
+  if (!preconds_.empty() && opts_.incremental) {
+    auto s = make_solver();
+    for (ir::ExprRef c : preconds_) s->add(c);
+    if (s->check() == smt::CheckResult::kUnsat) {
+      stats_ = EngineStats{};
+      ++stats_.pruned_paths;
+      stats_.solver = s->stats();
+      return;
+    }
+  }
+
+  const std::vector<cfg::Path> shards = compute_shards(kTargetShards);
+  std::vector<std::vector<PathResult>> buffered(shards.size());
+  std::vector<EngineStats> shard_stats(shards.size());
+
+  std::chrono::steady_clock::time_point deadline{};
+  bool has_deadline = false;
+  if (opts_.time_budget_seconds > 0) {
+    has_deadline = true;
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double>(opts_.time_budget_seconds));
+  }
+
+  const std::string ns_base =
+      opts_.fresh_ns.empty() ? std::string() : opts_.fresh_ns + ".";
+  util::ThreadPool pool(threads);
+  pool.run(shards.size(), [&](size_t i) {
+    ExplorationContext ec(*this, ns_base + "s" + std::to_string(i));
+    ec.has_deadline = has_deadline;
+    ec.deadline = deadline;
+    ec.dfs(shards[i].front(), [&](const PathResult& r) {
+      buffered[i].push_back(r);
+    }, &shards[i], 0);
+    ec.finish();
+    shard_stats[i] = ec.stats;
+  });
+
+  // Merge in shard order = sequential DFS pre-order. valid_paths counts
+  // what the sink actually saw after the global max_results cut; the other
+  // counters sum over shards (prefix replay revisits shared nodes, so
+  // nodes_visited/pruned_paths exceed a single sequential run's — but are
+  // identical for every thread count).
+  EngineStats total;
+  for (const EngineStats& s : shard_stats) total += s;
+  total.valid_paths = 0;
+  for (const std::vector<PathResult>& buf : buffered) {
+    for (const PathResult& r : buf) {
+      if (opts_.max_results != 0 && total.valid_paths >= opts_.max_results) {
+        stats_ = total;
+        return;
+      }
+      sink(r);
+      ++total.valid_paths;
+    }
+  }
+  stats_ = total;
+}
+
+void Engine::ExplorationContext::dfs(cfg::NodeId id, const Sink& sink,
+                                     const cfg::Path* force, size_t depth) {
+  if (aborted) return;
+  const cfg::Cfg& g = eng.g_;
+  const EngineOptions& opts = eng.opts_;
+  if (!eng.reaches_stop_.empty() && !eng.reaches_stop_[id]) return;
+  ++stats.nodes_visited;
+  if (has_deadline && (stats.nodes_visited & 0xff) == 0 &&
+      std::chrono::steady_clock::now() > deadline) {
+    stats.timed_out = true;
+    aborted = true;
     return;
   }
-  const cfg::Node& n = g_.node(id);
-  const SymState::Mark mark = state_.mark();
+  const cfg::Node& n = g.node(id);
+  const SymState::Mark mark = state.mark();
   bool pushed = false;
 
   // Leaves: the stop node (summary mode) or a successor-less terminal.
   const bool is_leaf =
-      (opts_.stop != cfg::kNoNode && id == opts_.stop) || n.succ.empty();
+      (opts.stop != cfg::kNoNode && id == opts.stop) || n.succ.empty();
 
   // --- Execute the node's statement (skipped for the stop node). ---------
   bool feasible = true;
-  if (!(opts_.stop != cfg::kNoNode && id == opts_.stop)) {
+  if (!(opts.stop != cfg::kNoNode && id == opts.stop)) {
     if (n.is_hash) {
       // Paper §4: compute the hash when every key is pinned to a constant;
       // otherwise leave the destination unconstrained and record an
@@ -136,14 +282,14 @@ void Engine::dfs(cfg::NodeId id, const Sink& sink) {
       std::vector<ir::ExprRef> keys;
       bool all_const = true;
       for (ir::FieldId k : n.hash.keys) {
-        keys.push_back(state_.value_of(k));
+        keys.push_back(state.value_of(k));
         all_const &= keys.back()->is_const();
       }
       if (!n.hash.key_exprs.empty()) {
         keys.clear();
         all_const = true;
         for (ir::ExprRef e : n.hash.key_exprs) {
-          keys.push_back(state_.subst(e));
+          keys.push_back(state.subst(e));
           all_const &= keys.back()->is_const();
         }
       }
@@ -151,20 +297,20 @@ void Engine::dfs(cfg::NodeId id, const Sink& sink) {
         // Keys not pinned by assignment may still be pinned by equality
         // conditions on the path (e.g. exact table matches).
         std::unordered_map<ir::ExprRef, uint64_t> pins;
-        for (ir::ExprRef c : state_.conds()) collect_eq_pins(c, pins);
-        for (ir::ExprRef c : preconds_) collect_eq_pins(c, pins);
+        for (ir::ExprRef c : state.conds()) collect_eq_pins(c, pins);
+        for (ir::ExprRef c : eng.preconds_) collect_eq_pins(c, pins);
         all_const = true;
         for (ir::ExprRef& k : keys) {
           if (k->is_const()) continue;
           auto it = pins.find(k);
           if (it != pins.end()) {
-            k = ctx_.arena.constant(it->second, k->width);
+            k = eng.ctx_.arena.constant(it->second, k->width);
           } else {
             all_const = false;
           }
         }
       }
-      const int dest_w = ctx_.fields.width(n.hash.dest);
+      const int dest_w = eng.ctx_.fields.width(n.hash.dest);
       if (all_const) {
         std::vector<uint64_t> kv;
         std::vector<int> kw;
@@ -173,39 +319,39 @@ void Engine::dfs(cfg::NodeId id, const Sink& sink) {
           kw.push_back(e->width);
         }
         uint64_t h = p4::compute_hash(n.hash.algo, kv, kw, dest_w);
-        state_.assign(n.hash.dest, ctx_.arena.constant(h, dest_w));
+        state.assign(n.hash.dest, eng.ctx_.arena.constant(h, dest_w));
       } else {
-        ir::FieldId fresh = state_.fresh_symbol(dest_w);
-        state_.assign(n.hash.dest, ctx_.var(fresh));
+        ir::FieldId fresh = state.fresh_symbol(dest_w);
+        state.assign(n.hash.dest, eng.ctx_.var(fresh));
         HashObligation o;
         o.placeholder = fresh;
         o.algo = n.hash.algo;
         o.key_exprs = keys;
         for (ir::ExprRef e : keys) o.key_widths.push_back(e->width);
-        state_.add_obligation(std::move(o));
+        state.add_obligation(std::move(o));
       }
     } else {
       switch (n.stmt.kind) {
         case ir::StmtKind::kNop:
           break;
         case ir::StmtKind::kAssign:
-          state_.assign(n.stmt.target, state_.subst(n.stmt.expr));
+          state.assign(n.stmt.target, state.subst(n.stmt.expr));
           break;
         case ir::StmtKind::kAssume: {
-          ir::ExprRef c = state_.subst(n.stmt.expr);
-          if (!opts_.check_every_predicate && c->is_true()) {
-            ++stats_.folded_checks;
-          } else if (!opts_.check_every_predicate && c->is_false()) {
-            ++stats_.folded_checks;
+          ir::ExprRef c = state.subst(n.stmt.expr);
+          if (!opts.check_every_predicate && c->is_true()) {
+            ++stats.folded_checks;
+          } else if (!opts.check_every_predicate && c->is_false()) {
+            ++stats.folded_checks;
             feasible = false;
           } else {
-            state_.add_cond(c);
-            if (opts_.incremental) {
-              solver_->push();
-              solver_->add(c);
+            state.add_cond(c);
+            if (opts.incremental) {
+              solver->push();
+              solver->add(c);
             }
             pushed = true;
-            if (opts_.early_termination) {
+            if (opts.early_termination) {
               if (check_current() == smt::CheckResult::kUnsat) feasible = false;
             }
           }
@@ -216,49 +362,53 @@ void Engine::dfs(cfg::NodeId id, const Sink& sink) {
   }
 
   if (feasible) {
-    if (is_leaf && opts_.stop != cfg::kNoNode && id != opts_.stop) {
+    if (is_leaf && opts.stop != cfg::kNoNode && id != opts.stop) {
       // A terminal that is not the requested stop node: the path never
       // reaches the target and is not a result (it is not pruned either -
       // it simply lies outside the exploration's scope).
-      ++stats_.offtarget_paths;
+      ++stats.offtarget_paths;
     } else if (is_leaf) {
       // Without early termination nothing has been checked yet; validate
       // the whole path condition once at the leaf.
       bool valid = true;
-      if (!opts_.early_termination || !opts_.incremental) {
+      if (!opts.early_termination || !opts.incremental) {
         valid = check_current() == smt::CheckResult::kSat;
       }
       if (valid) {
-        ++stats_.valid_paths;
+        ++stats.valid_paths;
         PathResult r;
-        r.path = cur_path_;
+        r.path = cur_path;
         r.path.push_back(id);
-        r.conds = state_.conds();
-        r.values = state_.values();
-        r.obligations = state_.obligations();
+        r.conds = state.conds();
+        r.values = state.values();
+        r.obligations = state.obligations();
         r.exit = n.exit;
         r.emit_instance = n.emit_instance;
         sink(r);
-        if (opts_.max_results != 0 && stats_.valid_paths >= opts_.max_results) {
-          aborted_ = true;
+        if (opts.max_results != 0 && stats.valid_paths >= opts.max_results) {
+          aborted = true;
         }
       } else {
-        ++stats_.pruned_paths;
+        ++stats.pruned_paths;
       }
     } else {
-      cur_path_.push_back(id);
-      for (cfg::NodeId s : n.succ) {
-        dfs(s, sink);
-        if (aborted_) break;
+      cur_path.push_back(id);
+      if (force != nullptr && depth + 1 < force->size()) {
+        dfs((*force)[depth + 1], sink, force, depth + 1);
+      } else {
+        for (cfg::NodeId s : n.succ) {
+          dfs(s, sink, nullptr, 0);
+          if (aborted) break;
+        }
       }
-      cur_path_.pop_back();
+      cur_path.pop_back();
     }
   } else {
-    ++stats_.pruned_paths;
+    ++stats.pruned_paths;
   }
 
-  if (pushed && opts_.incremental) solver_->pop();
-  state_.rollback(mark);
+  if (pushed && opts.incremental) solver->pop();
+  state.rollback(mark);
 }
 
 std::optional<smt::Model> Engine::solve_for_model(const PathResult& r) {

@@ -13,6 +13,7 @@
 #include <chrono>
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "cfg/cfg.hpp"
 #include "smt/solver.hpp"
@@ -45,6 +46,12 @@ struct EngineOptions {
   // exploration and sets EngineStats::timed_out (used to reproduce the
   // paper's one-hour-budget timeouts, Fig. 9).
   double time_budget_seconds = 0;
+  // Namespace for fresh "$free" symbols. Empty: draw from the shared
+  // Context counter (scheduling-dependent under concurrency). Non-empty:
+  // names become "$free.<ns>.<k>" with a per-exploration counter, so every
+  // symbol this exploration mints is deterministic. run_parallel() extends
+  // the namespace per shard ("<ns>.s<i>").
+  std::string fresh_ns;
 };
 
 struct EngineStats {
@@ -56,6 +63,18 @@ struct EngineStats {
   uint64_t offtarget_paths = 0;
   bool timed_out = false;
   smt::SolverStats solver;      // checks = the paper's "# of SMT calls"
+
+  // Accumulate counters from another exploration (per-shard workers).
+  EngineStats& operator+=(const EngineStats& o) {
+    valid_paths += o.valid_paths;
+    pruned_paths += o.pruned_paths;
+    folded_checks += o.folded_checks;
+    nodes_visited += o.nodes_visited;
+    offtarget_paths += o.offtarget_paths;
+    timed_out = timed_out || o.timed_out;
+    solver += o.solver;
+    return *this;
+  }
 };
 
 // One explored valid path, in input terms.
@@ -83,31 +102,44 @@ class Engine {
   // Runs the DFS; invokes `sink` for every valid path found.
   void run(const Sink& sink);
 
+  // Parallel DFS: decomposes the exploration into a fixed, thread-count-
+  // independent set of prefix shards, explores them on `threads` workers
+  // (0 = hardware concurrency), each with its own SymState and incremental
+  // solver, then replays buffered results to `sink` in shard order — i.e.
+  // sequential-DFS pre-order. The emitted result set is identical for every
+  // thread count (fresh symbols are namespaced per shard, so set fresh_ns
+  // for fully deterministic names). Requires a time budget of 0 or generous
+  // enough not to trigger; on timeout the result set is scheduling-
+  // dependent, exactly as a timed-out sequential run is input-dependent.
+  void run_parallel(const Sink& sink, int threads);
+
   const EngineStats& stats() const { return stats_; }
 
   // Solves this result's path condition (plus preconditions) and returns a
   // satisfying input assignment; nullopt if (unexpectedly) unsat. The model
   // covers every field mentioned; unmentioned inputs are free.
+  // Thread-safe: builds a fresh solver per call.
   std::optional<smt::Model> solve_for_model(const PathResult& r);
 
  private:
-  void dfs(cfg::NodeId id, const Sink& sink);
-  // Returns kSat/kUnsat for the current condition stack.
-  smt::CheckResult check_current();
+  // All per-exploration mutable state (value/condition stacks, incremental
+  // solver, current path, stats, deadline). run() uses one; run_parallel()
+  // one per shard.
+  struct ExplorationContext;
+
+  // Expands the DFS tree from the start node, in successor order, into at
+  // least `target` prefix paths (fewer when the tree is smaller). Pure
+  // function of the graph — independent of thread count.
+  std::vector<cfg::Path> compute_shards(size_t target) const;
   std::unique_ptr<smt::Solver> make_solver() const;
 
   ir::Context& ctx_;
   const cfg::Cfg& g_;
   EngineOptions opts_;
-  SymState state_;
-  std::unique_ptr<smt::Solver> solver_;  // incremental mode
   std::vector<ir::ExprRef> preconds_;
-  cfg::Path cur_path_;
+  std::vector<std::pair<ir::FieldId, ir::ExprRef>> seeds_;
   std::vector<bool> reaches_stop_;  // stop mode: region that reaches stop
   EngineStats stats_;
-  bool aborted_ = false;
-  std::chrono::steady_clock::time_point deadline_{};
-  bool has_deadline_ = false;
 };
 
 }  // namespace meissa::sym

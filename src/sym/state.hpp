@@ -2,6 +2,7 @@
 // condition stack C (§3.2, Fig. 6), with O(1) undo for backtracking.
 #pragma once
 
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -25,6 +26,15 @@ struct HashObligation {
 class SymState {
  public:
   explicit SymState(ir::Context& ctx) : ctx_(ctx) {}
+
+  // Namespaces this exploration's fresh symbols: "$free.<ns>.<k>" with a
+  // local counter, instead of "$free.<N>" from the shared Context counter.
+  // A deterministic ns makes fresh-symbol names (and thus every expression
+  // built from them) independent of thread scheduling.
+  void set_fresh_ns(std::string ns) {
+    fresh_ns_ = std::move(ns);
+    fresh_local_ = 0;
+  }
 
   // Current symbolic value of a field: its assigned expression, or the
   // field variable itself when never assigned (the input symbol).
@@ -83,7 +93,10 @@ class SymState {
   // Allocates a fresh, never-constrained symbol of the given width
   // (used for unpinned hash results).
   ir::FieldId fresh_symbol(int width) {
-    std::string name = "$free." + std::to_string(ctx_.fresh_counter++);
+    std::string name =
+        fresh_ns_.empty()
+            ? "$free." + std::to_string(ctx_.fresh_counter++)
+            : "$free." + fresh_ns_ + "." + std::to_string(fresh_local_++);
     return ctx_.fields.intern(name, width);
   }
 
@@ -91,6 +104,8 @@ class SymState {
 
  private:
   ir::Context& ctx_;
+  std::string fresh_ns_;
+  uint64_t fresh_local_ = 0;
   std::unordered_map<ir::FieldId, ir::ExprRef> values_;
   std::vector<std::pair<ir::FieldId, ir::ExprRef>> undo_;
   std::vector<ir::ExprRef> conds_;

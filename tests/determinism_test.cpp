@@ -1,0 +1,168 @@
+// Determinism of the parallel generation architecture: Generator::generate
+// must yield identical template sets for every thread count, and full test
+// runs must produce identical reports. Each run uses its own Context, so
+// field/expression interning order genuinely differs between runs — the
+// signatures below are name-based and must not.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <sstream>
+
+#include "apps/apps.hpp"
+#include "driver/tester.hpp"
+#include "sim/toolchain.hpp"
+#include "sym/template.hpp"
+#include "testlib.hpp"
+
+namespace meissa {
+namespace {
+
+using AppMaker = std::function<apps::AppBundle(ir::Context&)>;
+
+apps::AppBundle router_app(ir::Context& ctx) {
+  return apps::make_router(ctx, 6);
+}
+
+apps::AppBundle nat_gateway_app(ir::Context& ctx) {
+  apps::GwConfig cfg;
+  cfg.level = 2;  // ingress + egress NAT gateway (gw-2)
+  cfg.elastic_ips = 4;
+  return apps::make_gateway(ctx, cfg);
+}
+
+apps::AppBundle multi_switch_app(ir::Context& ctx) {
+  apps::GwConfig cfg;
+  cfg.level = 4;  // 8 pipelines across 2 switches (gw-4, Fig. 1)
+  cfg.elastic_ips = 2;
+  return apps::make_gateway(ctx, cfg);
+}
+
+// One name-based line per template: structural identity (node-id path —
+// summarized node ids are thread-count-independent because graph splices
+// are sequential) plus the rendered path condition (field names).
+std::vector<std::string> generate_signature(const AppMaker& make,
+                                            driver::GenOptions opts) {
+  ir::Context ctx;
+  apps::AppBundle app = make(ctx);
+  driver::Generator gen(ctx, app.dp, app.rules, opts);
+  std::vector<sym::TestCaseTemplate> templates = gen.generate();
+  std::vector<std::string> sig;
+  sig.reserve(templates.size());
+  for (const sym::TestCaseTemplate& t : templates) {
+    std::ostringstream os;
+    os << sym::describe(t, ctx, gen.graph()) << "\n  path:";
+    for (cfg::NodeId n : t.path) os << " " << n;
+    sig.push_back(os.str());
+  }
+  return sig;
+}
+
+void expect_identical_across_threads(const AppMaker& make,
+                                     driver::GenOptions opts) {
+  opts.threads = 1;
+  const std::vector<std::string> base = generate_signature(make, opts);
+  EXPECT_FALSE(base.empty());
+  for (int threads : {2, 8}) {
+    opts.threads = threads;
+    const std::vector<std::string> got = generate_signature(make, opts);
+    ASSERT_EQ(got.size(), base.size()) << threads << " threads";
+    for (size_t i = 0; i < base.size(); ++i) {
+      EXPECT_EQ(got[i], base[i]) << "template " << i << ", " << threads
+                                 << " threads";
+    }
+  }
+}
+
+TEST(Determinism, RouterTemplatesIdenticalAcrossThreadCounts) {
+  expect_identical_across_threads(router_app, {});
+}
+
+TEST(Determinism, NatGatewayTemplatesIdenticalAcrossThreadCounts) {
+  expect_identical_across_threads(nat_gateway_app, {});
+}
+
+TEST(Determinism, MultiSwitchTemplatesIdenticalAcrossThreadCounts) {
+  expect_identical_across_threads(multi_switch_app, {});
+}
+
+TEST(Determinism, StopModeMaxTemplatesIdenticalAcrossThreadCounts) {
+  // max_templates exercises the deterministic truncation of the shard
+  // merge (the first K results in sequential DFS order, whatever ran).
+  driver::GenOptions opts;
+  opts.max_templates = 3;
+  expect_identical_across_threads(nat_gateway_app, opts);
+}
+
+TEST(Determinism, GenerousTimeBudgetIdenticalAcrossThreadCounts) {
+  // A budget that never triggers must not perturb the result set.
+  driver::GenOptions opts;
+  opts.time_budget_seconds = 300.0;
+  expect_identical_across_threads(router_app, opts);
+}
+
+TEST(Determinism, NoSummaryDfsIdenticalAcrossThreadCounts) {
+  driver::GenOptions opts;
+  opts.code_summary = false;
+  expect_identical_across_threads(nat_gateway_app, opts);
+}
+
+TEST(Determinism, EngineParallelMatchesSequentialRun) {
+  // The sharded exploration must emit exactly the sequential DFS result
+  // stream: same paths, same condition stacks, same order.
+  ir::Context ctx;
+  p4::DataPlane dp = testlib::make_fig7_plane(ctx);
+  p4::RuleSet rules = testlib::fig7_rules(3);
+  cfg::Cfg g = cfg::build_cfg(dp, rules, ctx);
+  auto render = [&](const std::vector<sym::PathResult>& rs) {
+    std::vector<std::string> out;
+    for (const sym::PathResult& r : rs) {
+      std::ostringstream os;
+      for (cfg::NodeId n : r.path) os << n << " ";
+      os << "| " << ir::to_string(ctx.arena.all_of(r.conds), ctx.fields);
+      out.push_back(os.str());
+    }
+    return out;
+  };
+  std::vector<sym::PathResult> seq;
+  sym::Engine eng_seq(ctx, g);
+  eng_seq.run([&](const sym::PathResult& r) { seq.push_back(r); });
+  for (int threads : {1, 2, 8}) {
+    std::vector<sym::PathResult> par;
+    sym::Engine eng(ctx, g);
+    eng.run_parallel([&](const sym::PathResult& r) { par.push_back(r); },
+                     threads);
+    EXPECT_EQ(render(par), render(seq)) << threads << " threads";
+    EXPECT_EQ(eng.stats().valid_paths, seq.size());
+  }
+}
+
+TEST(Determinism, ReportsIdenticalAcrossThreadCounts) {
+  // Full end-to-end runs (generate → inject → check) on the NAT gateway:
+  // everything the report counts must match between thread counts.
+  auto run = [&](int threads) {
+    ir::Context ctx;
+    apps::AppBundle app = nat_gateway_app(ctx);
+    sim::DeviceProgram compiled = sim::compile(app.dp, app.rules, ctx);
+    sim::Device device(compiled, ctx);
+    driver::TestRunOptions opts;
+    opts.gen.threads = threads;
+    driver::Meissa meissa(ctx, app.dp, app.rules, opts);
+    return meissa.test(device, app.intents);
+  };
+  const driver::TestReport base = run(1);
+  EXPECT_GT(base.templates, 0u);
+  for (int threads : {2, 8}) {
+    const driver::TestReport got = run(threads);
+    EXPECT_EQ(got.templates, base.templates) << threads << " threads";
+    EXPECT_EQ(got.cases, base.cases) << threads << " threads";
+    EXPECT_EQ(got.passed, base.passed) << threads << " threads";
+    EXPECT_EQ(got.failed, base.failed) << threads << " threads";
+    EXPECT_EQ(got.removed_by_hash, base.removed_by_hash)
+        << threads << " threads";
+    EXPECT_EQ(got.failures.size(), base.failures.size())
+        << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace meissa

@@ -2,10 +2,14 @@
 // and the deterministic RNG.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <stdexcept>
+
 #include "util/big_count.hpp"
 #include "util/bits.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
+#include "util/thread_pool.hpp"
 
 namespace meissa::util {
 namespace {
@@ -61,6 +65,47 @@ TEST(Strings, SplitTrimAffixes) {
   EXPECT_FALSE(ends_with("x", "longer"));
   EXPECT_EQ(hex(0xbeef), "0xbeef");
   EXPECT_EQ(format("%d-%s", 7, "x"), "7-x");
+}
+
+TEST(ThreadPool, ResolveThreads) {
+  EXPECT_EQ(resolve_threads(3), 3);
+  EXPECT_EQ(resolve_threads(1), 1);
+  EXPECT_GE(resolve_threads(0), 1);  // hardware concurrency, at least 1
+}
+
+TEST(ThreadPool, RunCoversEveryIndexOnce) {
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    constexpr size_t kN = 100;
+    std::vector<std::atomic<int>> hits(kN);
+    pool.run(kN, [&](size_t i) { ++hits[i]; });
+    for (size_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << ", " << threads
+                                   << " threads";
+    }
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossRuns) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 5; ++round) {
+    pool.run(10, [&](size_t) { ++total; });
+  }
+  EXPECT_EQ(total.load(), 50);
+}
+
+TEST(ThreadPool, RethrowsFirstTaskException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.run(8, [](size_t i) {
+        if (i == 3) throw std::runtime_error("task failed");
+      }),
+      std::runtime_error);
+  // The pool survives the exception and keeps working.
+  std::atomic<int> total{0};
+  pool.run(4, [&](size_t) { ++total; });
+  EXPECT_EQ(total.load(), 4);
 }
 
 TEST(Rng, DeterministicAndInRange) {
