@@ -77,11 +77,13 @@ inline void print_phase_json(const std::string& program, const char* variant,
       "{\"program\":\"%s\",\"variant\":\"%s\",\"threads\":%d,"
       "\"build_seconds\":%.6f,\"summary_seconds\":%.6f,"
       "\"dfs_seconds\":%.6f,\"total_seconds\":%.6f,"
-      "\"templates\":%llu,\"smt_checks\":%llu,\"timed_out\":%s}\n",
+      "\"templates\":%llu,\"smt_checks\":%llu,\"smt_calls_skipped\":%llu,"
+      "\"timed_out\":%s}\n",
       program.c_str(), variant, threads, s.build_seconds, s.summary_seconds,
       s.dfs_seconds, s.total_seconds,
       static_cast<unsigned long long>(s.templates),
       static_cast<unsigned long long>(s.smt_checks),
+      static_cast<unsigned long long>(s.smt_calls_skipped),
       s.timed_out ? "true" : "false");
 }
 

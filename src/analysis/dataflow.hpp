@@ -1,0 +1,212 @@
+// Forward-dataflow framework over the CFG plus the concrete analysis
+// domains Meissa ships: per-field value ranges (constants, intervals,
+// known bits), header validity (the 1-bit instantiation of the value
+// lattice over the per-instance `$valid` fields), and reaching-definition
+// kinds for metadata.
+//
+// `run_forward` is a classic worklist solver, generic over the domain: the
+// domain supplies the boundary state, the per-node transfer function
+// (returning nullopt for statically infeasible outcomes), and the join.
+// Nodes are processed in topological priority, so on Meissa's acyclic
+// graphs every node transfers once; the worklist re-queues successors on
+// lattice change, which keeps the solver correct on general graphs.
+//
+// `compute_facts` packages the solver for the hot path: which assume nodes
+// are statically refuted and which nodes are unreachable, computed from a
+// TOP boundary at `start` so the facts hold for *every* engine exploration
+// rooted there (any seeds, any pre-conditions) — the property that keeps
+// static pruning solver-equivalent and the template set byte-identical.
+#pragma once
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/domain.hpp"
+#include "cfg/cfg.hpp"
+#include "ir/stmt.hpp"
+
+namespace meissa::analysis {
+
+template <class D>
+struct ForwardResult {
+  // IN state per node; disengaged = not reachable along any feasible path.
+  std::vector<std::optional<typename D::State>> in;
+  // Structurally reachable from the start node (edges only, no semantics).
+  std::vector<uint8_t> reachable;
+};
+
+template <class D>
+ForwardResult<D> run_forward(const cfg::Cfg& g, cfg::NodeId start, D& dom) {
+  ForwardResult<D> r;
+  r.in.resize(g.size());
+  r.reachable.assign(g.size(), 0);
+
+  // Structural reachability + iterative post-order for topological indices.
+  std::vector<int> topo_index(g.size(), -1);
+  std::vector<cfg::NodeId> topo;
+  {
+    std::vector<std::pair<cfg::NodeId, size_t>> stack{{start, 0}};
+    r.reachable[start] = 1;
+    while (!stack.empty()) {
+      auto& [n, i] = stack.back();
+      const auto& succ = g.node(n).succ;
+      if (i < succ.size()) {
+        cfg::NodeId s = succ[i++];
+        if (!r.reachable[s]) {
+          r.reachable[s] = 1;
+          stack.emplace_back(s, 0);
+        }
+      } else {
+        topo.push_back(n);
+        stack.pop_back();
+      }
+    }
+    std::reverse(topo.begin(), topo.end());
+    for (size_t i = 0; i < topo.size(); ++i) {
+      topo_index[topo[i]] = static_cast<int>(i);
+    }
+  }
+
+  std::set<int> worklist;
+  r.in[start] = dom.boundary();
+  worklist.insert(topo_index[start]);
+  while (!worklist.empty()) {
+    const int ti = *worklist.begin();
+    worklist.erase(worklist.begin());
+    const cfg::NodeId n = topo[static_cast<size_t>(ti)];
+    std::optional<typename D::State> out = dom.transfer(n, *r.in[n]);
+    if (!out) continue;  // statically infeasible: no flow to successors
+    for (cfg::NodeId s : g.node(n).succ) {
+      bool changed = false;
+      if (!r.in[s]) {
+        r.in[s] = *out;
+        changed = true;
+      } else {
+        changed = dom.join(*r.in[s], *out);
+      }
+      if (changed) worklist.insert(topo_index[s]);
+    }
+  }
+  return r;
+}
+
+// ------------------------------------------------------------ value domain
+
+// How a metadata field got its current value (reaching-definition kind).
+enum class DefKind : uint8_t {
+  kImplicit,  // only the program-entry zero-initialization reaches here
+  kWritten,   // an explicit program write reaches on every path
+  kMixed,     // written on some paths, implicit zero on others
+};
+
+// Bounded relational refinement over one instance's header-validity bits.
+// The per-field lattice loses correlations at joins (after `extract(a);
+// extract(b)` on one arm it only knows each bit is 0-or-1, not that they
+// move together), so parser-implied facts like "inner_tcp valid => vxlan
+// valid" vanish. Tracking the small set of reachable validity bit-vectors
+// keeps them. Inactive = no information (top).
+struct ValidityCombos {
+  bool active = false;
+  int instance = -1;
+  std::vector<uint32_t> combos;  // sorted + deduped; bit i = i-th validity field
+
+  bool operator==(const ValidityCombos&) const = default;
+};
+
+struct AbsState {
+  std::unordered_map<ir::FieldId, ValueRange> values;
+  std::unordered_map<ir::FieldId, DefKind> defs;
+  ValidityCombos vcfg;
+};
+
+// The shipped product domain over AbsState. Tracks value ranges for the
+// `relevant` fields (fields appearing in predicate atoms, validity bits,
+// and their copy sources) and definition kinds for the `meta` fields.
+class ValueDomain {
+ public:
+  using State = AbsState;
+
+  ValueDomain(const ir::Context& ctx, const cfg::Cfg& g);
+
+  // Restricts value tracking (empty = track nothing); `compute_relevant`
+  // builds the default set.
+  void set_relevant(std::unordered_map<ir::FieldId, int> relevant) {
+    relevant_ = std::move(relevant);
+  }
+  void set_meta(std::unordered_map<ir::FieldId, int> meta) {
+    meta_ = std::move(meta);
+  }
+  const std::unordered_map<ir::FieldId, int>& relevant() const {
+    return relevant_;
+  }
+
+  // Fields whose abstract values can matter: every field mentioned by a
+  // predicate atom, every per-instance validity bit, plus the transitive
+  // sources of plain-copy assignments into the set. Values map field -> width.
+  static std::unordered_map<ir::FieldId, int> compute_relevant(
+      const ir::Context& ctx, const cfg::Cfg& g);
+
+  // Metadata fields: targets of the glue zero-initialization (node
+  // instance == -1), minus the drop/egress intrinsics.
+  static std::unordered_map<ir::FieldId, int> compute_meta(
+      const ir::Context& ctx, const cfg::Cfg& g);
+
+  State boundary() const { return State{}; }
+  std::optional<State> transfer(cfg::NodeId n, const State& in) const;
+  bool join(State& into, const State& from) const;
+
+  // Three-valued truth of the node's predicate under `in` (kFalse =
+  // statically refuted). Non-assume nodes are kTrue.
+  Ternary eval_assume(cfg::NodeId n, const State& in) const;
+
+  // Three-valued validity of header bit `vf` for `instance` under `in`,
+  // consulting the per-field constant first and the combo refinement for
+  // join-lost correlations second.
+  Ternary validity_of(const State& in, int instance, ir::FieldId vf) const;
+
+ private:
+  // Combo sets larger than this degrade to inactive; instances with more
+  // headers than a combo word holds are never tracked.
+  static constexpr size_t kMaxCombos = 64;
+  static constexpr size_t kMaxValidityBits = 32;
+
+  void maybe_activate(State& s, int instance) const;
+
+  const ir::Context& ctx_;
+  const cfg::Cfg& g_;
+  std::unordered_map<ir::FieldId, int> relevant_;
+  std::unordered_map<ir::FieldId, int> meta_;
+  // Per instance: validity fields in header-name order (bit = position);
+  // empty when the instance is untracked.
+  std::vector<std::vector<ir::FieldId>> vfields_;
+  std::unordered_map<ir::FieldId, std::pair<int, int>> vbit_;  // -> (inst, bit)
+};
+
+// ------------------------------------------------------------------- facts
+
+// Engine-facing digest of one dataflow run.
+struct Facts {
+  std::vector<uint8_t> refuted;      // assume node statically infeasible
+  std::vector<uint8_t> unreachable;  // structurally reachable, dataflow-dead
+  uint64_t refuted_count = 0;
+  uint64_t unreachable_count = 0;
+
+  bool empty() const noexcept { return refuted_count == 0; }
+};
+
+struct FactsOptions {
+  // Cap on (nodes x tracked fields). Above it the value domain degrades to
+  // validity bits only, then to nothing (facts stay sound, just weaker).
+  size_t state_budget = 4'000'000;
+};
+
+// Runs the value domain from `start` with a TOP boundary and collects the
+// refuted/unreachable node sets. Valid for any exploration rooted at
+// `start` regardless of seeds or pre-conditions.
+Facts compute_facts(const ir::Context& ctx, const cfg::Cfg& g,
+                    cfg::NodeId start, const FactsOptions& opts = {});
+
+}  // namespace meissa::analysis

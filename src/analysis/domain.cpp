@@ -1,0 +1,476 @@
+#include "analysis/domain.hpp"
+
+#include <algorithm>
+
+#include "util/bits.hpp"
+
+namespace meissa::analysis {
+
+namespace {
+
+using ir::CmpOp;
+using ir::ExprKind;
+using ir::ExprRef;
+
+CmpOp mirror(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt: return CmpOp::kGt;
+    case CmpOp::kLe: return CmpOp::kGe;
+    case CmpOp::kGt: return CmpOp::kLt;
+    case CmpOp::kGe: return CmpOp::kLe;
+    default: return op;  // kEq/kNe are symmetric
+  }
+}
+
+CmpOp flipped(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return CmpOp::kNe;
+    case CmpOp::kNe: return CmpOp::kEq;
+    case CmpOp::kLt: return CmpOp::kGe;
+    case CmpOp::kLe: return CmpOp::kGt;
+    case CmpOp::kGt: return CmpOp::kLe;
+    case CmpOp::kGe: return CmpOp::kLt;
+  }
+  return op;
+}
+
+// cmp(field-or-masked-field, const) in either operand order.
+bool classify_cmp(ExprRef e, Atom& a) {
+  ExprRef l = e->lhs;
+  ExprRef r = e->rhs;
+  CmpOp op = e->cmp_op();
+  if (l->kind == ExprKind::kConst && r->kind != ExprKind::kConst) {
+    std::swap(l, r);
+    op = mirror(op);
+  }
+  if (r->kind != ExprKind::kConst) return false;
+  ExprRef base = l;
+  uint64_t mask = ~uint64_t{0};
+  if (l->kind == ExprKind::kArith && l->arith_op() == ir::ArithOp::kAnd) {
+    if (l->rhs->kind == ExprKind::kConst && l->lhs->kind == ExprKind::kField) {
+      mask = l->rhs->value;
+      base = l->lhs;
+    } else if (l->lhs->kind == ExprKind::kConst &&
+               l->rhs->kind == ExprKind::kField) {
+      mask = l->lhs->value;
+      base = l->rhs;
+    } else {
+      return false;
+    }
+    if (op != CmpOp::kEq && op != CmpOp::kNe) return false;
+  }
+  if (base->kind != ExprKind::kField) return false;
+  a.field = base->field;
+  a.width = base->width;
+  a.op = op;
+  a.mask = util::truncate(mask, base->width);
+  a.value = util::truncate(r->value, base->width);
+  if ((op == CmpOp::kEq || op == CmpOp::kNe) && (a.value & ~a.mask) != 0) {
+    // The constant has bits outside the mask: (f & m) == c never holds,
+    // (f & m) != c always does. Canonicalize to the trivially-false /
+    // trivially-true unsigned range atom so negation stays correct.
+    a.op = op == CmpOp::kEq ? CmpOp::kLt : CmpOp::kGe;
+    a.mask = util::mask_bits(base->width);
+    a.value = 0;
+  }
+  a.set.clear();
+  return true;
+}
+
+// OR-tree whose leaves are all `field == const` on the same field: the
+// merged pre-condition / any-of shape. Produces a membership atom.
+bool collect_set_leaves(ExprRef e, ir::FieldId& field, int& width,
+                        std::vector<uint64_t>& values) {
+  if (e->kind == ExprKind::kBool && e->bool_op() == ir::BoolOp::kOr) {
+    return collect_set_leaves(e->lhs, field, width, values) &&
+           collect_set_leaves(e->rhs, field, width, values);
+  }
+  Atom a;
+  if (!classify_cmp(e, a) || a.op != CmpOp::kEq || !a.is_exact_mask()) {
+    return false;
+  }
+  if (field != ir::kInvalidField && field != a.field) return false;
+  field = a.field;
+  width = a.width;
+  values.push_back(a.value);
+  return true;
+}
+
+bool classify_value_set(ExprRef e, Atom& a) {
+  ir::FieldId field = ir::kInvalidField;
+  int width = 0;
+  std::vector<uint64_t> values;
+  if (!collect_set_leaves(e, field, width, values)) return false;
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  a.field = field;
+  a.width = width;
+  a.op = CmpOp::kEq;
+  a.mask = util::mask_bits(width);
+  a.value = 0;
+  a.set = std::move(values);
+  return true;
+}
+
+void decompose(ExprRef e, bool negated, std::vector<Atom>& atoms,
+               std::vector<ir::ExprRef>& opaque) {
+  switch (e->kind) {
+    case ExprKind::kBoolConst: {
+      const bool truth = (e->value == 1) != negated;
+      if (!truth) atoms.push_back(Atom{});  // kInvalidField: constant false
+      return;
+    }
+    case ExprKind::kNot:
+      decompose(e->lhs, !negated, atoms, opaque);
+      return;
+    case ExprKind::kBool: {
+      const bool conj = (e->bool_op() == ir::BoolOp::kAnd) != negated;
+      if (conj) {
+        // a && b, or De Morgan'd !(a || b).
+        decompose(e->lhs, negated, atoms, opaque);
+        decompose(e->rhs, negated, atoms, opaque);
+        return;
+      }
+      // A disjunction: only the single-field value-set shape is tractable.
+      Atom a;
+      if (!negated && classify_value_set(e, a)) {
+        atoms.push_back(std::move(a));
+        return;
+      }
+      if (negated && classify_value_set(e, a)) {
+        // !(f IN S): one exclusion atom per member.
+        for (uint64_t v : a.set) {
+          Atom ne;
+          ne.field = a.field;
+          ne.width = a.width;
+          ne.op = CmpOp::kNe;
+          ne.mask = a.mask;
+          ne.value = v;
+          atoms.push_back(std::move(ne));
+        }
+        return;
+      }
+      break;
+    }
+    case ExprKind::kCmp: {
+      Atom a;
+      if (classify_cmp(e, a)) {
+        if (negated) a = negate_atom(a);
+        atoms.push_back(std::move(a));
+        return;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  // Opaque conjunct. Record the expression as seen (negation preserved
+  // only structurally; callers treat opaque conjuncts as unknown anyway,
+  // they only need the fields involved).
+  opaque.push_back(e);
+}
+
+}  // namespace
+
+bool Atom::is_exact_mask() const noexcept {
+  return util::truncate(mask, width) == util::mask_bits(width);
+}
+
+void decompose_conjunction(ir::ExprRef e, std::vector<Atom>& atoms,
+                           std::vector<ir::ExprRef>& opaque) {
+  if (e == nullptr) return;
+  decompose(e, false, atoms, opaque);
+}
+
+Atom negate_atom(const Atom& a) {
+  Atom n = a;
+  n.op = flipped(a.op);
+  return n;
+}
+
+bool atom_holds(uint64_t v, const Atom& a) noexcept {
+  if (!a.set.empty()) {
+    return std::binary_search(a.set.begin(), a.set.end(), v);
+  }
+  const bool eqish = a.op == CmpOp::kEq || a.op == CmpOp::kNe;
+  return ir::apply_cmp(a.op, eqish ? (v & a.mask) : v, a.value);
+}
+
+// ---------------------------------------------------------------- ValueRange
+
+ValueRange::ValueRange(int width) : width_(width) {
+  if (small()) {
+    bitmap_ = util::mask_bits(1 << width);
+  } else {
+    hi_ = util::mask_bits(width);
+  }
+}
+
+ValueRange ValueRange::constant(uint64_t v, int width) {
+  ValueRange r(width);
+  v = util::truncate(v, width);
+  if (r.small()) {
+    r.bitmap_ = uint64_t{1} << v;
+  } else {
+    r.lo_ = r.hi_ = v;
+    r.known_mask_ = r.full_mask();
+    r.known_val_ = v;
+  }
+  return r;
+}
+
+uint64_t ValueRange::full_mask() const noexcept {
+  return util::mask_bits(width_);
+}
+
+bool ValueRange::is_bottom() const noexcept {
+  if (small()) return bitmap_ == 0;
+  return lo_ > hi_;
+}
+
+bool ValueRange::is_top() const noexcept {
+  if (small()) return bitmap_ == util::mask_bits(1 << width_);
+  return lo_ == 0 && hi_ == full_mask() && known_mask_ == 0 &&
+         excluded_.empty();
+}
+
+bool ValueRange::is_constant(uint64_t& v) const noexcept {
+  if (small()) {
+    if (bitmap_ != 0 && (bitmap_ & (bitmap_ - 1)) == 0) {
+      v = static_cast<uint64_t>(__builtin_ctzll(bitmap_));
+      return true;
+    }
+    return false;
+  }
+  if (is_bottom()) return false;
+  if (lo_ == hi_) {
+    v = lo_;
+    return true;
+  }
+  if (known_mask_ == full_mask()) {
+    v = known_val_;
+    return true;
+  }
+  return false;
+}
+
+bool ValueRange::join(const ValueRange& o) {
+  if (o.is_bottom()) return false;
+  if (is_bottom()) {
+    *this = o;
+    return true;
+  }
+  if (small()) {
+    const uint64_t merged = bitmap_ | o.bitmap_;
+    const bool changed = merged != bitmap_;
+    bitmap_ = merged;
+    return changed;
+  }
+  bool changed = false;
+  if (o.lo_ < lo_) { lo_ = o.lo_; changed = true; }
+  if (o.hi_ > hi_) { hi_ = o.hi_; changed = true; }
+  const uint64_t agree =
+      known_mask_ & o.known_mask_ & ~(known_val_ ^ o.known_val_);
+  if (agree != known_mask_) {
+    known_mask_ = agree;
+    known_val_ &= agree;
+    changed = true;
+  }
+  if (!excluded_.empty()) {
+    auto kept = excluded_;
+    kept.erase(std::remove_if(kept.begin(), kept.end(),
+                              [&](const std::pair<uint64_t, uint64_t>& p) {
+                                return std::find(o.excluded_.begin(),
+                                                 o.excluded_.end(),
+                                                 p) == o.excluded_.end();
+                              }),
+               kept.end());
+    if (kept.size() != excluded_.size()) {
+      excluded_ = std::move(kept);
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+void ValueRange::refine(const Atom& a) {
+  if (small()) {
+    uint64_t kept = 0;
+    for (uint64_t v = 0; v < (uint64_t{1} << width_); ++v) {
+      if ((bitmap_ >> v) & 1) {
+        if (atom_holds(v, a)) kept |= uint64_t{1} << v;
+      }
+    }
+    bitmap_ = kept;
+    return;
+  }
+  if (!a.set.empty()) {
+    // Interval hull of the membership set.
+    lo_ = std::max(lo_, a.set.front());
+    hi_ = std::min(hi_, a.set.back());
+    return;
+  }
+  const bool exact = a.is_exact_mask();
+  switch (a.op) {
+    case CmpOp::kEq:
+      if ((known_val_ ^ a.value) & a.mask & known_mask_) {
+        lo_ = 1;
+        hi_ = 0;  // bit conflict: empty
+        return;
+      }
+      known_val_ = (known_val_ & ~a.mask) | a.value;
+      known_mask_ |= a.mask;
+      if (exact) {
+        lo_ = std::max(lo_, a.value);
+        hi_ = std::min(hi_, a.value);
+      }
+      break;
+    case CmpOp::kNe:
+      if (exact && lo_ == hi_ && lo_ == a.value) {
+        lo_ = 1;
+        hi_ = 0;
+        return;
+      }
+      if (exact && a.value == lo_ && lo_ < hi_) {
+        ++lo_;
+      } else if (exact && a.value == hi_ && lo_ < hi_) {
+        --hi_;
+      } else if (excluded_.size() < kMaxExcluded) {
+        const std::pair<uint64_t, uint64_t> p{a.mask, a.value};
+        if (std::find(excluded_.begin(), excluded_.end(), p) ==
+            excluded_.end()) {
+          excluded_.push_back(p);
+        }
+      }
+      break;
+    case CmpOp::kLt:
+      if (a.value == 0) {
+        lo_ = 1;
+        hi_ = 0;
+      } else {
+        hi_ = std::min(hi_, a.value - 1);
+      }
+      break;
+    case CmpOp::kLe:
+      hi_ = std::min(hi_, a.value);
+      break;
+    case CmpOp::kGt:
+      if (a.value == full_mask()) {
+        lo_ = 1;
+        hi_ = 0;
+      } else {
+        lo_ = std::max(lo_, a.value + 1);
+      }
+      break;
+    case CmpOp::kGe:
+      lo_ = std::max(lo_, a.value);
+      break;
+  }
+  if (lo_ > hi_) return;
+  // Fully-known value: collapse the interval and check exclusions.
+  if (known_mask_ == full_mask()) {
+    if (known_val_ < lo_ || known_val_ > hi_) {
+      lo_ = 1;
+      hi_ = 0;
+      return;
+    }
+    lo_ = hi_ = known_val_;
+    for (const auto& [m, v] : excluded_) {
+      if ((known_val_ & m) == v) {
+        lo_ = 1;
+        hi_ = 0;
+        return;
+      }
+    }
+  }
+}
+
+Ternary ValueRange::eval(const Atom& a) const {
+  if (is_bottom()) return Ternary::kUnknown;  // unreachable state: no claim
+  if (small()) {
+    bool any = false;
+    bool all = true;
+    for (uint64_t v = 0; v < (uint64_t{1} << width_); ++v) {
+      if ((bitmap_ >> v) & 1) {
+        if (atom_holds(v, a)) {
+          any = true;
+        } else {
+          all = false;
+        }
+      }
+    }
+    if (all) return Ternary::kTrue;
+    if (!any) return Ternary::kFalse;
+    return Ternary::kUnknown;
+  }
+  auto plausible = [&](uint64_t v) {
+    if (v < lo_ || v > hi_) return false;
+    if ((v & known_mask_) != known_val_) return false;
+    for (const auto& [m, ev] : excluded_) {
+      if ((v & m) == ev) return false;
+    }
+    return true;
+  };
+  uint64_t c = 0;
+  if (is_constant(c)) {
+    return atom_holds(c, a) ? Ternary::kTrue : Ternary::kFalse;
+  }
+  if (hi_ - lo_ < 256) {
+    bool any = false;
+    bool all = true;
+    for (uint64_t v = lo_;; ++v) {
+      if (plausible(v)) {
+        if (atom_holds(v, a)) {
+          any = true;
+        } else {
+          all = false;
+        }
+      }
+      if (v == hi_) break;
+    }
+    if (any && all) return Ternary::kTrue;
+    if (!any) return Ternary::kFalse;
+    return Ternary::kUnknown;
+  }
+  if (!a.set.empty()) {
+    for (uint64_t s : a.set) {
+      if (plausible(s)) return Ternary::kUnknown;
+    }
+    return Ternary::kFalse;
+  }
+  switch (a.op) {
+    case CmpOp::kEq: {
+      if ((a.value ^ known_val_) & a.mask & known_mask_) return Ternary::kFalse;
+      if ((a.mask & ~known_mask_) == 0) return Ternary::kTrue;
+      if (a.is_exact_mask() && !plausible(a.value)) return Ternary::kFalse;
+      return Ternary::kUnknown;
+    }
+    case CmpOp::kNe: {
+      if ((a.value ^ known_val_) & a.mask & known_mask_) return Ternary::kTrue;
+      if ((a.mask & ~known_mask_) == 0) return Ternary::kFalse;
+      for (const auto& [m, v] : excluded_) {
+        if (m == a.mask && v == a.value) return Ternary::kTrue;
+      }
+      return Ternary::kUnknown;
+    }
+    case CmpOp::kLt:
+      if (hi_ < a.value) return Ternary::kTrue;
+      if (lo_ >= a.value) return Ternary::kFalse;
+      return Ternary::kUnknown;
+    case CmpOp::kLe:
+      if (hi_ <= a.value) return Ternary::kTrue;
+      if (lo_ > a.value) return Ternary::kFalse;
+      return Ternary::kUnknown;
+    case CmpOp::kGt:
+      if (lo_ > a.value) return Ternary::kTrue;
+      if (hi_ <= a.value) return Ternary::kFalse;
+      return Ternary::kUnknown;
+    case CmpOp::kGe:
+      if (lo_ >= a.value) return Ternary::kTrue;
+      if (hi_ < a.value) return Ternary::kFalse;
+      return Ternary::kUnknown;
+  }
+  return Ternary::kUnknown;
+}
+
+}  // namespace meissa::analysis

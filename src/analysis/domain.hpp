@@ -1,0 +1,92 @@
+// Abstract value domains for the static-analysis pass (no solver).
+//
+// Data-plane predicates are overwhelmingly conjunctions of single-field
+// atoms — exact/ternary matches, range checks, validity guards, and
+// negations of higher-priority entries. `decompose_conjunction` lowers a
+// boolean expression into that normal form (atoms + opaque residue), and
+// `ValueRange` is the per-field abstract value the dataflow pass joins and
+// refines: an unsigned interval plus known bits plus a small exclusion
+// list, or an exact value bitmap for narrow fields (<= 6 bits).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/expr.hpp"
+
+namespace meissa::analysis {
+
+enum class Ternary : uint8_t { kFalse, kTrue, kUnknown };
+
+// One single-field atomic constraint: cmp((field & mask), value), or a
+// value-set membership f IN `set` (the any-of shape of merged
+// pre-conditions). A full-width mask means a plain compare. A constraint
+// that is constantly false decomposes to an atom with field ==
+// ir::kInvalidField.
+struct Atom {
+  ir::FieldId field = ir::kInvalidField;
+  int width = 0;
+  ir::CmpOp op = ir::CmpOp::kEq;
+  uint64_t mask = ~uint64_t{0};
+  uint64_t value = 0;
+  std::vector<uint64_t> set;  // non-empty: membership atom; op/mask unused
+
+  bool is_exact_mask() const noexcept;
+};
+
+// Lowers `e` into a conjunction: every conjunct that is a single-field
+// atom lands in `atoms`, everything else (disjunctions over several
+// fields, multi-field compares, arithmetic the domains cannot track) in
+// `opaque`. Handles compares in both operand orders, ternary-match masks,
+// De Morgan over negated disjunctions, negation chains, and the value-set
+// (any-of-equalities) pattern.
+void decompose_conjunction(ir::ExprRef e, std::vector<Atom>& atoms,
+                           std::vector<ir::ExprRef>& opaque);
+
+// The negated compare atom (operator flipped). Membership atoms have no
+// single-atom negation; callers expand f NOT-IN {s...} into != exclusions
+// themselves. Precondition: a.set.empty().
+Atom negate_atom(const Atom& a);
+
+// Whether concrete value `v` satisfies the (non-membership) atom.
+bool atom_holds(uint64_t v, const Atom& a) noexcept;
+
+// Abstract set of values of one `width`-bit field.
+class ValueRange {
+ public:
+  explicit ValueRange(int width);
+  static ValueRange constant(uint64_t v, int width);
+
+  int width() const noexcept { return width_; }
+  bool is_bottom() const noexcept;           // provably empty
+  bool is_top() const noexcept;              // no information
+  bool is_constant(uint64_t& v) const noexcept;
+
+  // Least upper bound; returns true when *this widened.
+  bool join(const ValueRange& o);
+  // Meet with one atom (greatest lower bound approximation).
+  void refine(const Atom& a);
+  // Three-valued truth of `a` over every value in this set. Sound in both
+  // directions for any over-approximation: kTrue means every concrete
+  // value satisfies `a`, kFalse means none does.
+  Ternary eval(const Atom& a) const;
+
+ private:
+  static constexpr int kSmallWidth = 6;  // exact bitmap up to 64 values
+  static constexpr size_t kMaxExcluded = 8;
+
+  bool small() const noexcept { return width_ <= kSmallWidth; }
+  uint64_t full_mask() const noexcept;
+
+  int width_;
+  // Narrow fields: bit v of `bitmap_` set <=> value v possible.
+  uint64_t bitmap_ = 0;
+  // Wide fields: interval + known bits + excluded (mask, value) pairs.
+  uint64_t lo_ = 0;
+  uint64_t hi_ = 0;
+  uint64_t known_mask_ = 0;
+  uint64_t known_val_ = 0;
+  std::vector<std::pair<uint64_t, uint64_t>> excluded_;
+};
+
+}  // namespace meissa::analysis

@@ -1,0 +1,159 @@
+#include "analysis/env.hpp"
+
+#include "util/bits.hpp"
+
+namespace meissa::analysis {
+
+namespace {
+
+void apply_atom(smt::Domain& d, const Atom& a) {
+  if (!a.set.empty()) {
+    d.require_value_set(a.set);
+    return;
+  }
+  switch (a.op) {
+    case ir::CmpOp::kEq: d.require_masked_eq(a.mask, a.value); break;
+    case ir::CmpOp::kNe: d.require_masked_ne(a.mask, a.value); break;
+    case ir::CmpOp::kLt: d.require_lt(a.value); break;
+    case ir::CmpOp::kLe: d.require_le(a.value); break;
+    case ir::CmpOp::kGt: d.require_gt(a.value); break;
+    case ir::CmpOp::kGe: d.require_ge(a.value); break;
+  }
+}
+
+void apply_negated(smt::Domain& d, const Atom& a) {
+  if (!a.set.empty()) {
+    // !(f IN S): exclude every member.
+    const uint64_t full = util::mask_bits(d.width());
+    for (uint64_t v : a.set) d.require_masked_ne(full, v);
+    return;
+  }
+  apply_atom(d, negate_atom(a));
+}
+
+}  // namespace
+
+smt::Domain PathEnv::domain_copy(ir::FieldId f, int width) const {
+  auto it = slots_.find(f);
+  if (it != slots_.end()) return it->second.dom;
+  return smt::Domain(width);
+}
+
+void PathEnv::absorb(const std::vector<Atom>& atoms,
+                     const std::vector<ir::ExprRef>& opaque, bool undoable) {
+  for (const Atom& a : atoms) {
+    auto [it, fresh] = slots_.try_emplace(a.field, Slot(a.width));
+    if (undoable) {
+      undo_.push_back(
+          Undo{a.field, false, fresh ? std::nullopt
+                                     : std::optional<smt::Domain>(it->second.dom)});
+    }
+    apply_atom(it->second.dom, a);
+  }
+  for (ir::ExprRef e : opaque) {
+    std::unordered_set<ir::FieldId> fields;
+    ir::collect_fields(e, fields);
+    for (ir::FieldId f : fields) {
+      auto [it, fresh] = slots_.try_emplace(f, Slot(ctx_.fields.width(f)));
+      (void)fresh;
+      ++it->second.poison;
+      if (undoable) undo_.push_back(Undo{f, true, std::nullopt});
+    }
+  }
+}
+
+void PathEnv::add_precondition(ir::ExprRef c) {
+  if (c == nullptr) return;
+  std::vector<Atom> atoms;
+  std::vector<ir::ExprRef> opaque;
+  decompose_conjunction(c, atoms, opaque);
+  for (const Atom& a : atoms) {
+    if (a.field == ir::kInvalidField) {
+      base_contradictory_ = true;
+      return;
+    }
+  }
+  absorb(atoms, opaque, /*undoable=*/false);
+  for (const Atom& a : atoms) {
+    if (slots_.at(a.field).dom.contradictory()) base_contradictory_ = true;
+  }
+}
+
+Verdict PathEnv::assume(ir::ExprRef c) {
+  if (base_contradictory_) return Verdict::kRefuted;
+  std::vector<Atom> atoms;
+  std::vector<ir::ExprRef> opaque;
+  decompose_conjunction(c, atoms, opaque);
+  for (const Atom& a : atoms) {
+    if (a.field == ir::kInvalidField) return Verdict::kRefuted;
+  }
+
+  // Refutation: refine copies of the touched domains by all atoms.
+  std::unordered_map<ir::FieldId, smt::Domain> refined;
+  for (const Atom& a : atoms) {
+    auto [it, fresh] = refined.try_emplace(a.field, domain_copy(a.field, a.width));
+    (void)fresh;
+    apply_atom(it->second, a);
+    if (it->second.contradictory()) return Verdict::kRefuted;
+  }
+
+  Verdict v = Verdict::kUnknown;
+  if (opaque.empty() && !atoms.empty()) {
+    bool all_implied = true;
+    for (const Atom& a : atoms) {
+      smt::Domain neg = domain_copy(a.field, a.width);
+      apply_negated(neg, a);
+      if (!neg.contradictory()) {
+        all_implied = false;
+        break;
+      }
+    }
+    if (all_implied) {
+      v = Verdict::kImplied;
+    } else {
+      bool complete = true;  // no involved field ever poisoned
+      for (const auto& [f, d] : refined) {
+        auto it = slots_.find(f);
+        if (it != slots_.end() && it->second.poison > 0) {
+          complete = false;
+          break;
+        }
+      }
+      if (complete) {
+        bool witnessed = true;
+        for (const auto& [f, d] : refined) {
+          bool decided = true;
+          std::optional<uint64_t> w = d.pick_value(decided);
+          if (!decided || !w) {
+            witnessed = false;
+            break;
+          }
+        }
+        if (witnessed) v = Verdict::kSatisfiable;
+      }
+    }
+  } else if (opaque.empty() && atoms.empty()) {
+    // Constant-true after decomposition.
+    v = Verdict::kImplied;
+  }
+
+  absorb(atoms, opaque, /*undoable=*/true);
+  return v;
+}
+
+void PathEnv::rollback(Mark m) {
+  while (undo_.size() > m) {
+    Undo& u = undo_.back();
+    auto it = slots_.find(u.field);
+    if (u.poisoned) {
+      --it->second.poison;
+    } else if (u.dom) {
+      it->second.dom = std::move(*u.dom);
+    } else {
+      slots_.erase(it);  // the atom created the slot
+    }
+    undo_.pop_back();
+  }
+}
+
+}  // namespace meissa::analysis

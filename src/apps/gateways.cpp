@@ -498,14 +498,21 @@ AppBundle make_gateway(ir::Context& ctx, const GwConfig& cfg) {
 
       TableEntry l3;
       l3.table = "sw_l3";
-      l3.matches = {KeyMatch::lpm(remote_vtep_ip(i) & 0xffffff00, 24)};
+      // Host routes, one per VTEP: a shared /24 would shadow every entry
+      // after the first and pin all flows to one port, collapsing the
+      // Fig. 1 flow A / flow B split.
+      l3.matches = {KeyMatch::lpm(remote_vtep_ip(i), 32)};
       l3.action = "sw_route";
       l3.args = {out.args[3]};  // keep the chosen port (chain consistency)
       app.rules.add(l3);
 
       TableEntry dm;
       dm.table = "sw_dmac";
-      dm.matches = {KeyMatch::exact(out.args[3])};
+      // Key on the port the packet carries when it reaches a switch
+      // egress: flow A keeps its local port, but flow B is re-classified
+      // and decapped at the remote switch before its seg pipe, so there
+      // it carries the decap port, not the uplink port.
+      dm.matches = {KeyMatch::exact(i % 2 == 0 ? out.args[3] : in.args[1])};
       dm.action = "sw_set_dmac";
       dm.args = {0x02aa00000000ull + static_cast<uint64_t>(i)};
       app.rules.add(dm);

@@ -133,13 +133,16 @@ std::vector<p4::ParserState> tunnel_parser(bool parse_inner_tcp,
   std::vector<p4::ParserState> states = {start, ipv4, tcp, udp, vxlan,
                                          inner_ipv4};
   if (with_prop) {
-    // prop.magic carries the original ethertype (an ethertype chain).
+    // prop.magic carries the original ethertype (an ethertype chain). A
+    // transit header wrapping anything but IPv4 is malformed: reject it
+    // rather than accept with no L3 header (downstream pipes match on
+    // ipv4 fields unconditionally).
     p4::ParserState prop;
     prop.name = "parse_prop";
     prop.extracts = {"prop"};
     prop.select_field = "hdr.prop.magic";
     prop.cases = {{kEthIpv4, 0xffff, "parse_ipv4"}};
-    prop.default_next = "accept";
+    prop.default_next = "reject";
     states.push_back(prop);
   }
   if (parse_inner_tcp) {

@@ -56,6 +56,7 @@ BaselineResult run_aquila(ir::Context& ctx, const p4::DataPlane& dp,
   // Aquila re-encodes the whole program monolithically per query rather
   // than reusing incremental solver state across the DFS.
   eopts.incremental = false;
+  eopts.static_pruning = false;  // baseline: every query reaches the solver
   sym::Engine eng(ctx, g, eopts);
 
   auto solver = [&ctx]() { return smt::make_bv_solver(ctx); };

@@ -25,6 +25,7 @@ BaselineResult run_gauntlet(ir::Context& ctx, const p4::DataPlane& dp,
   driver::GenOptions gen;
   gen.code_summary = false;
   gen.early_termination = false;  // every complete path checked at the leaf
+  gen.static_pruning = false;  // baseline: every query reaches the solver
   gen.build.elide_disjoint_negations = false;  // standard encoding
   gen.time_budget_seconds = opts.time_budget_seconds;
   driver::Generator generator(ctx, dp, rules, gen);

@@ -33,6 +33,7 @@ BaselineResult run_p4pktgen(ir::Context& ctx, const p4::DataPlane& dp,
   driver::GenOptions gen;
   gen.code_summary = false;
   gen.incremental = false;  // fresh solver per satisfiability query
+  gen.static_pruning = false;  // baseline: every query reaches the solver
   gen.build.elide_disjoint_negations = false;  // standard encoding
   gen.time_budget_seconds = opts.time_budget_seconds;
   if (opts.action_cover) {

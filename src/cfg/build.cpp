@@ -55,6 +55,10 @@ class Builder {
   void append_stmt(Chain& c, ir::Stmt s) {
     append(c, tag(g_.add(std::move(s))));
   }
+  void append_labeled(Chain& c, ir::Stmt s, const std::string& label) {
+    append_stmt(c, std::move(s));
+    g_.set_label(c.tail, label);
+  }
 
   ir::FieldId fid(std::string_view name) {
     std::optional<int> w = dp_.program.field_width(name);
@@ -169,6 +173,8 @@ class Builder {
       for (const std::string& aname : table.actions) {
         Chain b;
         append(b, nop());
+        g_.set_label(b.head, inst.name + ": table " + table.name +
+                                 " action " + aname);
         const ActionDef* a = dp_.program.find_action(aname);
         expand_action_body_symbolic(b, inst, *a);
         g_.link(head, b.head);
@@ -176,6 +182,8 @@ class Builder {
       }
       Chain miss;
       append(miss, nop());
+      g_.set_label(miss.head, inst.name + ": table " + table.name + " miss (" +
+                                  table.default_action + ")");
       const ActionDef* da = dp_.program.find_action(table.default_action);
       expand_action_body(miss, inst, *da, table.default_args);
       g_.link(head, miss.head);
@@ -201,7 +209,9 @@ class Builder {
           append_stmt(b, ir::Stmt::assume(ctx_.arena.bnot(match_preds[j])));
         }
       }
-      append_stmt(b, ir::Stmt::assume(match_preds[i]));
+      append_labeled(b, ir::Stmt::assume(match_preds[i]),
+                     inst.name + ": table " + table.name + " entry #" +
+                         std::to_string(i) + " (" + entries[i]->action + ")");
       const ActionDef* a = dp_.program.find_action(entries[i]->action);
       expand_action_body(b, inst, *a, entries[i]->args);
       g_.link(head, b.head);
@@ -209,10 +219,6 @@ class Builder {
     }
 
     // Miss branch: no entry matched; run the default action.
-    Chain miss;
-    for (size_t j = 0; j < entries.size(); ++j) {
-      append_stmt(miss, ir::Stmt::assume(ctx_.arena.bnot(match_preds[j])));
-    }
     std::string def_action = table.default_action;
     std::vector<uint64_t> def_args = table.default_args;
     auto it = rules_.default_overrides.find(table.name);
@@ -220,9 +226,15 @@ class Builder {
       def_action = it->second.action;
       def_args = it->second.args;
     }
+    Chain miss;
+    for (size_t j = 0; j < entries.size(); ++j) {
+      append_stmt(miss, ir::Stmt::assume(ctx_.arena.bnot(match_preds[j])));
+    }
     const ActionDef* da = dp_.program.find_action(def_action);
     expand_action_body(miss, inst, *da, def_args);
     if (miss.head == kNoNode) append(miss, nop());
+    g_.set_label(miss.head, inst.name + ": table " + table.name + " miss (" +
+                                def_action + ")");
     g_.link(head, miss.head);
     g_.link(miss.tail, tail);
     return outer;
@@ -244,17 +256,20 @@ class Builder {
         }
         case ControlStmt::Kind::kIf: {
           ir::ExprRef cond = localize(s.cond, inst);
+          const std::string where =
+              inst.name + ": if #" + std::to_string(if_count_++);
           NodeId fork = nop();
           NodeId join = nop();
           Chain then_c;
-          append_stmt(then_c, ir::Stmt::assume(cond));
+          append_labeled(then_c, ir::Stmt::assume(cond), where + " then");
           Chain then_body = expand_control(s.then_block, inst);
           if (then_body.head != kNoNode) {
             g_.link(then_c.tail, then_body.head);
             then_c.tail = then_body.tail;
           }
           Chain else_c;
-          append_stmt(else_c, ir::Stmt::assume(ctx_.arena.bnot(cond)));
+          append_labeled(else_c, ir::Stmt::assume(ctx_.arena.bnot(cond)),
+                         where + " else");
           Chain else_body = expand_control(s.else_block, inst);
           if (else_body.head != kNoNode) {
             g_.link(else_c.tail, else_body.head);
@@ -295,6 +310,7 @@ class Builder {
     const ParserState* s = parser.find_state(name);
     Chain c;
     append(c, nop());
+    g_.set_label(c.head, inst.name + ": parser state " + name);
     for (const std::string& h : s->extracts) {
       append_stmt(c, ir::Stmt::assign(valid_fid(inst, h),
                                       ctx_.arena.constant(1, 1)));
@@ -322,7 +338,9 @@ class Builder {
           append_stmt(b, ir::Stmt::assume(ctx_.arena.bnot(case_preds[j])));
         }
       }
-      append_stmt(b, ir::Stmt::assume(case_preds[i]));
+      append_labeled(b, ir::Stmt::assume(case_preds[i]),
+                     inst.name + ": parser state " + name + " case -> " +
+                         s->cases[i].next);
       NodeId next = expand_parser_state(parser, s->cases[i].next, inst, accept,
                                         reject);
       g_.link(b.tail, next);
@@ -333,6 +351,8 @@ class Builder {
       append_stmt(d, ir::Stmt::assume(ctx_.arena.bnot(case_preds[j])));
     }
     if (d.head == kNoNode) append(d, nop());
+    g_.set_label(d.head, inst.name + ": parser state " + name +
+                             " default -> " + s->default_next);
     NodeId next =
         expand_parser_state(parser, s->default_next, inst, accept, reject);
     g_.link(d.tail, next);
@@ -343,10 +363,13 @@ class Builder {
   // Builds one instance subgraph; fills the InstanceInfo entry/exit.
   void build_instance(InstanceInfo& inst) {
     const PipelineDef& def = *dp_.program.find_pipeline(inst.pipeline);
+    if_count_ = 0;
     NodeId entry = nop();
     NodeId exit = nop();
     inst.entry = entry;
     inst.exit = exit;
+    g_.set_label(entry, inst.name + ": entry");
+    g_.set_label(exit, inst.name + ": exit");
 
     // Reset this instance's view of header validity, then parse.
     Chain init;
@@ -387,14 +410,18 @@ class Builder {
           ctx_.arena.field(valid_fid(inst, u.guard_header), 1),
           ctx_.arena.constant(1, 1));
       Chain yes;
-      append_stmt(yes, ir::Stmt::assume(valid));
+      append_labeled(yes, ir::Stmt::assume(valid),
+                     inst.name + ": deparser checksum " + u.dest + " (" +
+                         u.guard_header + " valid)");
       HashStmt h;
       h.dest = fid(u.dest);
       h.algo = u.algo;
       for (const std::string& s : u.sources) h.keys.push_back(fid(s));
       append(yes, tag(g_.add_hash(std::move(h))));
       Chain no;
-      append_stmt(no, ir::Stmt::assume(ctx_.arena.bnot(valid)));
+      append_labeled(no, ir::Stmt::assume(ctx_.arena.bnot(valid)),
+                     inst.name + ": deparser checksum " + u.dest + " (" +
+                         u.guard_header + " invalid)");
       g_.link(fork, yes.head);
       g_.link(fork, no.head);
       g_.link(yes.tail, join);
@@ -410,6 +437,7 @@ class Builder {
   BuildOptions opts_;
   Cfg g_;
   int inst_index_ = -1;
+  int if_count_ = 0;
 };
 
 Cfg Builder::build() {
@@ -476,11 +504,13 @@ Cfg Builder::build() {
         ir::CmpOp::kEq, ctx_.arena.field(fid(p4::kDropFlag), 1),
         ctx_.arena.constant(1, 1))));
     g_.node(drop_term).exit = ExitKind::kDrop;
+    g_.set_label(drop_term, name + ": dropped");
     g_.link(exit, drop_term);
 
     NodeId alive = g_.add(ir::Stmt::assume(ctx_.arena.cmp(
         ir::CmpOp::kEq, ctx_.arena.field(fid(p4::kDropFlag), 1),
         ctx_.arena.constant(0, 1))));
+    g_.set_label(alive, name + ": forwarded");
     g_.link(exit, alive);
 
     std::vector<const p4::TopoEdge*> outs = dp_.topology.edges_from(name);
@@ -495,9 +525,12 @@ Cfg Builder::build() {
         break;
       }
       NodeId take = g_.add(ir::Stmt::assume(e->guard));
+      g_.set_label(take, name + ": link to " + e->to);
       g_.link(cur, take);
       g_.link(take, target);
       NodeId skip = g_.add(ir::Stmt::assume(ctx_.arena.bnot(e->guard)));
+      g_.set_label(skip, name + ": skip link to " + e->to);
+      g_.node(skip).synthetic = true;
       g_.link(cur, skip);
       cur = skip;
       guards.push_back(e->guard);

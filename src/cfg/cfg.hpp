@@ -50,6 +50,11 @@ struct Node {
   int instance = -1;  // index into Cfg::instances, -1 for glue nodes
   ExitKind exit = ExitKind::kNone;
   int emit_instance = -1;  // kEmit: whose deparser serializes the packet
+  uint32_t label = 0;      // index into Cfg's label table, 0 = unlabeled
+  // Builder-synthesized exhaustiveness arm (e.g. the "no topology edge
+  // matched" skip chain): refuting one is by-construction, not a program
+  // bug, so diagnostics skip it (the engine still prunes through it).
+  bool synthetic = false;
 };
 
 // Per-pipeline-instance metadata the generator and driver need.
@@ -92,6 +97,19 @@ class Cfg {
   std::vector<InstanceInfo>& instances() { return instances_; }
   const std::vector<InstanceInfo>& instances() const { return instances_; }
 
+  // Source-location labels for diagnostics ("table acl entry #2 (deny)").
+  // Interned so identical labels (shared across expanded branches) cost one
+  // string; label 0 is the empty string.
+  void set_label(NodeId id, const std::string& text) {
+    auto [it, fresh] =
+        label_index_.emplace(text, static_cast<uint32_t>(labels_.size()));
+    if (fresh) labels_.push_back(text);
+    nodes_[id].label = it->second;
+  }
+  const std::string& label(NodeId id) const {
+    return labels_[nodes_[id].label];
+  }
+
   // Number of possible paths (Def. 1) from `from` to any terminal;
   // memoized DFS over the DAG. With kNoNode, counts from the entry.
   util::BigCount count_paths(NodeId from = kNoNode) const;
@@ -107,6 +125,8 @@ class Cfg {
   std::vector<Node> nodes_;
   NodeId entry_ = kNoNode;
   std::vector<InstanceInfo> instances_;
+  std::vector<std::string> labels_{std::string()};
+  std::unordered_map<std::string, uint32_t> label_index_{{std::string(), 0}};
 };
 
 // A possible path: node ids from the entry to a terminal.

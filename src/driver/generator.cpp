@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "analysis/dataflow.hpp"
 #include "spec/intent.hpp"
 #include "util/thread_pool.hpp"
 
@@ -33,10 +34,12 @@ std::vector<sym::TestCaseTemplate> Generator::generate() {
     so.use_z3 = opts_.use_z3;
     so.check_every_predicate = opts_.check_every_predicate;
     so.threads = threads;
+    so.static_pruning = opts_.static_pruning;
     summarized_ = summary::summarize(ctx_, original_, so);
     stats_.summary_seconds = secs_since(t0);
     stats_.pipelines = summarized_->per_pipeline;
     stats_.smt_checks += summarized_->total_smt_checks;
+    stats_.smt_calls_skipped += summarized_->total_smt_skipped;
     active_ = &summarized_->graph;
   }
   stats_.paths_summarized = active_->count_paths();
@@ -49,6 +52,11 @@ std::vector<sym::TestCaseTemplate> Generator::generate() {
   eopts.max_results = opts_.max_templates;
   eopts.time_budget_seconds = opts_.time_budget_seconds;
   eopts.fresh_ns = "dfs";
+  eopts.static_pruning = opts_.static_pruning;
+  if (opts_.static_pruning && !opts_.check_every_predicate) {
+    facts_ = analysis::compute_facts(ctx_, *active_, active_->entry());
+    eopts.facts = &facts_;
+  }
   engine_ = std::make_unique<sym::Engine>(ctx_, *active_, eopts);
   for (ir::ExprRef a : opts_.assumes) {
     engine_->add_precondition(spec::assume_to_precondition(a, ctx_));
@@ -78,6 +86,8 @@ std::vector<sym::TestCaseTemplate> Generator::generate() {
   stats_.engine = engine_->stats();
   stats_.timed_out = engine_->stats().timed_out;
   stats_.smt_checks += engine_->stats().solver.checks;
+  stats_.smt_calls_skipped +=
+      engine_->stats().static_prunes + engine_->stats().skipped_checks;
   stats_.templates = templates.size();
   stats_.total_seconds =
       stats_.build_seconds + stats_.summary_seconds + stats_.dfs_seconds;

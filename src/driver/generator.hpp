@@ -23,6 +23,10 @@ struct GenOptions {
   bool use_z3 = false;
   // Generation-time assumptions over in.* fields (LPI assumes).
   std::vector<ir::ExprRef> assumes;
+  // Decide predicates statically ahead of the solver (summary pass and
+  // final DFS). Solver-equivalent: the emitted templates are identical
+  // with this on or off; only the SMT-call count changes.
+  bool static_pruning = true;
   // Flag reads of invalid-header fields as diagnostics on each template
   // (exact only on unsummarized graphs; disabled automatically otherwise).
   bool detect_invalid_reads = true;
@@ -41,6 +45,9 @@ struct GenStats {
   double dfs_seconds = 0;
   double total_seconds = 0;
   uint64_t smt_checks = 0;  // summary + final DFS ("# of SMT calls")
+  // Solver calls avoided by static pruning (summary + final DFS): branches
+  // refuted and checks skipped without touching the solver.
+  uint64_t smt_calls_skipped = 0;
   uint64_t templates = 0;
   uint64_t diagnostics = 0;  // invalid-header-read findings
   util::BigCount paths_original;    // possible paths, original CFG
@@ -56,6 +63,7 @@ struct GenStats {
     dfs_seconds += o.dfs_seconds;
     total_seconds += o.total_seconds;
     smt_checks += o.smt_checks;
+    smt_calls_skipped += o.smt_calls_skipped;
     templates += o.templates;
     diagnostics += o.diagnostics;
     paths_original += o.paths_original;
@@ -90,6 +98,8 @@ class Generator {
   cfg::Cfg original_;
   std::optional<summary::SummaryResult> summarized_;
   const cfg::Cfg* active_ = nullptr;
+  // Dataflow facts for the final-DFS graph; must outlive engine_.
+  analysis::Facts facts_;
   std::unique_ptr<sym::Engine> engine_;
   GenStats stats_;
 };

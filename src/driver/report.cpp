@@ -15,7 +15,14 @@ std::string TestReport::str() const {
   }
   os << ")\n";
   os << "  generation: " << util::format("%.3fs", gen.total_seconds) << " ("
-     << gen.smt_checks << " SMT calls)\n";
+     << gen.smt_checks << " SMT calls";
+  if (gen.smt_calls_skipped > 0) {
+    os << ", " << gen.smt_calls_skipped << " skipped by static analysis";
+  }
+  os << ")\n";
+  if (gen.diagnostics > 0) {
+    os << "  static analysis: " << gen.diagnostics << " diagnostic(s)\n";
+  }
   for (const CaseRecord& f : failures) {
     os << "  FAIL template #" << f.template_id << " case #" << f.case_id
        << "\n";

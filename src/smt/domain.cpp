@@ -40,6 +40,14 @@ void Domain::require_masked_ne(uint64_t mask, uint64_t value) {
     contradictory_ = true;
     return;
   }
+  if ((forced_mask_ & mask) == mask && (forced_val_ & mask) == value) {
+    // Every bit of `mask` is already forced to match `value`: the
+    // exclusion empties the domain. Detecting this here (rather than in
+    // pick_value's search) lets implication queries conclude without a
+    // witness hunt.
+    contradictory_ = true;
+    return;
+  }
   excluded_.push_back({mask, value});
 }
 

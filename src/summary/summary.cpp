@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "analysis/dataflow.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
@@ -216,11 +217,13 @@ PreCondition compute_precondition(ir::Context& ctx, const cfg::Cfg& g,
 
 std::optional<PreCondition> compute_precondition_by_enumeration(
     ir::Context& ctx, const cfg::Cfg& g, cfg::NodeId target,
-    size_t path_limit, uint64_t* smt_checks, const std::string& fresh_ns) {
+    size_t path_limit, uint64_t* smt_checks, const std::string& fresh_ns,
+    bool static_pruning, uint64_t* smt_skipped) {
   sym::EngineOptions opts;
   opts.stop = target;
   opts.max_results = path_limit + 1;
   opts.fresh_ns = fresh_ns;
+  opts.static_pruning = static_pruning;
   sym::Engine eng(ctx, g, opts);
   bool first = true;
   std::vector<ir::ExprRef> cond_order;  // first path's conds, in path order
@@ -281,6 +284,9 @@ std::optional<PreCondition> compute_precondition_by_enumeration(
     }
   });
   if (smt_checks != nullptr) *smt_checks += eng.stats().solver.checks;
+  if (smt_skipped != nullptr) {
+    *smt_skipped += eng.stats().static_prunes + eng.stats().skipped_checks;
+  }
   if (count > path_limit) return std::nullopt;
   PreCondition pc;
   if (first) {
@@ -501,7 +507,7 @@ SummaryResult summarize(ir::Context& ctx, const cfg::Cfg& original,
       } else {
         std::optional<PreCondition> exact = compute_precondition_by_enumeration(
             ctx, g, info.entry, opts.max_precondition_paths, &w.ps.smt_checks,
-            "pre." + info.name);
+            "pre." + info.name, opts.static_pruning, &w.ps.smt_skipped);
         pc = exact ? std::move(*exact)
                    : compute_precondition(ctx, g, info.entry);
       }
@@ -515,6 +521,14 @@ SummaryResult summarize(ir::Context& ctx, const cfg::Cfg& original,
     eopts.use_z3 = opts.use_z3;
     eopts.check_every_predicate = opts.check_every_predicate;
     eopts.fresh_ns = info.name;
+    eopts.static_pruning = opts.static_pruning;
+    // Per-instance dataflow facts, computed from the pipeline's entry with a
+    // TOP boundary — valid for any seeds/pre-conditions rooted there.
+    analysis::Facts facts;
+    if (opts.static_pruning && !opts.check_every_predicate) {
+      facts = analysis::compute_facts(ctx, g, info.entry);
+      eopts.facts = &facts;
+    }
     sym::Engine eng(ctx, g, eopts);
     for (ir::ExprRef c : pc.conds) eng.add_precondition(c);
     auto seed_snapshot = [&](ir::FieldId f) {
@@ -562,6 +576,7 @@ SummaryResult summarize(ir::Context& ctx, const cfg::Cfg& original,
 
     w.ps.paths_after = w.internal.size();
     w.ps.smt_checks += eng.stats().solver.checks;
+    w.ps.smt_skipped += eng.stats().static_prunes + eng.stats().skipped_checks;
     w.ps.seconds = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - t0)
                        .count();
@@ -613,6 +628,7 @@ SummaryResult summarize(ir::Context& ctx, const cfg::Cfg& original,
   }
   for (InstanceWork& w : work) {
     result.total_smt_checks += w.ps.smt_checks;
+    result.total_smt_skipped += w.ps.smt_skipped;
     result.per_pipeline.push_back(std::move(w.ps));
   }
   return result;

@@ -51,6 +51,11 @@ struct SummaryOptions {
   // sequentially in instance order — so the summarized graph (node ids
   // included) is identical for every thread count.
   int threads = 1;
+  // Static pruning for the body/enumeration engines: per-instance dataflow
+  // facts (validity lattice and value ranges from the instance entry) plus
+  // the per-path abstract environment decide predicates before the solver.
+  // Solver-equivalent, so the summarized graph is identical on/off.
+  bool static_pruning = true;
 };
 
 // The public pre-condition of one pipeline: constraints over program
@@ -79,11 +84,13 @@ PreCondition compute_precondition(ir::Context& ctx, const cfg::Cfg& g,
 // case callers fall back to the dataflow meet above. `smt_checks`, when
 // non-null, accumulates the solver checks spent on the enumeration.
 // `fresh_ns`, when non-empty, namespaces the enumeration's fresh symbols
-// (deterministic names under concurrent summarization).
+// (deterministic names under concurrent summarization). `smt_skipped`,
+// when non-null, accumulates the checks static pruning avoided.
 std::optional<PreCondition> compute_precondition_by_enumeration(
     ir::Context& ctx, const cfg::Cfg& g, cfg::NodeId target,
     size_t path_limit, uint64_t* smt_checks = nullptr,
-    const std::string& fresh_ns = {});
+    const std::string& fresh_ns = {}, bool static_pruning = true,
+    uint64_t* smt_skipped = nullptr);
 
 struct PipelineSummary {
   std::string instance;
@@ -91,12 +98,14 @@ struct PipelineSummary {
   uint64_t paths_after = 0;     // summarized (valid) paths
   uint64_t smt_checks = 0;      // solver checks spent summarizing
   double seconds = 0.0;
+  uint64_t smt_skipped = 0;     // checks avoided by static pruning
 };
 
 struct SummaryResult {
   cfg::Cfg graph;  // the summarized CFG
   std::vector<PipelineSummary> per_pipeline;
   uint64_t total_smt_checks = 0;
+  uint64_t total_smt_skipped = 0;
 };
 
 // Runs code summary over `g` (which must have instance metadata).

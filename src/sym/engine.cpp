@@ -39,6 +39,9 @@ struct Engine::ExplorationContext {
   Engine& eng;
   SymState state;
   std::unique_ptr<smt::Solver> solver;  // incremental mode
+  // Static-pruning gate: per-path abstract environment (solver-equivalent
+  // verdicts only, so the emitted path set matches the ungated run).
+  std::optional<analysis::PathEnv> env;
   cfg::Path cur_path;
   EngineStats stats;
   bool aborted = false;
@@ -52,6 +55,10 @@ struct Engine::ExplorationContext {
     if (e.opts_.incremental) {
       solver = e.make_solver();
       for (ir::ExprRef c : e.preconds_) solver->add(c);
+    }
+    if (e.gates_) {
+      env.emplace(e.ctx_);
+      for (ir::ExprRef c : e.preconds_) env->add_precondition(c);
     }
   }
 
@@ -80,6 +87,9 @@ struct Engine::ExplorationContext {
 
 Engine::Engine(ir::Context& ctx, const cfg::Cfg& g, EngineOptions opts)
     : ctx_(ctx), g_(g), opts_(std::move(opts)) {
+  gates_ = opts_.static_pruning && !opts_.check_every_predicate;
+  use_facts_ = gates_ && opts_.facts != nullptr &&
+               opts_.facts->refuted.size() == g_.size();
   if (opts_.stop != cfg::kNoNode) {
     // Stop-mode exploration never needs nodes from which the stop node is
     // unreachable; precompute the reverse-reachable region.
@@ -266,6 +276,7 @@ void Engine::ExplorationContext::dfs(cfg::NodeId id, const Sink& sink,
   }
   const cfg::Node& n = g.node(id);
   const SymState::Mark mark = state.mark();
+  const analysis::PathEnv::Mark env_mark = env ? env->mark() : 0;
   bool pushed = false;
 
   // Leaves: the stop node (summary mode) or a successor-less terminal.
@@ -338,6 +349,13 @@ void Engine::ExplorationContext::dfs(cfg::NodeId id, const Sink& sink,
           state.assign(n.stmt.target, state.subst(n.stmt.expr));
           break;
         case ir::StmtKind::kAssume: {
+          // Dataflow facts: a predicate refuted from the start node with a
+          // TOP boundary is unsat under every path condition rooted there.
+          if (eng.use_facts_ && eng.opts_.facts->refuted[id]) {
+            ++stats.static_prunes;
+            feasible = false;
+            break;
+          }
           ir::ExprRef c = state.subst(n.stmt.expr);
           if (!opts.check_every_predicate && c->is_true()) {
             ++stats.folded_checks;
@@ -345,6 +363,13 @@ void Engine::ExplorationContext::dfs(cfg::NodeId id, const Sink& sink,
             ++stats.folded_checks;
             feasible = false;
           } else {
+            analysis::Verdict verdict = analysis::Verdict::kUnknown;
+            if (env) verdict = env->assume(c);
+            if (verdict == analysis::Verdict::kRefuted) {
+              ++stats.static_prunes;
+              feasible = false;
+              break;
+            }
             state.add_cond(c);
             if (opts.incremental) {
               solver->push();
@@ -352,7 +377,13 @@ void Engine::ExplorationContext::dfs(cfg::NodeId id, const Sink& sink,
             }
             pushed = true;
             if (opts.early_termination) {
-              if (check_current() == smt::CheckResult::kUnsat) feasible = false;
+              if (verdict != analysis::Verdict::kUnknown) {
+                // Statically certain (implied or field-wise satisfiable):
+                // the check's result is known, skip the call.
+                ++stats.skipped_checks;
+              } else if (check_current() == smt::CheckResult::kUnsat) {
+                feasible = false;
+              }
             }
           }
           break;
@@ -408,6 +439,7 @@ void Engine::ExplorationContext::dfs(cfg::NodeId id, const Sink& sink,
   }
 
   if (pushed && opts.incremental) solver->pop();
+  if (env) env->rollback(env_mark);
   state.rollback(mark);
 }
 

@@ -15,6 +15,8 @@
 #include <memory>
 #include <string>
 
+#include "analysis/dataflow.hpp"
+#include "analysis/env.hpp"
 #include "cfg/cfg.hpp"
 #include "smt/solver.hpp"
 #include "sym/state.hpp"
@@ -52,6 +54,17 @@ struct EngineOptions {
   // symbol this exploration mints is deterministic. run_parallel() extends
   // the namespace per shard ("<ns>.s<i>").
   std::string fresh_ns;
+  // Decide predicates statically before the solver sees them: prune
+  // branches refuted by the per-path abstract environment (and by `facts`,
+  // when provided), and skip checks whose outcome the environment implies.
+  // Every decision matches what the solver would conclude, so the emitted
+  // path set is identical with this on or off. Disabled automatically in
+  // check_every_predicate mode (the paper-faithful ablation).
+  bool static_pruning = true;
+  // Optional precomputed dataflow facts for this graph (refuted assume
+  // nodes). Must be computed from the same start node with a TOP boundary
+  // (analysis::compute_facts) and outlive the engine.
+  const analysis::Facts* facts = nullptr;
 };
 
 struct EngineStats {
@@ -61,6 +74,12 @@ struct EngineStats {
   uint64_t nodes_visited = 0;
   // Terminals reached that were not the requested stop node (stop mode).
   uint64_t offtarget_paths = 0;
+  // Static pruning: branches refuted without a solver call...
+  uint64_t static_prunes = 0;
+  // ...and solver checks skipped because the predicate's outcome was
+  // statically certain (implied by, or field-wise satisfiable under, the
+  // recorded path constraints).
+  uint64_t skipped_checks = 0;
   bool timed_out = false;
   smt::SolverStats solver;      // checks = the paper's "# of SMT calls"
 
@@ -71,6 +90,8 @@ struct EngineStats {
     folded_checks += o.folded_checks;
     nodes_visited += o.nodes_visited;
     offtarget_paths += o.offtarget_paths;
+    static_prunes += o.static_prunes;
+    skipped_checks += o.skipped_checks;
     timed_out = timed_out || o.timed_out;
     solver += o.solver;
     return *this;
@@ -139,6 +160,10 @@ class Engine {
   std::vector<ir::ExprRef> preconds_;
   std::vector<std::pair<ir::FieldId, ir::ExprRef>> seeds_;
   std::vector<bool> reaches_stop_;  // stop mode: region that reaches stop
+  // Static gates active: pruning on, not in the paper-faithful ablation,
+  // and the facts (if any) cover this graph.
+  bool gates_ = false;
+  bool use_facts_ = false;
   EngineStats stats_;
 };
 

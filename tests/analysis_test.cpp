@@ -1,0 +1,381 @@
+// Tests for the static-analysis subsystem: atom decomposition, abstract
+// value ranges, the forward dataflow solver (including the validity-combo
+// refinement), path environments, engine-facing facts, and the lint
+// detectors over the seeded-bug corpus.
+#include <gtest/gtest.h>
+
+#include "analysis/dataflow.hpp"
+#include "analysis/env.hpp"
+#include "analysis/lint.hpp"
+#include "apps/apps.hpp"
+#include "cfg/build.hpp"
+
+namespace meissa::analysis {
+namespace {
+
+Atom cmp_atom(ir::FieldId f, int width, ir::CmpOp op, uint64_t value) {
+  Atom a;
+  a.field = f;
+  a.width = width;
+  a.op = op;
+  a.mask = width >= 64 ? ~uint64_t{0} : (uint64_t{1} << width) - 1;
+  a.value = value;
+  return a;
+}
+
+TEST(ValueRange, ConstantRoundTrip) {
+  ValueRange r = ValueRange::constant(5, 8);
+  uint64_t v = 0;
+  EXPECT_TRUE(r.is_constant(v));
+  EXPECT_EQ(v, 5u);
+  EXPECT_FALSE(r.is_bottom());
+  EXPECT_FALSE(r.is_top());
+}
+
+TEST(ValueRange, JoinWidensToInterval) {
+  // Constants far enough apart that the small exclusion list cannot keep
+  // the join exact: the result is the interval [3, 200].
+  ValueRange r = ValueRange::constant(3, 8);
+  EXPECT_TRUE(r.join(ValueRange::constant(200, 8)));
+  uint64_t v = 0;
+  EXPECT_FALSE(r.is_constant(v));
+  ir::FieldId f = 0;
+  EXPECT_EQ(r.eval(cmp_atom(f, 8, ir::CmpOp::kLt, 201)), Ternary::kTrue);
+  EXPECT_EQ(r.eval(cmp_atom(f, 8, ir::CmpOp::kLt, 3)), Ternary::kFalse);
+  // 67 is inside the hull and agrees with every bit 3 and 200 share, so
+  // the join cannot rule it out.
+  EXPECT_EQ(r.eval(cmp_atom(f, 8, ir::CmpOp::kEq, 67)), Ternary::kUnknown);
+}
+
+TEST(ValueRange, NearbyJoinStaysExactViaExclusions) {
+  // A join of nearby constants records the interior gap in the exclusion
+  // list, so equality against a gap value is refuted, not unknown.
+  ValueRange r = ValueRange::constant(3, 8);
+  EXPECT_TRUE(r.join(ValueRange::constant(9, 8)));
+  ir::FieldId f = 0;
+  EXPECT_EQ(r.eval(cmp_atom(f, 8, ir::CmpOp::kEq, 5)), Ternary::kFalse);
+  EXPECT_EQ(r.eval(cmp_atom(f, 8, ir::CmpOp::kEq, 9)), Ternary::kUnknown);
+}
+
+TEST(ValueRange, SmallWidthIsExact) {
+  // Width <= 6 uses an exact value bitmap: the join of {1} and {9} does
+  // not admit 5 the way an interval would.
+  ValueRange r = ValueRange::constant(1, 4);
+  EXPECT_TRUE(r.join(ValueRange::constant(9, 4)));
+  ir::FieldId f = 0;
+  EXPECT_EQ(r.eval(cmp_atom(f, 4, ir::CmpOp::kEq, 5)), Ternary::kFalse);
+  EXPECT_EQ(r.eval(cmp_atom(f, 4, ir::CmpOp::kEq, 9)), Ternary::kUnknown);
+}
+
+TEST(ValueRange, RefineToBottom) {
+  ValueRange r = ValueRange::constant(5, 8);
+  ir::FieldId f = 0;
+  r.refine(cmp_atom(f, 8, ir::CmpOp::kEq, 6));
+  EXPECT_TRUE(r.is_bottom());
+}
+
+TEST(Decompose, ConjunctionOfSingleFieldCompares) {
+  ir::Context ctx;
+  ir::FieldId a = ctx.fields.intern("a", 8);
+  ir::FieldId b = ctx.fields.intern("b", 8);
+  ir::ExprRef e = ctx.arena.band(
+      ctx.arena.cmp(ir::CmpOp::kEq, ctx.var(a), ctx.arena.constant(3, 8)),
+      ctx.arena.cmp(ir::CmpOp::kLt, ctx.var(b), ctx.arena.constant(7, 8)));
+  std::vector<Atom> atoms;
+  std::vector<ir::ExprRef> opaque;
+  decompose_conjunction(e, atoms, opaque);
+  ASSERT_EQ(atoms.size(), 2u);
+  EXPECT_TRUE(opaque.empty());
+  EXPECT_EQ(atoms[0].field, a);
+  EXPECT_EQ(atoms[1].field, b);
+}
+
+TEST(Decompose, DeMorganOverNegatedDisjunction) {
+  ir::Context ctx;
+  ir::FieldId a = ctx.fields.intern("a", 8);
+  ir::FieldId b = ctx.fields.intern("b", 8);
+  ir::ExprRef e = ctx.arena.bnot(ctx.arena.bor(
+      ctx.arena.cmp(ir::CmpOp::kEq, ctx.var(a), ctx.arena.constant(3, 8)),
+      ctx.arena.cmp(ir::CmpOp::kEq, ctx.var(b), ctx.arena.constant(4, 8))));
+  std::vector<Atom> atoms;
+  std::vector<ir::ExprRef> opaque;
+  decompose_conjunction(e, atoms, opaque);
+  ASSERT_EQ(atoms.size(), 2u);
+  EXPECT_TRUE(opaque.empty());
+  EXPECT_FALSE(atom_holds(3, atoms[0]));
+  EXPECT_TRUE(atom_holds(5, atoms[0]));
+}
+
+TEST(Decompose, ValueSetPattern) {
+  ir::Context ctx;
+  ir::FieldId a = ctx.fields.intern("a", 8);
+  auto eq = [&](uint64_t v) {
+    return ctx.arena.cmp(ir::CmpOp::kEq, ctx.var(a), ctx.arena.constant(v, 8));
+  };
+  ir::ExprRef e = ctx.arena.bor(ctx.arena.bor(eq(1), eq(2)), eq(3));
+  std::vector<Atom> atoms;
+  std::vector<ir::ExprRef> opaque;
+  decompose_conjunction(e, atoms, opaque);
+  ASSERT_EQ(atoms.size(), 1u);
+  EXPECT_TRUE(opaque.empty());
+  EXPECT_EQ(atoms[0].set.size(), 3u);
+}
+
+TEST(Decompose, CrossFieldDisjunctionStaysOpaque) {
+  ir::Context ctx;
+  ir::FieldId a = ctx.fields.intern("a", 8);
+  ir::FieldId b = ctx.fields.intern("b", 8);
+  ir::ExprRef e = ctx.arena.bor(
+      ctx.arena.cmp(ir::CmpOp::kEq, ctx.var(a), ctx.arena.constant(3, 8)),
+      ctx.arena.cmp(ir::CmpOp::kEq, ctx.var(b), ctx.arena.constant(4, 8)));
+  std::vector<Atom> atoms;
+  std::vector<ir::ExprRef> opaque;
+  decompose_conjunction(e, atoms, opaque);
+  EXPECT_TRUE(atoms.empty());
+  ASSERT_EQ(opaque.size(), 1u);
+}
+
+TEST(Decompose, OutOfMaskEqualityIsAlwaysFalse) {
+  // (f & 0x3a) == 0x2f can never hold (0x2f has bits outside the mask).
+  // The canonicalized atom must be unsatisfiable and its negation a
+  // tautology — getting this wrong once broke solver equivalence.
+  ir::Context ctx;
+  ir::FieldId f = ctx.fields.intern("f", 8);
+  ir::ExprRef e = ctx.arena.cmp(
+      ir::CmpOp::kEq,
+      ctx.arena.arith(ir::ArithOp::kAnd, ctx.var(f),
+                      ctx.arena.constant(0x3a, 8)),
+      ctx.arena.constant(0x2f, 8));
+  std::vector<Atom> atoms;
+  std::vector<ir::ExprRef> opaque;
+  decompose_conjunction(e, atoms, opaque);
+  ASSERT_EQ(atoms.size(), 1u);
+  EXPECT_TRUE(opaque.empty());
+  for (uint64_t v : {0ull, 0x2aull, 0x2full, 0xffull}) {
+    EXPECT_FALSE(atom_holds(v, atoms[0])) << v;
+    EXPECT_TRUE(atom_holds(v, negate_atom(atoms[0]))) << v;
+  }
+}
+
+// ---------------------------------------------------------------- dataflow
+
+TEST(Dataflow, RefutesContradictoryBranchAndMarksDeadCode) {
+  ir::Context ctx;
+  ir::FieldId x = ctx.fields.intern("x", 8);
+  auto eq = [&](uint64_t v) {
+    return ctx.arena.cmp(ir::CmpOp::kEq, ctx.var(x), ctx.arena.constant(v, 8));
+  };
+  cfg::Cfg g;
+  cfg::NodeId n0 = g.add(ir::Stmt::assume(eq(1)));
+  g.set_entry(n0);
+  cfg::NodeId n1 = g.add(ir::Stmt::assume(eq(2)));  // contradicts upstream
+  g.link(n0, n1);
+  cfg::NodeId n2 = g.add(ir::Stmt::nop());
+  g.node(n2).exit = cfg::ExitKind::kEmit;
+  g.link(n1, n2);
+
+  Facts f = compute_facts(ctx, g, n0);
+  EXPECT_EQ(f.refuted_count, 1u);
+  EXPECT_TRUE(f.refuted[n1]);
+  EXPECT_EQ(f.unreachable_count, 1u);
+  EXPECT_TRUE(f.unreachable[n2]);
+}
+
+TEST(Dataflow, ValidityCombosKeepJoinLostCorrelations) {
+  // Two validity bits set together on one arm of a diamond: after the
+  // join each bit individually is 0-or-1, but an assume on one bit must
+  // recover the other through the combo refinement (the parser-order
+  // implication pattern: "inner valid => outer valid").
+  ir::Context ctx;
+  ir::FieldId va = ctx.fields.intern("hdr.a.$valid@p0", 1);
+  ir::FieldId vb = ctx.fields.intern("hdr.b.$valid@p0", 1);
+  auto set_to = [&](ir::FieldId f, uint64_t v) {
+    return ir::Stmt::assign(f, ctx.arena.constant(v, 1));
+  };
+  cfg::Cfg g;
+  cfg::NodeId entry = g.add(ir::Stmt::nop());
+  g.set_entry(entry);
+  cfg::NodeId r1 = g.add(set_to(va, 0));
+  cfg::NodeId r2 = g.add(set_to(vb, 0));
+  cfg::NodeId fork = g.add(ir::Stmt::nop());
+  g.link(entry, r1);
+  g.link(r1, r2);
+  g.link(r2, fork);
+  cfg::NodeId e1 = g.add(set_to(va, 1));
+  cfg::NodeId e2 = g.add(set_to(vb, 1));
+  cfg::NodeId join = g.add(ir::Stmt::nop());
+  g.link(fork, e1);
+  g.link(e1, e2);
+  g.link(e2, join);
+  g.link(fork, join);  // skip arm: both bits stay 0
+  cfg::NodeId guard = g.add(ir::Stmt::assume(ctx.arena.cmp(
+      ir::CmpOp::kEq, ctx.arena.field(vb, 1), ctx.arena.constant(1, 1))));
+  cfg::NodeId read = g.add(ir::Stmt::nop());
+  cfg::NodeId exit = g.add(ir::Stmt::nop());
+  g.node(exit).exit = cfg::ExitKind::kEmit;
+  g.link(join, guard);
+  g.link(guard, read);
+  g.link(read, exit);
+  for (cfg::NodeId n = entry; n <= exit; ++n) g.node(n).instance = 0;
+  cfg::InstanceInfo info;
+  info.name = "p0";
+  info.pipeline = "p0";
+  info.entry = entry;
+  info.exit = exit;
+  info.validity = {{"a", va}, {"b", vb}};
+  g.instances().push_back(info);
+
+  ValueDomain dom(ctx, g);
+  dom.set_relevant(ValueDomain::compute_relevant(ctx, g));
+  ForwardResult<ValueDomain> r = run_forward(g, entry, dom);
+
+  // Before the guard: each bit on its own is unknown.
+  ASSERT_TRUE(r.in[guard].has_value());
+  EXPECT_EQ(dom.validity_of(*r.in[guard], 0, va), Ternary::kUnknown);
+  // After assuming b valid, a must be valid too — only the combo set
+  // remembers the bits travelled together.
+  ASSERT_TRUE(r.in[read].has_value());
+  EXPECT_EQ(dom.validity_of(*r.in[read], 0, vb), Ternary::kTrue);
+  EXPECT_EQ(dom.validity_of(*r.in[read], 0, va), Ternary::kTrue);
+}
+
+// --------------------------------------------------------------- path env
+
+TEST(PathEnv, VerdictsAndRollback) {
+  ir::Context ctx;
+  ir::FieldId x = ctx.fields.intern("x", 8);
+  auto eq = [&](uint64_t v) {
+    return ctx.arena.cmp(ir::CmpOp::kEq, ctx.var(x), ctx.arena.constant(v, 8));
+  };
+  PathEnv env(ctx);
+  const PathEnv::Mark m = env.mark();
+  // Fresh single-field atom over an unconstrained field: certainly
+  // satisfiable without a solver call.
+  EXPECT_EQ(env.assume(eq(5)), Verdict::kSatisfiable);
+  EXPECT_EQ(env.assume(eq(5)), Verdict::kImplied);
+  EXPECT_EQ(env.assume(eq(6)), Verdict::kRefuted);
+  env.rollback(m);
+  EXPECT_EQ(env.assume(eq(6)), Verdict::kSatisfiable);
+}
+
+TEST(PathEnv, PreconditionsConstrainVerdicts) {
+  ir::Context ctx;
+  ir::FieldId x = ctx.fields.intern("x", 8);
+  auto eq = [&](uint64_t v) {
+    return ctx.arena.cmp(ir::CmpOp::kEq, ctx.var(x), ctx.arena.constant(v, 8));
+  };
+  PathEnv env(ctx);
+  env.add_precondition(eq(1));
+  EXPECT_EQ(env.assume(eq(2)), Verdict::kRefuted);
+  EXPECT_EQ(env.assume(eq(1)), Verdict::kImplied);
+}
+
+TEST(PathEnv, OpaqueConjunctsPoisonTheVerdict) {
+  ir::Context ctx;
+  ir::FieldId a = ctx.fields.intern("a", 8);
+  ir::FieldId b = ctx.fields.intern("b", 8);
+  // A cross-field disjunction cannot be classified without a solver.
+  ir::ExprRef e = ctx.arena.bor(
+      ctx.arena.cmp(ir::CmpOp::kEq, ctx.var(a), ctx.arena.constant(3, 8)),
+      ctx.arena.cmp(ir::CmpOp::kEq, ctx.var(b), ctx.arena.constant(4, 8)));
+  PathEnv env(ctx);
+  EXPECT_EQ(env.assume(e), Verdict::kUnknown);
+  // Fields mentioned by the opaque conjunct are poisoned: a later atom on
+  // them cannot be certainly-satisfiable.
+  EXPECT_EQ(env.assume(ctx.arena.cmp(ir::CmpOp::kEq, ctx.var(a),
+                                     ctx.arena.constant(7, 8))),
+            Verdict::kUnknown);
+}
+
+// ------------------------------------------------------------------- lint
+
+cfg::Cfg bug_cfg(ir::Context& ctx, int index, apps::BugScenario* out = nullptr) {
+  apps::BugScenario bug = apps::make_bug(ctx, index);
+  cfg::Cfg g = cfg::build_cfg(bug.bundle.dp, bug.bundle.rules, ctx);
+  if (out != nullptr) *out = std::move(bug);
+  return g;
+}
+
+bool has_code(const LintResult& r, const std::string& code) {
+  for (const Diagnostic& d : r.diagnostics) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+TEST(Lint, DetectsSeededStaticBugs) {
+  // The statically-detectable rows of the Table 2 corpus, with the
+  // diagnostic each must trigger.
+  const std::pair<int, const char*> expectations[] = {
+      {2, "contradictory-predicate"},     // shadowed ACL entry
+      {3, "invalid-header-read"},         // parser case typo
+      {4, "invalid-header-read"},         // swapped then/else arms
+      {5, "header-never-emitted"},        // header dropped from emit order
+      {6, "contradictory-predicate"},     // dead checksum-update guard
+      {16, "uninitialized-metadata-read"},  // cross-pipeline read-before-write
+  };
+  for (const auto& [index, code] : expectations) {
+    ir::Context ctx;
+    cfg::Cfg g = bug_cfg(ctx, index);
+    LintResult r = lint_cfg(ctx, g);
+    EXPECT_FALSE(r.clean()) << "bug " << index;
+    EXPECT_TRUE(has_code(r, code)) << "bug " << index << " missing " << code;
+  }
+}
+
+TEST(Lint, CleanOnRouterAndGatewayDemos) {
+  {
+    ir::Context ctx;
+    apps::AppBundle app = apps::make_router(ctx, 6);
+    cfg::Cfg g = cfg::build_cfg(app.dp, app.rules, ctx);
+    EXPECT_TRUE(lint_cfg(ctx, g).clean()) << "router";
+  }
+  for (int level = 1; level <= 4; ++level) {
+    ir::Context ctx;
+    apps::GwConfig cfg;
+    cfg.level = level;
+    cfg.elastic_ips = 4;
+    apps::AppBundle app = apps::make_gateway(ctx, cfg);
+    cfg::Cfg g = cfg::build_cfg(app.dp, app.rules, ctx);
+    LintResult r = lint_cfg(ctx, g);
+    EXPECT_TRUE(r.clean()) << "gw-" << level << "\n" << render_text(r);
+  }
+}
+
+TEST(Lint, DiagnosticsAreDeterministic) {
+  // Fresh contexts intern fields in genuinely different orders between
+  // runs of different programs first; the rendered output must not care.
+  auto render_both = [](std::string* text, std::string* json) {
+    ir::Context ctx;
+    cfg::Cfg g = bug_cfg(ctx, 3);
+    LintResult r = lint_cfg(ctx, g);
+    *text = render_text(r);
+    *json = render_json(r);
+  };
+  std::string t1, j1, t2, j2;
+  render_both(&t1, &j1);
+  render_both(&t2, &j2);
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(j1, j2);
+  EXPECT_NE(j1.find("\"diagnostics\""), std::string::npos);
+}
+
+TEST(Lint, SyntheticSkipArmsAreNotReported) {
+  // gw-4's exhaustive topology guards make every skip-chain fall-through
+  // statically dead; those are builder artifacts, not findings.
+  ir::Context ctx;
+  apps::GwConfig cfg;
+  cfg.level = 4;
+  cfg.elastic_ips = 4;
+  apps::AppBundle app = apps::make_gateway(ctx, cfg);
+  cfg::Cfg g = cfg::build_cfg(app.dp, app.rules, ctx);
+  bool has_synthetic = false;
+  for (cfg::NodeId id = 0; id < g.size(); ++id) {
+    has_synthetic = has_synthetic || g.node(id).synthetic;
+  }
+  EXPECT_TRUE(has_synthetic);
+  EXPECT_TRUE(lint_cfg(ctx, g).clean());
+}
+
+}  // namespace
+}  // namespace meissa::analysis

@@ -164,5 +164,64 @@ TEST(Determinism, ReportsIdenticalAcrossThreadCounts) {
   }
 }
 
+// ------------------------------------------------- static pruning (m4lint)
+
+// The dataflow facts may only refute branches the (complete) solver would
+// also refute, so the emitted template set must be byte-identical with
+// pruning on and off — only the number of solver calls may differ.
+void expect_pruning_transparent(const AppMaker& make) {
+  driver::GenOptions on;   // static_pruning defaults to true
+  driver::GenOptions off;
+  off.static_pruning = false;
+  const std::vector<std::string> with = generate_signature(make, on);
+  const std::vector<std::string> without = generate_signature(make, off);
+  EXPECT_FALSE(with.empty());
+  ASSERT_EQ(with.size(), without.size());
+  for (size_t i = 0; i < with.size(); ++i) {
+    EXPECT_EQ(with[i], without[i]) << "template " << i;
+  }
+}
+
+TEST(StaticPruning, RouterTemplatesUnchanged) {
+  expect_pruning_transparent(router_app);
+}
+
+TEST(StaticPruning, NatGatewayTemplatesUnchanged) {
+  expect_pruning_transparent(nat_gateway_app);
+}
+
+TEST(StaticPruning, MultiSwitchTemplatesUnchanged) {
+  expect_pruning_transparent(multi_switch_app);
+}
+
+driver::GenStats run_generator(const AppMaker& make, bool pruning) {
+  ir::Context ctx;
+  apps::AppBundle app = make(ctx);
+  driver::GenOptions opts;
+  opts.static_pruning = pruning;
+  driver::Generator gen(ctx, app.dp, app.rules, opts);
+  (void)gen.generate();
+  return gen.stats();
+}
+
+// The acceptance bar for the subsystem: on the Fig. 9 scalability app (the
+// router) and the NAT gateway, pruning must actually reduce solver calls.
+void expect_fewer_solver_calls(const AppMaker& make) {
+  const driver::GenStats on = run_generator(make, true);
+  const driver::GenStats off = run_generator(make, false);
+  EXPECT_EQ(on.templates, off.templates);
+  EXPECT_LT(on.smt_checks, off.smt_checks);
+  EXPECT_GT(on.smt_calls_skipped, 0u);
+  EXPECT_EQ(off.smt_calls_skipped, 0u);
+}
+
+TEST(StaticPruning, ReducesSolverCallsOnRouter) {
+  expect_fewer_solver_calls(router_app);
+}
+
+TEST(StaticPruning, ReducesSolverCallsOnNatGateway) {
+  expect_fewer_solver_calls(nat_gateway_app);
+}
+
 }  // namespace
 }  // namespace meissa

@@ -108,7 +108,9 @@ TEST_F(Fig7Engine, TemplatesCarryEntryAndExitInstances) {
   eng.run([&](const PathResult& r) {
     TestCaseTemplate t = make_template(ctx, g, r, id++);
     EXPECT_EQ(t.entry_instance, 0);
-    if (t.exit == cfg::ExitKind::kEmit) EXPECT_EQ(t.emit_instance, 0);
+    if (t.exit == cfg::ExitKind::kEmit) {
+      EXPECT_EQ(t.emit_instance, 0);
+    }
     EXPECT_NE(t.path_condition, nullptr);
     EXPECT_FALSE(describe(t, ctx, g).empty());
   });

@@ -35,6 +35,8 @@ TEST(StatsMerge, EngineStatsSumsAndOrsTimeout) {
   a.folded_checks = 7;
   a.nodes_visited = 40;
   a.offtarget_paths = 1;
+  a.static_prunes = 4;
+  a.skipped_checks = 6;
   a.solver.checks = 5;
   sym::EngineStats b;
   b.valid_paths = 2;
@@ -42,6 +44,8 @@ TEST(StatsMerge, EngineStatsSumsAndOrsTimeout) {
   b.folded_checks = 3;
   b.nodes_visited = 10;
   b.offtarget_paths = 0;
+  b.static_prunes = 1;
+  b.skipped_checks = 2;
   b.timed_out = true;
   b.solver.checks = 4;
   a += b;
@@ -50,6 +54,8 @@ TEST(StatsMerge, EngineStatsSumsAndOrsTimeout) {
   EXPECT_EQ(a.folded_checks, 10u);
   EXPECT_EQ(a.nodes_visited, 50u);
   EXPECT_EQ(a.offtarget_paths, 1u);
+  EXPECT_EQ(a.static_prunes, 5u);
+  EXPECT_EQ(a.skipped_checks, 8u);
   EXPECT_TRUE(a.timed_out);
   EXPECT_EQ(a.solver.checks, 9u);
   // timed_out is sticky in both directions.
@@ -65,6 +71,7 @@ TEST(StatsMerge, GenStatsSumsTimesCountersAndPipelines) {
   a.dfs_seconds = 3.0;
   a.total_seconds = 6.0;
   a.smt_checks = 100;
+  a.smt_calls_skipped = 30;
   a.templates = 5;
   a.diagnostics = 1;
   a.paths_original = util::BigCount::of(1000);
@@ -78,6 +85,7 @@ TEST(StatsMerge, GenStatsSumsTimesCountersAndPipelines) {
   b.dfs_seconds = 0.25;
   b.total_seconds = 1.0;
   b.smt_checks = 10;
+  b.smt_calls_skipped = 5;
   b.templates = 2;
   b.paths_original = util::BigCount::of(24);
   b.paths_summarized = util::BigCount::of(6);
@@ -90,6 +98,7 @@ TEST(StatsMerge, GenStatsSumsTimesCountersAndPipelines) {
   EXPECT_DOUBLE_EQ(a.dfs_seconds, 3.25);
   EXPECT_DOUBLE_EQ(a.total_seconds, 7.0);
   EXPECT_EQ(a.smt_checks, 110u);
+  EXPECT_EQ(a.smt_calls_skipped, 35u);
   EXPECT_EQ(a.templates, 7u);
   EXPECT_EQ(a.diagnostics, 1u);
   EXPECT_EQ(a.paths_original.exact(), 1024u);

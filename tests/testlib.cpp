@@ -49,7 +49,9 @@ std::optional<ConcreteOutcome> concrete_run(const cfg::Cfg& g,
 std::vector<ir::FieldId> random_cfg_fields(ir::Context& ctx) {
   std::vector<ir::FieldId> fs;
   for (int i = 0; i < 4; ++i) {
-    fs.push_back(ctx.fields.intern("x" + std::to_string(i), 8));
+    std::string name = "x";
+    name += std::to_string(i);
+    fs.push_back(ctx.fields.intern(name, 8));
   }
   return fs;
 }
@@ -84,7 +86,8 @@ cfg::Cfg random_pipeline_cfg(ir::Context& ctx, util::Rng& rng, int k,
   cfg::NodeId cur = entry;
   for (int pipe = 0; pipe < k; ++pipe) {
     cfg::InstanceInfo info;
-    info.name = "p" + std::to_string(pipe);
+    info.name = "p";
+    info.name += std::to_string(pipe);
     info.pipeline = info.name;
     cfg::NodeId pentry = g.add(ir::Stmt::nop());
     g.link(cur, pentry);
