@@ -53,6 +53,8 @@ std::vector<sym::TestCaseTemplate> Generator::generate() {
   eopts.time_budget_seconds = opts_.time_budget_seconds;
   eopts.fresh_ns = "dfs";
   eopts.static_pruning = opts_.static_pruning;
+  eopts.budget = opts_.smt_budget;
+  eopts.cancel = opts_.cancel;
   if (opts_.static_pruning && !opts_.check_every_predicate) {
     facts_ = analysis::compute_facts(ctx_, *active_, active_->entry());
     eopts.facts = &facts_;
@@ -85,6 +87,10 @@ std::vector<sym::TestCaseTemplate> Generator::generate() {
   stats_.dfs_seconds = secs_since(t0);
   stats_.engine = engine_->stats();
   stats_.timed_out = engine_->stats().timed_out;
+  stats_.cancelled = engine_->stats().cancelled;
+  stats_.exact_paths = engine_->stats().valid_paths;
+  stats_.degraded_paths = engine_->stats().degraded_paths;
+  stats_.smt_unknowns = engine_->stats().solver.unknowns;
   stats_.smt_checks += engine_->stats().solver.checks;
   stats_.smt_calls_skipped +=
       engine_->stats().static_prunes + engine_->stats().skipped_checks;

@@ -36,10 +36,21 @@ struct GenOptions {
   // concurrency). Any value yields the same templates: the exploration is
   // sharded deterministically and results merge in sequential DFS order.
   int threads = 0;
+  // Per-check solver budget for the final DFS. Applies to the final DFS
+  // only, never to the summary pass: a degraded check inside a summary
+  // would silently change the summarized graph every later run depends on,
+  // whereas a degraded final-DFS branch is visibly accounted (exact vs.
+  // degraded coverage). Default = unlimited → output byte-identical.
+  smt::Budget smt_budget;
+  // Optional cooperative stop for the whole generation (polled by the DFS
+  // workers). Must outlive generate().
+  const util::CancelToken* cancel = nullptr;
 };
 
 struct GenStats {
   bool timed_out = false;
+  // The GenOptions::cancel token fired and generation stopped early.
+  bool cancelled = false;
   double build_seconds = 0;
   double summary_seconds = 0;
   double dfs_seconds = 0;
@@ -50,6 +61,13 @@ struct GenStats {
   uint64_t smt_calls_skipped = 0;
   uint64_t templates = 0;
   uint64_t diagnostics = 0;  // invalid-header-read findings
+  // Coverage split under solver budgets (final DFS): exact_paths are the
+  // emitted templates, degraded_paths the branches a budgeted check could
+  // not decide. exact + degraded = every branch the DFS tried to settle
+  // and did not prove infeasible. smt_unknowns counts the kUnknown checks.
+  uint64_t exact_paths = 0;
+  uint64_t degraded_paths = 0;
+  uint64_t smt_unknowns = 0;
   util::BigCount paths_original;    // possible paths, original CFG
   util::BigCount paths_summarized;  // possible paths after code summary
   std::vector<summary::PipelineSummary> pipelines;
@@ -58,6 +76,7 @@ struct GenStats {
   // Accumulate another run's stats (benchmark aggregation across apps).
   GenStats& operator+=(const GenStats& o) {
     timed_out = timed_out || o.timed_out;
+    cancelled = cancelled || o.cancelled;
     build_seconds += o.build_seconds;
     summary_seconds += o.summary_seconds;
     dfs_seconds += o.dfs_seconds;
@@ -66,6 +85,9 @@ struct GenStats {
     smt_calls_skipped += o.smt_calls_skipped;
     templates += o.templates;
     diagnostics += o.diagnostics;
+    exact_paths += o.exact_paths;
+    degraded_paths += o.degraded_paths;
+    smt_unknowns += o.smt_unknowns;
     paths_original += o.paths_original;
     paths_summarized += o.paths_summarized;
     pipelines.insert(pipelines.end(), o.pipelines.begin(), o.pipelines.end());

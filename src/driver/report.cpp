@@ -20,8 +20,19 @@ std::string TestReport::str() const {
     os << ", " << gen.smt_calls_skipped << " skipped by static analysis";
   }
   os << ")\n";
+  if (gen.degraded_paths > 0) {
+    os << "  coverage: " << gen.exact_paths << " exact + "
+       << gen.degraded_paths << " degraded path(s) (" << gen.smt_unknowns
+       << " budget-exhausted SMT check(s))\n";
+  }
   if (gen.diagnostics > 0) {
     os << "  static analysis: " << gen.diagnostics << " diagnostic(s)\n";
+  }
+  if (send_retries > 0 || install_retries > 0 || !quarantined.empty()) {
+    os << "  link robustness: " << send_retries << " resend(s), "
+       << install_retries << " install retry(ies), " << dedup_dropped
+       << " deduped, " << corruption_detected << " corrupted, "
+       << quarantined.size() << " quarantined\n";
   }
   for (const CaseRecord& f : failures) {
     os << "  FAIL template #" << f.template_id << " case #" << f.case_id
@@ -33,6 +44,40 @@ std::string TestReport::str() const {
       os << "    [intent] " << p << "\n";
     }
   }
+  return os.str();
+}
+
+std::string TestReport::to_json() const {
+  std::ostringstream os;
+  os << "{";
+  os << "\"templates\":" << templates;
+  os << ",\"cases\":" << cases;
+  os << ",\"passed\":" << passed;
+  os << ",\"failed\":" << failed;
+  os << ",\"removed_by_hash\":" << removed_by_hash;
+  os << ",\"hash_repair_attempts\":" << hash_repair_attempts;
+  os << ",\"exact_paths\":" << gen.exact_paths;
+  os << ",\"degraded_paths\":" << gen.degraded_paths;
+  os << ",\"smt_unknowns\":" << gen.smt_unknowns;
+  os << ",\"send_retries\":" << send_retries;
+  os << ",\"install_retries\":" << install_retries;
+  os << ",\"dedup_dropped\":" << dedup_dropped;
+  os << ",\"corruption_detected\":" << corruption_detected;
+  os << ",\"backoff_units\":" << backoff_units;
+  os << ",\"quarantined\":[";
+  for (size_t i = 0; i < quarantined.size(); ++i) {
+    if (i > 0) os << ",";
+    os << quarantined[i];
+  }
+  os << "]";
+  os << ",\"link\":{";
+  os << "\"frames_sent\":" << link.frames_sent;
+  os << ",\"dropped\":" << link.dropped;
+  os << ",\"duplicated\":" << link.duplicated;
+  os << ",\"reordered\":" << link.reordered;
+  os << ",\"corrupted\":" << link.corrupted;
+  os << ",\"install_failures\":" << link.install_failures;
+  os << "}}";
   return os.str();
 }
 

@@ -7,6 +7,7 @@
 
 #include "driver/checker.hpp"
 #include "driver/generator.hpp"
+#include "sim/link.hpp"
 
 namespace meissa::driver {
 
@@ -26,12 +27,31 @@ struct TestReport {
   uint64_t passed = 0;
   uint64_t failed = 0;
   uint64_t removed_by_hash = 0;  // paper §4 hash filtering
+  // Hash-obligation repair re-solves performed by the sender (bounded per
+  // case by Sender::kMaxHashRepairRounds).
+  uint64_t hash_repair_attempts = 0;
+
+  // Robustness counters (all zero on a fault-free link).
+  uint64_t send_retries = 0;         // per-case resends after silence/garbage
+  uint64_t install_retries = 0;      // register installs retried
+  uint64_t dedup_dropped = 0;        // duplicate/stale verdicts discarded
+  uint64_t corruption_detected = 0;  // verdicts discarded as corrupted
+  uint64_t backoff_units = 0;        // total simulated backoff waited
+  std::vector<uint64_t> quarantined;  // case ids that exhausted retries
+  sim::LinkStats link;               // what the link actually did
+
   std::vector<CaseRecord> failures;
   GenStats gen;
 
-  bool all_passed() const noexcept { return failed == 0 && cases > 0; }
+  // Quarantined cases are counted in `cases` but are neither passed nor
+  // failed: a run with quarantine is not a clean pass.
+  bool all_passed() const noexcept {
+    return failed == 0 && quarantined.empty() && cases > 0;
+  }
   // Multi-line human-readable summary.
   std::string str() const;
+  // Machine-readable summary (single JSON object; stable key order).
+  std::string to_json() const;
 };
 
 // Renders a symbolic execution trace of `path` driven by `input`: executed

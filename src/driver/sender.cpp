@@ -5,9 +5,6 @@
 
 namespace meissa::driver {
 
-namespace {
-constexpr int kHashRepairRounds = 3;
-}
 
 Sender::Sender(ir::Context& ctx, const p4::DataPlane& dp,
                const cfg::Cfg& graph, uint64_t seed)
@@ -50,7 +47,7 @@ std::optional<TestCase> Sender::concretize(const sym::TestCaseTemplate& t,
   // placeholder and re-solve; give up (remove the case) after a few rounds.
   std::vector<ir::ExprRef> extra;
   std::optional<smt::Model> model;
-  for (int round = 0; round <= kHashRepairRounds; ++round) {
+  for (int round = 0; round <= kMaxHashRepairRounds; ++round) {
     sym::PathResult pr;
     pr.conds = t.conds;
     for (ir::ExprRef e : extra) pr.conds.push_back(e);
@@ -94,10 +91,11 @@ std::optional<TestCase> Sender::concretize(const sym::TestCaseTemplate& t,
                                      ctx_.arena.constant(want, w)));
     }
     if (consistent) break;
-    if (round == kHashRepairRounds) {
+    if (round == kMaxHashRepairRounds) {
       ++removed_by_hash_;
       return std::nullopt;
     }
+    ++hash_repair_attempts_;  // another pinned re-solve round follows
   }
 
   // 2. Complete the input state: model values, zero defaults elsewhere.

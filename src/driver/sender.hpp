@@ -39,6 +39,16 @@ class Sender {
 
   // Number of cases removed because of hash mismatches (paper §4).
   uint64_t removed_by_hash() const noexcept { return removed_by_hash_; }
+  // Number of hash-repair re-solves performed (bounded per case by
+  // kMaxHashRepairRounds; reported alongside removed_by_hash).
+  uint64_t hash_repair_attempts() const noexcept {
+    return hash_repair_attempts_;
+  }
+
+  // Explicit bound on the per-case hash-repair loop: a case whose
+  // obligations are still inconsistent after this many re-solves is
+  // removed (paper §4's "remove the test case" fallback).
+  static constexpr int kMaxHashRepairRounds = 3;
 
  private:
   // Walks the entry pipeline's parser FSM over concrete field values to
@@ -52,6 +62,7 @@ class Sender {
   util::Rng rng_;
   uint64_t next_case_id_ = 1;
   uint64_t removed_by_hash_ = 0;
+  uint64_t hash_repair_attempts_ = 0;
 };
 
 }  // namespace meissa::driver

@@ -1,6 +1,38 @@
 #include "driver/tester.hpp"
 
+#include <algorithm>
+#include <optional>
+#include <unordered_set>
+
 namespace meissa::driver {
+
+namespace {
+
+// Classification of a captured frame against the sender's payload stamp
+// (8-byte big-endian case id + 8 fixed filler bytes at the frame tail).
+enum class FrameClass {
+  kOurs,     // intact stamp carrying the awaited case id
+  kStale,    // intact stamp of an already-settled case (late duplicate)
+  kCorrupt,  // stamp damaged or unknown id (payload bit flip on the link)
+};
+
+FrameClass classify_frame(const std::vector<uint8_t>& bytes, uint64_t want,
+                          const std::unordered_set<uint64_t>& settled) {
+  if (bytes.size() < 16) return FrameClass::kCorrupt;
+  const size_t base = bytes.size() - 16;
+  uint64_t id = 0;
+  for (int i = 0; i < 8; ++i) id = (id << 8) | bytes[base + i];
+  for (int i = 0; i < 8; ++i) {
+    if (bytes[base + 8 + i] != static_cast<uint8_t>(0xA0 + i)) {
+      return FrameClass::kCorrupt;
+    }
+  }
+  if (id == want) return FrameClass::kOurs;
+  if (settled.count(id) != 0) return FrameClass::kStale;
+  return FrameClass::kCorrupt;
+}
+
+}  // namespace
 
 Meissa::Meissa(ir::Context& ctx, const p4::DataPlane& dp,
                const p4::RuleSet& rules, TestRunOptions opts)
@@ -22,34 +54,121 @@ TestReport Meissa::test(sim::Device& device,
   report.templates = templates_.size();
 
   Sender sender(ctx_, dp_, gen_.graph(), opts_.seed);
-  for (const sym::TestCaseTemplate& t : templates_) {
-    std::optional<TestCase> tc = sender.concretize(t, gen_.engine());
-    if (!tc) continue;  // removed by hash filtering (§4)
-    device.set_registers(tc->registers);
-    sim::DeviceOutput out = device.inject(tc->input);
-    CheckResult cr = check_case(ctx_, dp_.program, *tc, out, intents);
+
+  // Checks one settled verdict and folds it into the report.
+  auto record = [&](const sym::TestCaseTemplate& t, const TestCase& tc,
+                    const sim::DeviceOutput& out) {
+    CheckResult cr = check_case(ctx_, dp_.program, tc, out, intents);
     ++report.cases;
     if (cr.pass) {
       ++report.passed;
-      continue;
+      return;
     }
     ++report.failed;
     if (report.failures.size() < opts_.max_recorded_failures) {
       CaseRecord rec;
-      rec.template_id = tc->template_id;
-      rec.case_id = tc->case_id;
+      rec.template_id = tc.template_id;
+      rec.case_id = tc.case_id;
       rec.pass = false;
       rec.model_problems = std::move(cr.model_problems);
       rec.intent_problems = std::move(cr.intent_problems);
       if (opts_.collect_traces) {
         rec.symbolic_trace =
-            symbolic_trace(ctx_, gen_.graph(), t.path, tc->input_state, 200);
+            symbolic_trace(ctx_, gen_.graph(), t.path, tc.input_state, 200);
         rec.physical_trace = out.trace;
       }
       report.failures.push_back(std::move(rec));
     }
+  };
+
+  if (opts_.link.none()) {
+    // Perfect link: the direct path — one install, one inject per case.
+    for (const sym::TestCaseTemplate& t : templates_) {
+      std::optional<TestCase> tc = sender.concretize(t, gen_.engine());
+      if (!tc) continue;  // removed by hash filtering (§4)
+      device.set_registers(tc->registers);
+      record(t, *tc, device.inject(tc->input));
+    }
+  } else {
+    // Flaky link: per-case install+send with capped-backoff retry, stamp-
+    // based dedup and corruption detection, quarantine on exhaustion.
+    sim::FlakyLink link(device, opts_.link);
+    std::unordered_set<uint64_t> settled;
+
+    for (const sym::TestCaseTemplate& t : templates_) {
+      std::optional<TestCase> tc = sender.concretize(t, gen_.engine());
+      if (!tc) continue;
+      // Drain reordered stragglers of earlier cases first: afterwards only
+      // this case's frames are in flight, which is what makes unstamped
+      // drop verdicts attributable to it. Two collects empty the link's
+      // two-stage reorder pipeline completely.
+      for (int d = 0; d < 2; ++d) {
+        for (const sim::DeviceOutput& stale : link.collect()) {
+          (void)stale;
+          ++report.dedup_dropped;
+        }
+      }
+
+      std::optional<sim::DeviceOutput> verdict;
+      for (int attempt = 0; attempt <= opts_.max_send_retries; ++attempt) {
+        if (attempt > 0) {
+          ++report.send_retries;
+          // Capped exponential backoff, accounted in simulated units.
+          int e = std::min(attempt - 1, opts_.max_backoff_exponent);
+          report.backoff_units += uint64_t{1} << e;
+        }
+        // (Re-)install registers before every send: installs can fail
+        // transiently, and a resend must observe pristine register state.
+        bool installed = false;
+        for (int i = 0; i <= opts_.max_install_retries; ++i) {
+          if (i > 0) ++report.install_retries;
+          if (link.install_registers(tc->registers)) {
+            installed = true;
+            break;
+          }
+        }
+        if (!installed) break;  // quarantined below
+
+        link.send(tc->input);
+        for (sim::DeviceOutput& out : link.collect()) {
+          if (verdict) {
+            ++report.dedup_dropped;  // duplicate of a settled verdict
+            continue;
+          }
+          if (out.dropped || !out.accepted) {
+            // Drop verdicts carry no stamp; the drain above guarantees
+            // they belong to the case in flight.
+            verdict = std::move(out);
+            continue;
+          }
+          switch (classify_frame(out.bytes, tc->case_id, settled)) {
+            case FrameClass::kOurs:
+              verdict = std::move(out);
+              break;
+            case FrameClass::kStale:
+              ++report.dedup_dropped;
+              break;
+            case FrameClass::kCorrupt:
+              ++report.corruption_detected;
+              break;
+          }
+        }
+        if (verdict) break;
+      }
+
+      settled.insert(tc->case_id);
+      if (!verdict) {
+        ++report.cases;
+        report.quarantined.push_back(tc->case_id);
+        continue;
+      }
+      record(t, *tc, *verdict);
+    }
+    report.link = link.stats();
   }
+
   report.removed_by_hash = sender.removed_by_hash();
+  report.hash_repair_attempts = sender.hash_repair_attempts();
   report.gen = gen_.stats();
   return report;
 }

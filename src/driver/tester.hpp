@@ -12,6 +12,20 @@ struct TestRunOptions {
   uint64_t seed = 1;
   size_t max_recorded_failures = 25;
   bool collect_traces = true;  // symbolic + physical traces on failure
+
+  // Transport faults on the tester<->device link. Default = perfect link,
+  // in which case the driver takes the exact direct injection path (one
+  // install + one inject per case, no retry machinery on the wire).
+  sim::LinkFaultSpec link;
+  // Per-case resends after silence or a damaged verdict before the case is
+  // quarantined. With the default 8 retries a 5%-lossy link quarantines
+  // with probability ~5e-12 per case.
+  int max_send_retries = 8;
+  // Retries for transient register-install failures, per install.
+  int max_install_retries = 8;
+  // Cap on the exponent of the simulated exponential backoff between
+  // resends (backoff is accounted in TestReport::backoff_units, not slept).
+  int max_backoff_exponent = 6;
 };
 
 class Meissa {

@@ -19,6 +19,7 @@ struct Token {
   std::string text;
   uint64_t number = 0;
   int line = 1;
+  int column = 1;  // 1-based column of the token's first character
 };
 
 class Lexer {
@@ -32,12 +33,22 @@ class Lexer {
     return t;
   }
   int line() const { return tok_.line; }
+  int column() const { return tok_.column; }
+  // Full text of the source line holding the current token (for the
+  // caret-annotated snippet in parse errors).
+  std::string line_text() const {
+    size_t end = src_.find('\n', tok_line_start_);
+    if (end == std::string_view::npos) end = src_.size();
+    return std::string(src_.substr(tok_line_start_, end - tok_line_start_));
+  }
 
  private:
   void advance() {
     skip_space_and_comments();
     tok_ = Token{};
     tok_.line = line_;
+    tok_.column = static_cast<int>(pos_ - line_start_) + 1;
+    tok_line_start_ = line_start_;
     if (pos_ >= src_.size()) {
       tok_.kind = Tok::kEnd;
       return;
@@ -107,6 +118,7 @@ class Lexer {
       if (c == '\n') {
         ++line_;
         ++pos_;
+        line_start_ = pos_;
       } else if (std::isspace(static_cast<unsigned char>(c))) {
         ++pos_;
       } else if (c == '#' ||
@@ -121,6 +133,8 @@ class Lexer {
   std::string_view src_;
   size_t pos_ = 0;
   int line_ = 1;
+  size_t line_start_ = 0;      // offset where the current scan line begins
+  size_t tok_line_start_ = 0;  // offset where the current token's line begins
   Token tok_;
 };
 
@@ -170,7 +184,7 @@ class M4Parser {
 
  private:
   [[noreturn]] void fail(const std::string& what) {
-    throw util::ParseError(what, lex_.line());
+    throw util::ParseError(what, lex_.line(), lex_.column(), lex_.line_text());
   }
 
   Token expect(Tok kind) {

@@ -1,0 +1,77 @@
+#include "sim/link.hpp"
+
+#include <algorithm>
+#include <iterator>
+
+namespace meissa::sim {
+
+namespace {
+// How deep into the frame tail a corruption bit-flip may land. Matches the
+// driver's payload stamp (8-byte case id + 8 filler bytes): flips stay
+// inside the payload, never in header bytes, so corrupted frames remain
+// *detectable* rather than silently changing the packet's semantics.
+constexpr size_t kCorruptTailBytes = 16;
+}  // namespace
+
+FlakyLink::FlakyLink(Device& device, const LinkFaultSpec& spec)
+    : device_(device), spec_(spec), rng_(spec.seed) {}
+
+bool FlakyLink::hit(double rate) {
+  if (rate <= 0) return false;
+  if (rate >= 1) return true;
+  return rng_.below(1000000) < static_cast<uint64_t>(rate * 1000000.0);
+}
+
+bool FlakyLink::install_registers(const ir::ConcreteState& regs) {
+  if (hit(spec_.install_fail_rate)) {
+    ++stats_.install_failures;
+    return false;  // transient write failure: nothing reached the device
+  }
+  device_.set_registers(regs);
+  return true;
+}
+
+void FlakyLink::deliver(DeviceOutput out) {
+  if (!out.bytes.empty() && hit(spec_.corrupt_rate)) {
+    ++stats_.corrupted;
+    size_t window = std::min(out.bytes.size(), kCorruptTailBytes);
+    size_t byte = out.bytes.size() - 1 - rng_.below(window);
+    out.bytes[byte] ^= static_cast<uint8_t>(1u << rng_.below(8));
+  }
+  if (hit(spec_.reorder_rate)) {
+    ++stats_.reordered;
+    delayed_.push_back(std::move(out));
+  } else {
+    arrived_.push_back(std::move(out));
+  }
+}
+
+void FlakyLink::send(const DeviceInput& in) {
+  ++stats_.frames_sent;
+  if (hit(spec_.drop_rate)) {
+    ++stats_.dropped;
+    return;  // lost on the way to the device: pure silence
+  }
+  deliver(device_.inject(in));
+  if (hit(spec_.duplicate_rate)) {
+    ++stats_.duplicated;
+    deliver(device_.inject(in));
+  }
+}
+
+std::vector<DeviceOutput> FlakyLink::collect() {
+  // This round's on-time frames, then the stragglers delayed in the
+  // *previous* round: a reordered verdict surfaces one collect() late,
+  // after the frames that overtook it. Frames delayed this round move into
+  // the straggler stage and will surface at the next collect(), so two
+  // back-to-back collect() calls always drain the link completely.
+  std::vector<DeviceOutput> out = std::move(arrived_);
+  arrived_.clear();
+  out.insert(out.end(), std::make_move_iterator(stragglers_.begin()),
+             std::make_move_iterator(stragglers_.end()));
+  stragglers_ = std::move(delayed_);
+  delayed_.clear();
+  return out;
+}
+
+}  // namespace meissa::sim

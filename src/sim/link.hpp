@@ -1,0 +1,88 @@
+// A flaky tester<->device link — the transport-fault half of the fault
+// model (the FaultKind mutations in fault.hpp model *compiler* bugs; this
+// models the harness itself misbehaving, as real injection/capture paths
+// do: FP4-style hardware loops drop, duplicate, reorder and corrupt).
+//
+// The link sits between the driver and the Device. Faults are seeded and
+// probabilistic, applied per frame:
+//   * drop       — the injected frame vanishes before the device sees it;
+//                  the driver observes silence and must retry.
+//   * duplicate  — the device processes the frame twice (two verdicts).
+//   * reorder    — the verdict is held back and released at the *next*
+//                  collect() call, arriving late and out of order.
+//   * corrupt    — one payload bit of the emitted verdict flips. Only
+//                  payload bits (the frame tail) are touched, so a robust
+//                  driver can always detect corruption via its case-id +
+//                  filler stamp.
+//   * install    — a register install silently no-ops once (transient
+//                  table/register write failure); install_registers()
+//                  reports it so the caller can retry.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/device.hpp"
+#include "util/rng.hpp"
+
+namespace meissa::sim {
+
+// Probabilities in [0, 1]; all zero (the default) = a perfect link.
+struct LinkFaultSpec {
+  double drop_rate = 0;
+  double duplicate_rate = 0;
+  double reorder_rate = 0;
+  double corrupt_rate = 0;
+  double install_fail_rate = 0;
+  uint64_t seed = 1;
+
+  bool none() const noexcept {
+    return drop_rate <= 0 && duplicate_rate <= 0 && reorder_rate <= 0 &&
+           corrupt_rate <= 0 && install_fail_rate <= 0;
+  }
+};
+
+// What the link actually did (ground truth for tests and reports).
+struct LinkStats {
+  uint64_t frames_sent = 0;
+  uint64_t dropped = 0;
+  uint64_t duplicated = 0;
+  uint64_t reordered = 0;
+  uint64_t corrupted = 0;
+  uint64_t install_failures = 0;
+};
+
+class FlakyLink {
+ public:
+  // `device` must outlive the link.
+  FlakyLink(Device& device, const LinkFaultSpec& spec);
+
+  // Installs register state on the device. Returns false when the
+  // transient install fault fired (nothing was installed; retry).
+  bool install_registers(const ir::ConcreteState& regs);
+
+  // Injects one frame. Its verdict(s) — zero on drop, two on duplication —
+  // arrive at collect(), possibly a collect() late when reordered.
+  void send(const DeviceInput& in);
+
+  // Returns every verdict that has "arrived": results of sends since the
+  // last collect, plus reordered stragglers delayed at the collect before.
+  // Two back-to-back calls with no intervening send drain the link.
+  std::vector<DeviceOutput> collect();
+
+  const LinkStats& stats() const noexcept { return stats_; }
+
+ private:
+  bool hit(double rate);
+  void deliver(DeviceOutput out);
+
+  Device& device_;
+  LinkFaultSpec spec_;
+  util::Rng rng_;
+  std::vector<DeviceOutput> arrived_;     // on time, this round
+  std::vector<DeviceOutput> delayed_;     // reordered, held one more round
+  std::vector<DeviceOutput> stragglers_;  // release at the next collect()
+  LinkStats stats_;
+};
+
+}  // namespace meissa::sim

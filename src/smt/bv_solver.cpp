@@ -1,5 +1,6 @@
 #include "smt/bv_solver.hpp"
 
+#include <chrono>
 #include <unordered_map>
 
 #include "util/error.hpp"
@@ -205,8 +206,30 @@ CheckResult BvSolver::check() {
   for (size_t i = 1; i < scopes_.size(); ++i) {
     if (scopes_[i].has_selector) assumptions.push_back(scopes_[i].selector);
   }
-  bool sat = sat_.solve(assumptions);
-  return sat ? CheckResult::kSat : CheckResult::kUnsat;
+  if (budget_.unlimited()) {
+    bool sat = sat_.solve(assumptions);
+    return sat ? CheckResult::kSat : CheckResult::kUnsat;
+  }
+  ResourceLimits limits;
+  limits.max_conflicts = budget_.max_conflicts;
+  limits.max_propagations = budget_.max_propagations;
+  if (budget_.max_check_seconds > 0) {
+    limits.has_deadline = true;
+    limits.deadline = std::chrono::steady_clock::now() +
+                      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double>(budget_.max_check_seconds));
+  }
+  switch (sat_.solve_limited(assumptions, limits)) {
+    case SolveStatus::kSat:
+      return CheckResult::kSat;
+    case SolveStatus::kUnsat:
+      return CheckResult::kUnsat;
+    case SolveStatus::kUnknown:
+      ++stats_.unknowns;
+      return CheckResult::kUnknown;
+  }
+  util::check(false, "solve_limited: bad status");
+  return CheckResult::kUnknown;
 }
 
 Model BvSolver::model() {

@@ -20,6 +20,7 @@ class BvSolver final : public Solver {
   void add(ir::ExprRef bexp) override;
   CheckResult check() override;
   Model model() override;
+  void set_budget(const Budget& budget) override { budget_ = budget; }
   const SolverStats& stats() const override { return stats_; }
 
   // Underlying SAT statistics (exposed for the micro benchmarks).
@@ -64,6 +65,7 @@ class BvSolver final : public Solver {
   BitBlaster blaster_;
   std::vector<Scope> scopes_;
   SolverStats stats_;
+  Budget budget_;
   Model model_;
   bool model_from_fast_path_ = false;
 };

@@ -332,8 +332,14 @@ void SatSolver::reduce_learnts() {
 }
 
 bool SatSolver::solve(const std::vector<Lit>& assumptions) {
+  // Unlimited limits can never yield kUnknown, so the mapping is total.
+  return solve_limited(assumptions, ResourceLimits{}) == SolveStatus::kSat;
+}
+
+SolveStatus SatSolver::solve_limited(const std::vector<Lit>& assumptions,
+                                     const ResourceLimits& limits) {
   ++stats_.solves;
-  if (unsat_) return false;
+  if (unsat_) return SolveStatus::kUnsat;
   // Incremental trail reuse: keep decision levels corresponding to the
   // longest shared assumption prefix (the dominant pattern under DFS
   // push/pop is extending the previous assumption list by one).
@@ -347,12 +353,12 @@ bool SatSolver::solve(const std::vector<Lit>& assumptions) {
   if (propagate() != kNoReason) {
     if (trail_lim_.empty()) {
       unsat_ = true;
-      return false;
+      return SolveStatus::kUnsat;
     }
     backtrack(0);
     if (propagate() != kNoReason) {
       unsat_ = true;
-      return false;
+      return SolveStatus::kUnsat;
     }
   }
 
@@ -362,6 +368,35 @@ bool SatSolver::solve(const std::vector<Lit>& assumptions) {
       static_cast<uint64_t>(luby(restart_idx) * kRestartUnit);
   std::vector<Lit> learnt;
 
+  // Resource governance: all checks are gated on `limited` so that the
+  // default (unlimited) path executes exactly the historical algorithm.
+  const bool limited = !limits.unlimited();
+  const uint64_t prop_start = stats_.propagations;
+  uint64_t decisions_since_poll = 0;
+  auto exhausted = [&]() -> bool {
+    if (limits.max_conflicts != 0 &&
+        conflicts_this_solve >= limits.max_conflicts) {
+      return true;
+    }
+    if (limits.max_propagations != 0 &&
+        stats_.propagations - prop_start >= limits.max_propagations) {
+      return true;
+    }
+    if (limits.has_deadline &&
+        std::chrono::steady_clock::now() >= limits.deadline) {
+      return true;
+    }
+    return false;
+  };
+  // Giving up must leave the solver consistent for later solves: unwind to
+  // the root and forget the assumption prefix so the next solve starts from
+  // a clean trail (learned clauses and phases are kept — they stay sound).
+  auto give_up = [&]() -> SolveStatus {
+    backtrack(0);
+    last_assumptions_.clear();
+    return SolveStatus::kUnknown;
+  };
+
   while (true) {
     ClauseRef confl = propagate();
     if (confl != kNoReason) {
@@ -369,8 +404,9 @@ bool SatSolver::solve(const std::vector<Lit>& assumptions) {
       ++conflicts_this_solve;
       if (trail_lim_.empty()) {
         unsat_ = true;
-        return false;
+        return SolveStatus::kUnsat;
       }
+      if (limited && exhausted()) return give_up();
       // A conflict while only assumption decisions are on the trail means
       // the assumptions themselves are inconsistent with the clauses.
       int bt_level = 0;
@@ -407,13 +443,20 @@ bool SatSolver::solve(const std::vector<Lit>& assumptions) {
     if (trail_lim_.size() < assumptions.size()) {
       Lit a = assumptions[trail_lim_.size()];
       LBool v = value(a);
-      if (v == LBool::kFalse) return false;  // assumption falsified
+      if (v == LBool::kFalse) {
+        return SolveStatus::kUnsat;  // assumption falsified
+      }
       trail_lim_.push_back(static_cast<uint32_t>(trail_.size()));
       if (v == LBool::kUndef) enqueue(a, kNoReason);
       continue;
     }
+    // Conflict-free runs still burn propagations and wall-clock; poll the
+    // limits every 256 decisions so they bite without a conflict stream.
+    if (limited && (++decisions_since_poll & 255u) == 0 && exhausted()) {
+      return give_up();
+    }
     uint32_t v = pick_branch_var();
-    if (v == ~uint32_t{0}) return true;  // all assigned: model found
+    if (v == ~uint32_t{0}) return SolveStatus::kSat;  // model found
     ++stats_.decisions;
     trail_lim_.push_back(static_cast<uint32_t>(trail_.size()));
     enqueue(Lit::make(v, !phase_[v]), kNoReason);

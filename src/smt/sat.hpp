@@ -9,6 +9,7 @@
 // reused state is the learned-clause database and saved phases).
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -31,6 +32,26 @@ struct Lit {
 
 enum class LBool : uint8_t { kFalse = 0, kTrue = 1, kUndef = 2 };
 
+// Verdict of a resource-limited solve: kUnknown means the limits were
+// exhausted before a decision; the solver backtracks to the root and stays
+// fully usable (later solves may still answer).
+enum class SolveStatus : uint8_t { kSat, kUnsat, kUnknown };
+
+// Per-solve resource limits (all zero / unset = unlimited). Conflicts and
+// propagations are counted within the one solve call; the deadline is an
+// absolute point checked at conflict boundaries and periodically during
+// long propagation runs.
+struct ResourceLimits {
+  uint64_t max_conflicts = 0;
+  uint64_t max_propagations = 0;
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+
+  bool unlimited() const noexcept {
+    return max_conflicts == 0 && max_propagations == 0 && !has_deadline;
+  }
+};
+
 class SatSolver {
  public:
   SatSolver();
@@ -51,6 +72,12 @@ class SatSolver {
 
   // Solves under the given assumptions. Returns true iff satisfiable.
   bool solve(const std::vector<Lit>& assumptions);
+
+  // Solves under the given assumptions and resource limits. With default
+  // limits this is exactly solve(). On kUnknown the solver has backtracked
+  // to the root level and remains consistent for further use.
+  SolveStatus solve_limited(const std::vector<Lit>& assumptions,
+                            const ResourceLimits& limits);
 
   // Value of `var` in the model found by the last successful solve().
   bool model_value(uint32_t var) const;

@@ -21,6 +21,25 @@ namespace meissa::smt {
 
 enum class CheckResult { kSat, kUnsat, kUnknown };
 
+// Resource budget for one check() call. A check that exhausts its budget
+// returns kUnknown instead of diverging; the caller decides what a
+// non-verdict means (the engine records the branch as *degraded* rather
+// than dropping it silently). Default-constructed = unlimited, in which
+// case solving behaves exactly as if no budget machinery existed.
+struct Budget {
+  // CDCL conflicts a single check may spend (0 = unlimited).
+  uint64_t max_conflicts = 0;
+  // Unit propagations a single check may spend (0 = unlimited).
+  uint64_t max_propagations = 0;
+  // Wall-clock seconds for a single check (0 = unlimited).
+  double max_check_seconds = 0;
+
+  bool unlimited() const noexcept {
+    return max_conflicts == 0 && max_propagations == 0 &&
+           max_check_seconds <= 0;
+  }
+};
+
 // A satisfying assignment: values for every field the solver saw.
 // Fields never mentioned in any assertion are unconstrained and absent.
 using Model = std::unordered_map<ir::FieldId, uint64_t>;
@@ -32,6 +51,8 @@ struct SolverStats {
   uint64_t fast_path_hits = 0;
   // checks that reached the SAT core (or Z3).
   uint64_t sat_calls = 0;
+  // checks that exhausted their Budget and returned kUnknown.
+  uint64_t unknowns = 0;
   uint64_t pushes = 0;
   uint64_t pops = 0;
 
@@ -41,6 +62,7 @@ struct SolverStats {
     checks += o.checks;
     fast_path_hits += o.fast_path_hits;
     sat_calls += o.sat_calls;
+    unknowns += o.unknowns;
     pushes += o.pushes;
     pops += o.pops;
     return *this;
@@ -61,6 +83,10 @@ class Solver {
   virtual CheckResult check() = 0;
   // Model of the last kSat check. Invalidated by the next add/pop/check.
   virtual Model model() = 0;
+
+  // Installs a per-check resource budget (applies to subsequent checks).
+  // The default-constructed Budget restores unlimited solving.
+  virtual void set_budget(const Budget& budget) { (void)budget; }
 
   virtual const SolverStats& stats() const = 0;
 };

@@ -21,10 +21,15 @@ class Z3Solver final : public Solver {
 
   void push() override {
     ++stats_.pushes;
+    ++depth_;
     solver_.push();
   }
   void pop() override {
     ++stats_.pops;
+    // Z3 itself treats an unmatched pop as UB / a hard abort; mirror
+    // BvSolver and fail with a catchable invariant violation instead.
+    util::check(depth_ > 0, "pop: no scope to pop");
+    --depth_;
     solver_.pop();
   }
   void add(ir::ExprRef bexp) override { solver_.add(translate(bexp)); }
@@ -35,8 +40,24 @@ class Z3Solver final : public Solver {
     switch (solver_.check()) {
       case z3::sat: return CheckResult::kSat;
       case z3::unsat: return CheckResult::kUnsat;
-      default: return CheckResult::kUnknown;
+      default:
+        ++stats_.unknowns;
+        return CheckResult::kUnknown;
     }
+  }
+
+  // Z3 has no direct conflict/propagation knobs; the wall-clock component
+  // maps onto its per-check timeout (a timed-out check reports kUnknown,
+  // same as BvSolver's exhausted budget).
+  void set_budget(const Budget& budget) override {
+    z3::params p(z3_);
+    if (budget.max_check_seconds > 0) {
+      auto ms = static_cast<unsigned>(budget.max_check_seconds * 1000.0);
+      p.set("timeout", ms == 0 ? 1u : ms);
+    } else {
+      p.set("timeout", 4294967295u);  // Z3's "no timeout" sentinel
+    }
+    solver_.set(p);
   }
 
   Model model() override {
@@ -122,6 +143,7 @@ class Z3Solver final : public Solver {
   std::unordered_map<ir::FieldId, z3::expr> vars_;
   std::unordered_map<ir::ExprRef, z3::expr> cache_;
   SolverStats stats_;
+  uint64_t depth_ = 0;  // open scopes, for pop-underflow detection
 };
 
 }  // namespace

@@ -54,6 +54,7 @@ struct Engine::ExplorationContext {
     for (const auto& [f, v] : e.seeds_) state.assign(f, v);
     if (e.opts_.incremental) {
       solver = e.make_solver();
+      solver->set_budget(e.opts_.budget);
       for (ir::ExprRef c : e.preconds_) solver->add(c);
     }
     if (e.gates_) {
@@ -139,12 +140,14 @@ smt::CheckResult Engine::ExplorationContext::check_current() {
   }
   // Non-incremental: fresh solver, re-assert everything (p4pktgen-style).
   auto s = eng.make_solver();
+  s->set_budget(eng.opts_.budget);
   for (ir::ExprRef c : eng.preconds_) s->add(c);
   for (ir::ExprRef c : state.conds()) s->add(c);
   smt::CheckResult r = s->check();
   stats.solver.checks += s->stats().checks;
   stats.solver.fast_path_hits += s->stats().fast_path_hits;
   stats.solver.sat_calls += s->stats().sat_calls;
+  stats.solver.unknowns += s->stats().unknowns;
   return r;
 }
 
@@ -201,9 +204,11 @@ std::vector<cfg::Path> Engine::compute_shards(size_t target) const {
 
 void Engine::run_parallel(const Sink& sink, int threads) {
   threads = util::resolve_threads(threads);
-  // Precondition precheck, as in run().
+  // Precondition precheck, as in run(). kUnknown (budget exhausted) simply
+  // proceeds: only a proven-unsat precondition prunes the exploration.
   if (!preconds_.empty() && opts_.incremental) {
     auto s = make_solver();
+    s->set_budget(opts_.budget);
     for (ir::ExprRef c : preconds_) s->add(c);
     if (s->check() == smt::CheckResult::kUnsat) {
       stats_ = EngineStats{};
@@ -268,6 +273,11 @@ void Engine::ExplorationContext::dfs(cfg::NodeId id, const Sink& sink,
   const EngineOptions& opts = eng.opts_;
   if (!eng.reaches_stop_.empty() && !eng.reaches_stop_[id]) return;
   ++stats.nodes_visited;
+  if (eng.opts_.cancel != nullptr && eng.opts_.cancel->cancelled()) {
+    stats.cancelled = true;
+    aborted = true;
+    return;
+  }
   if (has_deadline && (stats.nodes_visited & 0xff) == 0 &&
       std::chrono::steady_clock::now() > deadline) {
     stats.timed_out = true;
@@ -285,6 +295,9 @@ void Engine::ExplorationContext::dfs(cfg::NodeId id, const Sink& sink,
 
   // --- Execute the node's statement (skipped for the stop node). ---------
   bool feasible = true;
+  // Set when a budgeted check answered kUnknown: the branch is abandoned
+  // as *degraded* (solver could not decide it), not as proven-infeasible.
+  bool degraded = false;
   if (!(opts.stop != cfg::kNoNode && id == opts.stop)) {
     if (n.is_hash) {
       // Paper §4: compute the hash when every key is pinned to a constant;
@@ -381,8 +394,18 @@ void Engine::ExplorationContext::dfs(cfg::NodeId id, const Sink& sink,
                 // Statically certain (implied or field-wise satisfiable):
                 // the check's result is known, skip the call.
                 ++stats.skipped_checks;
-              } else if (check_current() == smt::CheckResult::kUnsat) {
-                feasible = false;
+              } else {
+                switch (check_current()) {
+                  case smt::CheckResult::kSat:
+                    break;
+                  case smt::CheckResult::kUnsat:
+                    feasible = false;
+                    break;
+                  case smt::CheckResult::kUnknown:
+                    feasible = false;
+                    degraded = true;
+                    break;
+                }
               }
             }
           }
@@ -403,7 +426,9 @@ void Engine::ExplorationContext::dfs(cfg::NodeId id, const Sink& sink,
       // the whole path condition once at the leaf.
       bool valid = true;
       if (!opts.early_termination || !opts.incremental) {
-        valid = check_current() == smt::CheckResult::kSat;
+        smt::CheckResult cr = check_current();
+        valid = cr == smt::CheckResult::kSat;
+        if (cr == smt::CheckResult::kUnknown) degraded = true;
       }
       if (valid) {
         ++stats.valid_paths;
@@ -419,6 +444,8 @@ void Engine::ExplorationContext::dfs(cfg::NodeId id, const Sink& sink,
         if (opts.max_results != 0 && stats.valid_paths >= opts.max_results) {
           aborted = true;
         }
+      } else if (degraded) {
+        ++stats.degraded_paths;
       } else {
         ++stats.pruned_paths;
       }
@@ -434,6 +461,8 @@ void Engine::ExplorationContext::dfs(cfg::NodeId id, const Sink& sink,
       }
       cur_path.pop_back();
     }
+  } else if (degraded) {
+    ++stats.degraded_paths;
   } else {
     ++stats.pruned_paths;
   }

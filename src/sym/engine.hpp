@@ -20,6 +20,7 @@
 #include "cfg/cfg.hpp"
 #include "smt/solver.hpp"
 #include "sym/state.hpp"
+#include "util/cancel.hpp"
 
 namespace meissa::sym {
 
@@ -65,6 +66,16 @@ struct EngineOptions {
   // nodes). Must be computed from the same start node with a TOP boundary
   // (analysis::compute_facts) and outlive the engine.
   const analysis::Facts* facts = nullptr;
+  // Per-check solver resource budget. A check that exhausts it yields
+  // kUnknown and the affected branch is recorded as *degraded* (counted in
+  // EngineStats::degraded_paths) instead of being silently dropped or
+  // aborting the run. Default = unlimited: behavior (and output) identical
+  // to a build without budget support.
+  smt::Budget budget;
+  // Optional cooperative cancellation: polled at DFS safe points; when set
+  // and fired, the exploration unwinds cleanly with partial results and
+  // EngineStats::cancelled = true. Must outlive the run.
+  const util::CancelToken* cancel = nullptr;
 };
 
 struct EngineStats {
@@ -80,7 +91,14 @@ struct EngineStats {
   // statically certain (implied by, or field-wise satisfiable under, the
   // recorded path constraints).
   uint64_t skipped_checks = 0;
+  // Branches abandoned because a budgeted check returned kUnknown: the
+  // solver could not decide them within its Budget. Disjoint from
+  // pruned_paths (those are *proven* infeasible); exact coverage is
+  // valid_paths, degraded_paths bounds what the budget may have cost.
+  uint64_t degraded_paths = 0;
   bool timed_out = false;
+  // The run's CancelToken fired and the exploration unwound early.
+  bool cancelled = false;
   smt::SolverStats solver;      // checks = the paper's "# of SMT calls"
 
   // Accumulate counters from another exploration (per-shard workers).
@@ -92,7 +110,9 @@ struct EngineStats {
     offtarget_paths += o.offtarget_paths;
     static_prunes += o.static_prunes;
     skipped_checks += o.skipped_checks;
+    degraded_paths += o.degraded_paths;
     timed_out = timed_out || o.timed_out;
+    cancelled = cancelled || o.cancelled;
     solver += o.solver;
     return *this;
   }

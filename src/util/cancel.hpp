@@ -1,0 +1,32 @@
+// Cooperative cancellation for long-running explorations.
+//
+// A CancelToken is a shared flag the owner of a run (a CLI handler, a test
+// harness watchdog, an RPC deadline) sets once; workers poll it at safe
+// points (DFS node entry, solver check boundaries) and unwind cleanly,
+// leaving partial results and statistics intact. Polling uses relaxed
+// atomics: a worker may run a few more nodes after cancel() — that is the
+// contract ("stop soon and cleanly"), not a bug.
+#pragma once
+
+#include <atomic>
+
+namespace meissa::util {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  // Re-arms the token for a fresh run (single-owner setup code only).
+  void reset() noexcept { cancelled_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace meissa::util

@@ -22,10 +22,34 @@ class ParseError : public Error {
   ParseError(const std::string& what, int line)
       : Error("parse error (line " + std::to_string(line) + "): " + what),
         line_(line) {}
+  // Column-aware form: `context` is the offending source line, rendered
+  // beneath the message with a caret under `column` (1-based).
+  ParseError(const std::string& what, int line, int column,
+             const std::string& context)
+      : Error(annotate(what, line, column, context)),
+        line_(line),
+        column_(column) {}
   int line() const noexcept { return line_; }
+  // 1-based column of the offending token; 0 when unknown.
+  int column() const noexcept { return column_; }
 
  private:
+  static std::string annotate(const std::string& what, int line, int column,
+                              const std::string& context) {
+    std::string msg = "parse error (line " + std::to_string(line) + ", col " +
+                      std::to_string(column) + "): " + what;
+    if (!context.empty()) {
+      msg += "\n  " + context + "\n  ";
+      // Tabs in the snippet keep their width-1 rendering here, so the
+      // caret stays aligned with how the snippet itself is printed.
+      msg.append(column > 1 ? static_cast<size_t>(column - 1) : 0, ' ');
+      msg += '^';
+    }
+    return msg;
+  }
+
   int line_;
+  int column_ = 0;
 };
 
 // A semantic problem in an otherwise well-formed program (e.g. a table

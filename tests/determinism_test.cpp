@@ -100,6 +100,42 @@ TEST(Determinism, GenerousTimeBudgetIdenticalAcrossThreadCounts) {
   expect_identical_across_threads(router_app, opts);
 }
 
+TEST(Determinism, GenerousSmtBudgetTemplatesUnchanged) {
+  // A per-check solver budget roomy enough that no check exhausts it must
+  // leave the emitted templates byte-identical to the default (unlimited)
+  // configuration — the budget machinery may not perturb the search.
+  driver::GenOptions budgeted;
+  budgeted.smt_budget.max_conflicts = 1u << 30;
+  budgeted.smt_budget.max_propagations = uint64_t{1} << 40;
+  const std::vector<std::string> base =
+      generate_signature(nat_gateway_app, {});
+  const std::vector<std::string> got =
+      generate_signature(nat_gateway_app, budgeted);
+  EXPECT_FALSE(base.empty());
+  ASSERT_EQ(got.size(), base.size());
+  for (size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(got[i], base[i]) << "template " << i;
+  }
+}
+
+TEST(Determinism, GenerousSmtBudgetIdenticalAcrossThreadCounts) {
+  driver::GenOptions opts;
+  opts.smt_budget.max_conflicts = 1u << 30;
+  expect_identical_across_threads(nat_gateway_app, opts);
+}
+
+TEST(Determinism, DegradedGenerationIdenticalAcrossThreadCounts) {
+  // Even a budget tiny enough to force kUnknown degradation must degrade
+  // *deterministically*: the shards are fixed, each worker's solver is
+  // deterministic, so templates and coverage split match at every thread
+  // count. (Deliberately conflict/propagation-based — a wall-clock budget
+  // could not promise this.)
+  driver::GenOptions opts;
+  opts.smt_budget.max_conflicts = 1;
+  opts.smt_budget.max_propagations = 1;
+  expect_identical_across_threads(multi_switch_app, opts);
+}
+
 TEST(Determinism, NoSummaryDfsIdenticalAcrossThreadCounts) {
   driver::GenOptions opts;
   opts.code_summary = false;

@@ -142,6 +142,29 @@ TEST(Dsl, ParseErrorsCarryLineNumbers) {
     FAIL() << "expected ParseError";
   } catch (const util::ParseError& e) {
     EXPECT_EQ(e.line(), 2);
+    EXPECT_GT(e.column(), 0);
+    // The message carries a caret-annotated snippet of the offending line.
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("header h { broken }"), std::string::npos) << msg;
+    EXPECT_NE(msg.find('^'), std::string::npos) << msg;
+  }
+}
+
+TEST(Dsl, ParseErrorsCarryColumnAndSnippet) {
+  // "program x q" — the parser expects ';' and finds 'q' at column 11.
+  ir::Context ctx;
+  try {
+    parse_m4("program x q", ctx);
+    FAIL() << "expected ParseError";
+  } catch (const util::ParseError& e) {
+    EXPECT_EQ(e.line(), 1);
+    EXPECT_EQ(e.column(), 11);
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("(line 1, col 11)"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("\n  program x q\n"), std::string::npos) << msg;
+    // Caret sits under column 11 (two-space indent + 10 spaces).
+    EXPECT_NE(msg.find("\n  " + std::string(10, ' ') + "^"), std::string::npos)
+        << msg;
   }
 }
 

@@ -136,7 +136,7 @@ TEST(Checksum, HashAlgosAreStable) {
   // Ones-complement: 0xdead + 0xbeef = 0x19d9c; fold carry -> 0x9d9d.
   EXPECT_EQ(p4::compute_hash(p4::HashAlgo::kCsum16, {0xdead, 0xbeef},
                              {16, 16}, 16),
-            static_cast<uint64_t>(~uint16_t(0x9d9d)) & 0xffff);
+            ~uint64_t{0x9d9d} & 0xffff);
   uint64_t crc = p4::compute_hash(p4::HashAlgo::kCrc16, {0x01020304}, {32}, 16);
   EXPECT_EQ(crc, p4::compute_hash(p4::HashAlgo::kCrc16, {0x01020304}, {32}, 16));
   EXPECT_NE(crc, p4::compute_hash(p4::HashAlgo::kCrc16, {0x01020305}, {32}, 16));

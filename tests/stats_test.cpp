@@ -12,18 +12,21 @@ TEST(StatsMerge, SolverStatsSumsAllCounters) {
   a.checks = 10;
   a.fast_path_hits = 4;
   a.sat_calls = 6;
+  a.unknowns = 1;
   a.pushes = 20;
   a.pops = 18;
   smt::SolverStats b;
   b.checks = 1;
   b.fast_path_hits = 1;
   b.sat_calls = 0;
+  b.unknowns = 2;
   b.pushes = 2;
   b.pops = 2;
   a += b;
   EXPECT_EQ(a.checks, 11u);
   EXPECT_EQ(a.fast_path_hits, 5u);
   EXPECT_EQ(a.sat_calls, 6u);
+  EXPECT_EQ(a.unknowns, 3u);
   EXPECT_EQ(a.pushes, 22u);
   EXPECT_EQ(a.pops, 20u);
 }
@@ -37,10 +40,13 @@ TEST(StatsMerge, EngineStatsSumsAndOrsTimeout) {
   a.offtarget_paths = 1;
   a.static_prunes = 4;
   a.skipped_checks = 6;
+  a.degraded_paths = 2;
   a.solver.checks = 5;
   sym::EngineStats b;
   b.valid_paths = 2;
   b.pruned_paths = 1;
+  b.degraded_paths = 3;
+  b.cancelled = true;
   b.folded_checks = 3;
   b.nodes_visited = 10;
   b.offtarget_paths = 0;
@@ -56,12 +62,15 @@ TEST(StatsMerge, EngineStatsSumsAndOrsTimeout) {
   EXPECT_EQ(a.offtarget_paths, 1u);
   EXPECT_EQ(a.static_prunes, 5u);
   EXPECT_EQ(a.skipped_checks, 8u);
+  EXPECT_EQ(a.degraded_paths, 5u);
   EXPECT_TRUE(a.timed_out);
+  EXPECT_TRUE(a.cancelled);
   EXPECT_EQ(a.solver.checks, 9u);
-  // timed_out is sticky in both directions.
+  // timed_out and cancelled are sticky in both directions.
   sym::EngineStats c;
   a += c;
   EXPECT_TRUE(a.timed_out);
+  EXPECT_TRUE(a.cancelled);
 }
 
 TEST(StatsMerge, GenStatsSumsTimesCountersAndPipelines) {
@@ -78,8 +87,15 @@ TEST(StatsMerge, GenStatsSumsTimesCountersAndPipelines) {
   a.paths_summarized = util::BigCount::of(10);
   a.pipelines.push_back({"ingress0", util::BigCount::of(100), 4, 9, 0.5});
   a.engine.valid_paths = 5;
+  a.exact_paths = 5;
+  a.degraded_paths = 1;
+  a.smt_unknowns = 1;
   driver::GenStats b;
   b.timed_out = true;
+  b.cancelled = true;
+  b.exact_paths = 2;
+  b.degraded_paths = 4;
+  b.smt_unknowns = 6;
   b.build_seconds = 0.5;
   b.summary_seconds = 0.25;
   b.dfs_seconds = 0.25;
@@ -93,6 +109,10 @@ TEST(StatsMerge, GenStatsSumsTimesCountersAndPipelines) {
   b.engine.valid_paths = 2;
   a += b;
   EXPECT_TRUE(a.timed_out);
+  EXPECT_TRUE(a.cancelled);
+  EXPECT_EQ(a.exact_paths, 7u);
+  EXPECT_EQ(a.degraded_paths, 5u);
+  EXPECT_EQ(a.smt_unknowns, 7u);
   EXPECT_DOUBLE_EQ(a.build_seconds, 1.5);
   EXPECT_DOUBLE_EQ(a.summary_seconds, 2.25);
   EXPECT_DOUBLE_EQ(a.dfs_seconds, 3.25);
