@@ -11,7 +11,10 @@
 
 #include "apps/apps.hpp"
 #include "baselines/baseline.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/toolchain.hpp"
+#include "util/strings.hpp"
 
 namespace meissa::bench {
 
@@ -69,6 +72,48 @@ inline int parse_threads(int argc, char** argv, int fallback = 1) {
   return fallback;
 }
 
+// Parses `<name> FILE` from the command line; empty when absent.
+inline std::string parse_path_arg(int argc, char** argv,
+                                  const std::string& name) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (argv[i] == name) return argv[i + 1];
+  }
+  return {};
+}
+
+// Observability session for a bench binary: `--metrics FILE` turns the
+// metrics registry on, `--trace FILE` starts span collection; both files
+// are written when the session object leaves scope (end of main). Declare
+// one of these first thing in main() — with neither flag it is inert and
+// the bench's output is unchanged.
+struct ObsSession {
+  std::string metrics_file;
+  std::string trace_file;
+
+  ObsSession(int argc, char** argv)
+      : metrics_file(parse_path_arg(argc, argv, "--metrics")),
+        trace_file(parse_path_arg(argc, argv, "--trace")) {
+    if (!metrics_file.empty()) obs::MetricsRegistry::set_enabled(true);
+    if (!trace_file.empty()) obs::trace_start();
+  }
+  ~ObsSession() {
+    if (!trace_file.empty()) {
+      obs::trace_stop();
+      if (!obs::write_trace_file(trace_file)) {
+        std::fprintf(stderr, "bench: cannot write trace to '%s'\n",
+                     trace_file.c_str());
+      }
+    }
+    if (!metrics_file.empty() && !obs::write_metrics_file(metrics_file)) {
+      std::fprintf(stderr, "bench: cannot write metrics to '%s'\n",
+                   metrics_file.c_str());
+    }
+  }
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+};
+
 // One machine-readable line per run: per-phase wall times and headline
 // counters, for scripted scaling sweeps over --threads.
 inline void print_phase_json(const std::string& program, const char* variant,
@@ -79,7 +124,8 @@ inline void print_phase_json(const std::string& program, const char* variant,
       "\"dfs_seconds\":%.6f,\"total_seconds\":%.6f,"
       "\"templates\":%llu,\"smt_checks\":%llu,\"smt_calls_skipped\":%llu,"
       "\"timed_out\":%s}\n",
-      program.c_str(), variant, threads, s.build_seconds, s.summary_seconds,
+      util::json_escape(program).c_str(), util::json_escape(variant).c_str(),
+      threads, s.build_seconds, s.summary_seconds,
       s.dfs_seconds, s.total_seconds,
       static_cast<unsigned long long>(s.templates),
       static_cast<unsigned long long>(s.smt_checks),

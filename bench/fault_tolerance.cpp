@@ -101,7 +101,8 @@ void stability_vs_loss() {
 }  // namespace
 }  // namespace meissa::bench
 
-int main() {
+int main(int argc, char** argv) {
+  meissa::bench::ObsSession obs_session(argc, argv);
   meissa::bench::coverage_vs_budget();
   meissa::bench::stability_vs_loss();
   return 0;

@@ -9,7 +9,8 @@ namespace {
 constexpr double kBudget = 120;
 }
 
-int main() {
+int main(int argc, char** argv) {
+  meissa::bench::ObsSession obs_session(argc, argv);
   using namespace meissa;
   std::printf("== Figure 10: running time vs table rule set (Meissa / "
               "Aquila) ==\n");

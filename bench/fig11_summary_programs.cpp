@@ -11,6 +11,7 @@
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
+  meissa::bench::ObsSession obs_session(argc, argv);
   using namespace meissa;
   const int threads = bench::parse_threads(argc, argv);
   std::printf("== Figure 11: code summary effectiveness (gw-1..gw-4, "

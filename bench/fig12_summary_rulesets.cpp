@@ -7,7 +7,8 @@
 // grows only linearly with the rule set.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  meissa::bench::ObsSession obs_session(argc, argv);
   using namespace meissa;
   std::printf("== Figure 12: code summary on gw-4 vs table rule sets ==\n\n");
   std::printf("%-7s %8s | %10s %10s %7s | %9s %9s %7s | %12s %12s\n", "set",

@@ -117,4 +117,13 @@ BENCHMARK(BM_RouterNegations<true>)->Name("BM_Router/elided-negations");
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN with the shared observability session: --metrics
+// and --trace work here like on every other bench (the benchmark library
+// ignores flags it does not own, so no pre-stripping is needed).
+int main(int argc, char** argv) {
+  meissa::bench::ObsSession obs_session(argc, argv);
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

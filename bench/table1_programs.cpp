@@ -3,7 +3,8 @@
 // scale the paper reports for its originals.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  meissa::bench::ObsSession obs_session(argc, argv);
   using namespace meissa;
   std::printf("== Table 1: data plane programs used in evaluation ==\n\n");
   std::printf("%-10s %9s %10s %6s %9s   %s\n", "name", "LOC", "rules(LOC)",

@@ -70,28 +70,6 @@ const char* severity_name(Severity s) {
   return s == Severity::kError ? "error" : "warning";
 }
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
 }  // namespace
 
 LintResult lint_cfg(const ir::Context& ctx, const cfg::Cfg& g) {
@@ -315,15 +293,15 @@ std::string render_json(const LintResult& r) {
     out += "    {\"severity\": \"";
     out += severity_name(d.severity);
     out += "\", \"code\": \"";
-    out += json_escape(d.code);
+    out += util::json_escape(d.code);
     out += "\", \"node\": ";
     out += std::to_string(d.node);
     out += ", \"instance\": \"";
-    out += json_escape(d.instance);
+    out += util::json_escape(d.instance);
     out += "\", \"location\": \"";
-    out += json_escape(d.location);
+    out += util::json_escape(d.location);
     out += "\", \"message\": \"";
-    out += json_escape(d.message);
+    out += util::json_escape(d.message);
     out += "\"}";
   }
   out += first ? "],\n" : "\n  ],\n";

@@ -2,6 +2,7 @@
 
 #include "baselines/baseline.hpp"
 #include "sym/template.hpp"
+#include "util/clock.hpp"
 #include "util/strings.hpp"
 
 namespace meissa::baselines {
@@ -42,10 +43,7 @@ BaselineResult run_aquila(ir::Context& ctx, const p4::DataPlane& dp,
                           const AquilaOptions& opts) {
   BaselineResult r;
   auto t0 = std::chrono::steady_clock::now();
-  auto deadline = t0 + std::chrono::duration_cast<
-                           std::chrono::steady_clock::duration>(
-                           std::chrono::duration<double>(
-                               opts.time_budget_seconds));
+  auto deadline = util::steady_deadline_after(t0, opts.time_budget_seconds);
 
   cfg::BuildOptions bopts;
   bopts.elide_disjoint_negations = false;  // standard encoding

@@ -4,6 +4,8 @@
 #include <chrono>
 
 #include "analysis/dataflow.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "spec/intent.hpp"
 #include "util/thread_pool.hpp"
 
@@ -20,7 +22,11 @@ Generator::Generator(ir::Context& ctx, const p4::DataPlane& dp,
                      const p4::RuleSet& rules, GenOptions opts)
     : ctx_(ctx), dp_(dp), opts_(std::move(opts)) {
   auto t0 = std::chrono::steady_clock::now();
-  original_ = cfg::build_cfg(dp, rules, ctx, opts_.build);
+  {
+    obs::Span span("build cfg", "gen");
+    original_ = cfg::build_cfg(dp, rules, ctx, opts_.build);
+    span.arg("nodes", original_.size());
+  }
   stats_.build_seconds = secs_since(t0);
   stats_.paths_original = original_.count_paths();
   active_ = &original_;
@@ -30,6 +36,7 @@ std::vector<sym::TestCaseTemplate> Generator::generate() {
   const int threads = util::resolve_threads(opts_.threads);
   if (opts_.code_summary && !summarized_) {
     auto t0 = std::chrono::steady_clock::now();
+    obs::Span span("summary", "gen");
     summary::SummaryOptions so = opts_.summary;
     so.use_z3 = opts_.use_z3;
     so.check_every_predicate = opts_.check_every_predicate;
@@ -41,6 +48,8 @@ std::vector<sym::TestCaseTemplate> Generator::generate() {
     stats_.smt_checks += summarized_->total_smt_checks;
     stats_.smt_calls_skipped += summarized_->total_smt_skipped;
     active_ = &summarized_->graph;
+    span.arg("pipelines", summarized_->per_pipeline.size());
+    span.arg("smt_checks", summarized_->total_smt_checks);
   }
   stats_.paths_summarized = active_->count_paths();
 
@@ -65,6 +74,7 @@ std::vector<sym::TestCaseTemplate> Generator::generate() {
   }
 
   auto t0 = std::chrono::steady_clock::now();
+  obs::Span dfs_span("dfs", "gen");
   std::vector<sym::TestCaseTemplate> templates;
   const bool diagnose = opts_.detect_invalid_reads && !opts_.code_summary;
   // Always the sharded exploration, whatever the thread count: threads=1
@@ -97,6 +107,15 @@ std::vector<sym::TestCaseTemplate> Generator::generate() {
   stats_.templates = templates.size();
   stats_.total_seconds =
       stats_.build_seconds + stats_.summary_seconds + stats_.dfs_seconds;
+  dfs_span.arg("templates", templates.size());
+  dfs_span.arg("smt_checks", engine_->stats().solver.checks);
+  if (obs::metrics_enabled()) {
+    obs::metrics().counter("gen.templates").add(templates.size());
+    obs::metrics().counter("gen.smt_checks").add(stats_.smt_checks);
+    obs::metrics()
+        .counter("gen.smt_calls_skipped")
+        .add(stats_.smt_calls_skipped);
+  }
   return templates;
 }
 

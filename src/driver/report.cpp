@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "obs/metrics.hpp"
 #include "util/strings.hpp"
 
 namespace meissa::driver {
@@ -77,7 +78,44 @@ std::string TestReport::to_json() const {
   os << ",\"reordered\":" << link.reordered;
   os << ",\"corrupted\":" << link.corrupted;
   os << ",\"install_failures\":" << link.install_failures;
-  os << "}}";
+  os << "}";
+  // Failure details carry arbitrary strings (trace lines include action and
+  // field names from the program under test), so every one goes through
+  // json_escape — a table named `a"b` must not produce invalid JSON.
+  os << ",\"failures\":[";
+  for (size_t i = 0; i < failures.size(); ++i) {
+    const CaseRecord& f = failures[i];
+    if (i > 0) os << ",";
+    os << "{\"template_id\":" << f.template_id;
+    os << ",\"case_id\":" << f.case_id;
+    os << ",\"pass\":" << (f.pass ? "true" : "false");
+    os << ",\"model_problems\":[";
+    for (size_t j = 0; j < f.model_problems.size(); ++j) {
+      if (j > 0) os << ",";
+      os << "\"" << util::json_escape(f.model_problems[j]) << "\"";
+    }
+    os << "],\"intent_problems\":[";
+    for (size_t j = 0; j < f.intent_problems.size(); ++j) {
+      if (j > 0) os << ",";
+      os << "\"" << util::json_escape(f.intent_problems[j]) << "\"";
+    }
+    os << "],\"symbolic_trace\":\"" << util::json_escape(f.symbolic_trace)
+       << "\"";
+    os << ",\"physical_trace\":[";
+    for (size_t j = 0; j < f.physical_trace.size(); ++j) {
+      if (j > 0) os << ",";
+      os << "\"" << util::json_escape(f.physical_trace[j]) << "\"";
+    }
+    os << "]}";
+  }
+  os << "]";
+  if (obs::metrics_enabled()) {
+    // Fold the metrics snapshot in so one file answers "what happened and
+    // where did the time go". Key order stays stable: the registry sorts
+    // by metric name. The snapshot renders as {"metrics":[...]}.
+    os << ",\"observability\":" << obs::metrics().to_json();
+  }
+  os << "}";
   return os.str();
 }
 

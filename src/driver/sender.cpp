@@ -1,5 +1,6 @@
 #include "driver/sender.hpp"
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -47,56 +48,60 @@ std::optional<TestCase> Sender::concretize(const sym::TestCaseTemplate& t,
   // placeholder and re-solve; give up (remove the case) after a few rounds.
   std::vector<ir::ExprRef> extra;
   std::optional<smt::Model> model;
-  for (int round = 0; round <= kMaxHashRepairRounds; ++round) {
-    sym::PathResult pr;
-    pr.conds = t.conds;
-    for (ir::ExprRef e : extra) pr.conds.push_back(e);
-    model = engine.solve_for_model(pr);
-    if (!model) {
-      ++removed_by_hash_;
-      return std::nullopt;  // over-constrained by repair: remove (§4)
-    }
-    bool consistent = true;
-    extra.clear();
-    for (const sym::HashObligation& o : t.obligations) {
-      std::vector<uint64_t> kv;
-      std::vector<int> kw;
-      ir::ConcreteState ms(model->begin(), model->end());
-      bool known = true;
-      for (size_t i = 0; i < o.key_exprs.size(); ++i) {
-        auto v = ir::eval(o.key_exprs[i], ms);
-        if (!v) {
-          // Key depends on an unconstrained input: default it to zero,
-          // consistent with the state completion below.
-          ir::ConcreteState padded = ms;
-          std::unordered_set<ir::FieldId> fs;
-          ir::collect_fields(o.key_exprs[i], fs);
-          for (ir::FieldId f : fs) padded.try_emplace(f, 0);
-          v = ir::eval(o.key_exprs[i], padded);
-          known = v.has_value();
+  {
+    obs::Span span("solve", "sender");
+    span.arg("template", t.id);
+    for (int round = 0; round <= kMaxHashRepairRounds; ++round) {
+      sym::PathResult pr;
+      pr.conds = t.conds;
+      for (ir::ExprRef e : extra) pr.conds.push_back(e);
+      model = engine.solve_for_model(pr);
+      if (!model) {
+        ++removed_by_hash_;
+        return std::nullopt;  // over-constrained by repair: remove (§4)
+      }
+      bool consistent = true;
+      extra.clear();
+      for (const sym::HashObligation& o : t.obligations) {
+        std::vector<uint64_t> kv;
+        std::vector<int> kw;
+        ir::ConcreteState ms(model->begin(), model->end());
+        bool known = true;
+        for (size_t i = 0; i < o.key_exprs.size(); ++i) {
+          auto v = ir::eval(o.key_exprs[i], ms);
+          if (!v) {
+            // Key depends on an unconstrained input: default it to zero,
+            // consistent with the state completion below.
+            ir::ConcreteState padded = ms;
+            std::unordered_set<ir::FieldId> fs;
+            ir::collect_fields(o.key_exprs[i], fs);
+            for (ir::FieldId f : fs) padded.try_emplace(f, 0);
+            v = ir::eval(o.key_exprs[i], padded);
+            known = v.has_value();
+          }
+          if (!known) break;
+          kv.push_back(*v);
+          kw.push_back(o.key_widths[i]);
         }
-        if (!known) break;
-        kv.push_back(*v);
-        kw.push_back(o.key_widths[i]);
+        if (!known) continue;
+        int w = ctx_.fields.width(o.placeholder);
+        uint64_t want = p4::compute_hash(o.algo, kv, kw, w);
+        auto got = model->find(o.placeholder);
+        if (got == model->end() || got->second != want) {
+          consistent = false;
+        }
+        extra.push_back(ctx_.arena.cmp(ir::CmpOp::kEq,
+                                       ctx_.arena.field(o.placeholder, w),
+                                       ctx_.arena.constant(want, w)));
       }
-      if (!known) continue;
-      int w = ctx_.fields.width(o.placeholder);
-      uint64_t want = p4::compute_hash(o.algo, kv, kw, w);
-      auto got = model->find(o.placeholder);
-      if (got == model->end() || got->second != want) {
-        consistent = false;
+      if (consistent) break;
+      if (round == kMaxHashRepairRounds) {
+        ++removed_by_hash_;
+        return std::nullopt;
       }
-      extra.push_back(ctx_.arena.cmp(ir::CmpOp::kEq,
-                                     ctx_.arena.field(o.placeholder, w),
-                                     ctx_.arena.constant(want, w)));
+      ++hash_repair_attempts_;  // another pinned re-solve round follows
     }
-    if (consistent) break;
-    if (round == kMaxHashRepairRounds) {
-      ++removed_by_hash_;
-      return std::nullopt;
-    }
-    ++hash_repair_attempts_;  // another pinned re-solve round follows
-  }
+  }  // solve span ends before the concrete replay
 
   // 2. Complete the input state: model values, zero defaults elsewhere.
   TestCase tc;

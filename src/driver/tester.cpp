@@ -4,6 +4,9 @@
 #include <optional>
 #include <unordered_set>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace meissa::driver {
 
 namespace {
@@ -86,6 +89,8 @@ TestReport Meissa::test(sim::Device& device,
     for (const sym::TestCaseTemplate& t : templates_) {
       std::optional<TestCase> tc = sender.concretize(t, gen_.engine());
       if (!tc) continue;  // removed by hash filtering (§4)
+      obs::Span span("send/check", "driver");
+      span.arg("case", tc->case_id);
       device.set_registers(tc->registers);
       record(t, *tc, device.inject(tc->input));
     }
@@ -98,6 +103,8 @@ TestReport Meissa::test(sim::Device& device,
     for (const sym::TestCaseTemplate& t : templates_) {
       std::optional<TestCase> tc = sender.concretize(t, gen_.engine());
       if (!tc) continue;
+      obs::Span span("send/check", "driver");
+      span.arg("case", tc->case_id);
       // Drain reordered stragglers of earlier cases first: afterwards only
       // this case's frames are in flight, which is what makes unstamped
       // drop verdicts attributable to it. Two collects empty the link's
@@ -160,6 +167,7 @@ TestReport Meissa::test(sim::Device& device,
       if (!verdict) {
         ++report.cases;
         report.quarantined.push_back(tc->case_id);
+        obs::instant("case quarantined", "driver");
         continue;
       }
       record(t, *tc, *verdict);
@@ -170,6 +178,27 @@ TestReport Meissa::test(sim::Device& device,
   report.removed_by_hash = sender.removed_by_hash();
   report.hash_repair_attempts = sender.hash_repair_attempts();
   report.gen = gen_.stats();
+  if (obs::metrics_enabled()) {
+    // Retry-protocol totals (run-level, emitted once: cheaper and just as
+    // informative as per-event counting on the serial driver loop).
+    obs::metrics().counter("driver.cases").add(report.cases);
+    obs::metrics().counter("driver.failed").add(report.failed);
+    obs::metrics().counter("driver.send_retries").add(report.send_retries);
+    obs::metrics()
+        .counter("driver.install_retries")
+        .add(report.install_retries);
+    obs::metrics().counter("driver.dedup_dropped").add(report.dedup_dropped);
+    obs::metrics()
+        .counter("driver.corruption_detected")
+        .add(report.corruption_detected);
+    obs::metrics().counter("driver.backoff_units").add(report.backoff_units);
+    obs::metrics()
+        .counter("driver.quarantined")
+        .add(report.quarantined.size());
+    obs::metrics()
+        .counter("driver.hash_repair_attempts")
+        .add(report.hash_repair_attempts);
+  }
   return report;
 }
 

@@ -1,0 +1,138 @@
+#include "obs/metrics.hpp"
+
+#include <fstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace meissa::obs {
+
+std::atomic<bool> MetricsRegistry::enabled_{false};
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* reg = new MetricsRegistry();  // never destroyed:
+  return *reg;  // instrument sites may fire from static destructors
+}
+
+MetricsRegistry::Slot& MetricsRegistry::slot(std::string_view name,
+                                             MetricValue::Kind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(name);
+  if (it == slots_.end()) {
+    Slot s;
+    s.kind = kind;
+    switch (kind) {
+      case MetricValue::Kind::kCounter:
+        s.counter = std::make_unique<Counter>();
+        break;
+      case MetricValue::Kind::kGauge:
+        s.gauge = std::make_unique<Gauge>();
+        break;
+      case MetricValue::Kind::kHistogram:
+        s.histogram = std::make_unique<Histogram>();
+        break;
+    }
+    it = slots_.emplace(std::string(name), std::move(s)).first;
+  }
+  util::check(it->second.kind == kind,
+              "metrics: one name registered with two kinds");
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return *slot(name, MetricValue::Kind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return *slot(name, MetricValue::Kind::kGauge).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  return *slot(name, MetricValue::Kind::kHistogram).histogram;
+}
+
+std::vector<MetricValue> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricValue> out;
+  out.reserve(slots_.size());
+  // std::map iterates in name order — the deterministic snapshot contract.
+  for (const auto& [name, s] : slots_) {
+    MetricValue v;
+    v.name = name;
+    v.kind = s.kind;
+    switch (s.kind) {
+      case MetricValue::Kind::kCounter:
+        v.value = s.counter->value();
+        break;
+      case MetricValue::Kind::kGauge:
+        v.value = s.gauge->value();
+        break;
+      case MetricValue::Kind::kHistogram:
+        v.value = s.histogram->count();
+        v.sum = s.histogram->sum();
+        for (int i = 0; i < Histogram::kBuckets; ++i) {
+          uint64_t c = s.histogram->bucket(i);
+          if (c != 0) v.buckets.emplace_back(Histogram::bucket_limit(i), c);
+        }
+        break;
+    }
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_json() const {
+  const std::vector<MetricValue> snap = snapshot();
+  std::string out = "{\"metrics\":[";
+  bool first = true;
+  for (const MetricValue& m : snap) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    out += util::json_escape(m.name);
+    out += "\",\"kind\":\"";
+    switch (m.kind) {
+      case MetricValue::Kind::kCounter: out += "counter"; break;
+      case MetricValue::Kind::kGauge: out += "gauge"; break;
+      case MetricValue::Kind::kHistogram: out += "histogram"; break;
+    }
+    out += "\"";
+    if (m.kind == MetricValue::Kind::kHistogram) {
+      out += ",\"count\":" + std::to_string(m.value);
+      out += ",\"sum\":" + std::to_string(m.sum);
+      out += ",\"buckets\":[";
+      for (size_t i = 0; i < m.buckets.size(); ++i) {
+        if (i > 0) out += ",";
+        out += "{\"le\":" + std::to_string(m.buckets[i].first) +
+               ",\"count\":" + std::to_string(m.buckets[i].second) + "}";
+      }
+      out += "]";
+    } else {
+      out += ",\"value\":" + std::to_string(m.value);
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+void MetricsRegistry::reset_values() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, s] : slots_) {
+    (void)name;
+    switch (s.kind) {
+      case MetricValue::Kind::kCounter: s.counter->reset(); break;
+      case MetricValue::Kind::kGauge: s.gauge->reset(); break;
+      case MetricValue::Kind::kHistogram: s.histogram->reset(); break;
+    }
+  }
+}
+
+bool write_metrics_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << metrics().to_json() << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace meissa::obs

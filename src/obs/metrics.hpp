@@ -1,0 +1,174 @@
+// Process-wide metrics: counters, gauges, and log-scale histograms for the
+// generation hot paths (summary waves, sharded DFS, solver backends, driver
+// retry protocol).
+//
+// Design constraints, in priority order:
+//   1. Disabled by default, and near-free when disabled: every instrument
+//      site is gated on one relaxed atomic load (`metrics_enabled()`), so a
+//      build without --metrics takes no locks, allocates nothing, and reads
+//      no clocks — generation output stays byte-identical.
+//   2. Thread-safe under the PR-1 thread pool: instrument updates are plain
+//      relaxed atomics (no mutex on the hot path); only first-time
+//      registration of a metric name takes a lock.
+//   3. Deterministic snapshots: snapshot()/to_json() emit metrics sorted by
+//      name, independent of registration (i.e. scheduling) order, so two
+//      runs of the same workload produce diffable output.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace meissa::obs {
+
+// A monotonically increasing event count.
+class Counter {
+ public:
+  void add(uint64_t n = 1) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const noexcept { return v_.load(std::memory_order_relaxed); }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+// A last-write-wins level, with a lock-free high-water-mark helper (used
+// for e.g. solver push/pop depth).
+class Gauge {
+ public:
+  void set(uint64_t v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  // Raises the gauge to `v` if it is below it (monotone high-water mark).
+  void record_max(uint64_t v) noexcept {
+    uint64_t cur = v_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  uint64_t value() const noexcept { return v_.load(std::memory_order_relaxed); }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+// A log-scale (power-of-two bucketed) histogram of non-negative samples:
+// bucket 0 holds the value 0, bucket i (i >= 1) holds [2^(i-1), 2^i).
+// Latencies are recorded in microseconds, so 64 buckets span sub-µs to
+// centuries with ~2x resolution — enough for the "where does SMT effort
+// go" question without per-sample storage.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 65;
+
+  void observe(uint64_t v) noexcept {
+    buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+  uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  uint64_t sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  uint64_t bucket(int i) const noexcept {
+    return buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+  }
+  void reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+  static int bucket_of(uint64_t v) noexcept {
+    if (v == 0) return 0;
+    return 64 - __builtin_clzll(v);
+  }
+  // Inclusive upper bound of bucket i (the largest value it can hold).
+  static uint64_t bucket_limit(int i) noexcept {
+    if (i <= 0) return 0;
+    if (i >= 64) return ~uint64_t{0};
+    return (uint64_t{1} << i) - 1;
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+// One metric's state at snapshot time.
+struct MetricValue {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  uint64_t value = 0;  // counter/gauge value; histogram count
+  uint64_t sum = 0;    // histogram only
+  // Histogram only: non-empty buckets as (inclusive upper bound, count),
+  // in ascending bound order.
+  std::vector<std::pair<uint64_t, uint64_t>> buckets;
+};
+
+class MetricsRegistry {
+ public:
+  // The process-wide registry every instrument site reports into.
+  static MetricsRegistry& global();
+
+  // The hot-path gate. Relaxed: an instrument site that races with
+  // set_enabled merely misses (or records) one sample.
+  static bool enabled() noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  static void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  // Finds or creates a metric. Returned references are stable for the
+  // registry's lifetime (node-based storage), so call sites may cache them.
+  // A name keeps its first kind; re-requesting it with another kind is a
+  // programming error (checked).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  // All metrics, sorted by name (deterministic across thread counts and
+  // registration orders).
+  std::vector<MetricValue> snapshot() const;
+
+  // One JSON object, stable key order: {"metrics":[{...},...]}. Strings go
+  // through util::json_escape.
+  std::string to_json() const;
+
+  // Zeroes every metric (the names stay registered). Test/bench helper so
+  // consecutive runs in one process don't accumulate.
+  void reset_values();
+
+ private:
+  struct Slot {
+    MetricValue::Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  Slot& slot(std::string_view name, MetricValue::Kind kind);
+
+  static std::atomic<bool> enabled_;
+  mutable std::mutex mu_;  // guards the map shape, not the atomic cells
+  std::map<std::string, Slot, std::less<>> slots_;
+};
+
+// Shorthand for the global registry.
+inline MetricsRegistry& metrics() { return MetricsRegistry::global(); }
+inline bool metrics_enabled() noexcept { return MetricsRegistry::enabled(); }
+
+// Writes metrics().to_json() to `path` (+ trailing newline). Returns false
+// (and leaves no partial file behind on open failure) when unwritable.
+bool write_metrics_file(const std::string& path);
+
+}  // namespace meissa::obs

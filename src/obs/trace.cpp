@@ -1,0 +1,161 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <mutex>
+
+#include "util/strings.hpp"
+
+namespace meissa::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::atomic<bool> g_enabled{false};
+std::mutex g_mu;                     // guards g_events and g_base
+std::vector<TraceEvent> g_events;    // the session buffer
+Clock::time_point g_base{};          // timestamps are relative to this
+
+// Small, human-readable thread ids: assigned once per OS thread, reused
+// for every event that thread records. (Real pthread ids make the Chrome
+// viewer's track names unreadable.)
+std::atomic<uint32_t> g_next_tid{0};
+uint32_t this_tid() {
+  thread_local uint32_t tid = g_next_tid.fetch_add(1) + 1;
+  return tid;
+}
+
+uint64_t micros_since_base(Clock::time_point t) {
+  // The base is only re-set under g_mu in trace_start, before collection is
+  // enabled, so reading it unlocked from live spans is race-free in any run
+  // that calls trace_start before spawning instrumented work.
+  if (t < g_base) return 0;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(t - g_base)
+          .count());
+}
+
+void record(TraceEvent ev) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_events.push_back(std::move(ev));
+}
+
+}  // namespace
+
+void trace_start() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_events.clear();
+  g_base = Clock::now();
+  g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void trace_stop() { g_enabled.store(false, std::memory_order_relaxed); }
+
+bool trace_enabled() noexcept {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void instant(const char* name, const char* category) {
+  if (!trace_enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.category = category;
+  ev.phase = 'i';
+  ev.ts_us = micros_since_base(Clock::now());
+  ev.tid = this_tid();
+  record(std::move(ev));
+}
+
+Span::Span(const char* name, const char* category) {
+  if (!trace_enabled()) return;
+  live_ = true;
+  ev_.name = name;
+  ev_.category = category;
+  ev_.tid = this_tid();
+  ev_.ts_us = micros_since_base(Clock::now());
+}
+
+Span::Span(const std::string& name, const char* category) {
+  if (!trace_enabled()) return;
+  live_ = true;
+  ev_.name = name;
+  ev_.category = category;
+  ev_.tid = this_tid();
+  ev_.ts_us = micros_since_base(Clock::now());
+}
+
+Span::~Span() {
+  if (!live_) return;
+  uint64_t end = micros_since_base(Clock::now());
+  ev_.dur_us = end > ev_.ts_us ? end - ev_.ts_us : 0;
+  record(std::move(ev_));
+}
+
+void Span::arg(const char* key, uint64_t value) {
+  if (!live_) return;
+  ev_.args.emplace_back(key, std::to_string(value));
+}
+
+void Span::arg(const char* key, const std::string& value) {
+  if (!live_) return;
+  // Quoted marker so rendering knows to emit a JSON string, not a number.
+  ev_.args.emplace_back(key, "\"" + value + "\"");
+}
+
+std::vector<TraceEvent> trace_events() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return g_events;
+}
+
+std::string trace_to_json() {
+  const std::vector<TraceEvent> events = trace_events();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    out += util::json_escape(ev.name);
+    out += "\",\"cat\":\"";
+    out += util::json_escape(ev.category);
+    out += "\",\"ph\":\"";
+    out += ev.phase;
+    out += "\",\"pid\":1,\"tid\":" + std::to_string(ev.tid);
+    out += ",\"ts\":" + std::to_string(ev.ts_us);
+    if (ev.phase == 'X') out += ",\"dur\":" + std::to_string(ev.dur_us);
+    if (ev.phase == 'i') out += ",\"s\":\"t\"";
+    if (!ev.args.empty()) {
+      out += ",\"args\":{";
+      for (size_t i = 0; i < ev.args.size(); ++i) {
+        if (i > 0) out += ",";
+        out += "\"";
+        out += util::json_escape(ev.args[i].first);
+        out += "\":";
+        const std::string& v = ev.args[i].second;
+        if (!v.empty() && v.front() == '"') {
+          // String value: re-escape the payload between the quote markers.
+          out += "\"";
+          out += util::json_escape(v.substr(1, v.size() - 2));
+          out += "\"";
+        } else {
+          out += v;
+        }
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+bool write_trace_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << trace_to_json() << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace meissa::obs

@@ -1,0 +1,76 @@
+// Span-based tracing with Chrome trace-event export.
+//
+// A Span is an RAII scope marker: construction stamps the start time,
+// destruction records one complete ("ph":"X") event into the process-wide
+// trace buffer. instant() records point events ("ph":"i") for things with
+// no duration (budget exhaustion, quarantine). The buffer renders to the
+// Chrome trace-event JSON format, loadable in chrome://tracing and Perfetto.
+//
+// Cost model mirrors obs/metrics.hpp: everything is gated on one relaxed
+// atomic load, so when tracing is off (the default) a Span is two branches
+// and no clock reads, and generation output stays byte-identical. When on,
+// span end takes a short mutex-protected append; spans mark coarse units
+// (a phase, a pipeline, a shard, a test case) — never per-solver-check —
+// so the lock is far off the hot path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace meissa::obs {
+
+// Starts a fresh trace session: clears the buffer, re-bases timestamps at
+// "now", and enables collection.
+void trace_start();
+// Stops collection (buffered events stay until the next trace_start).
+void trace_stop();
+bool trace_enabled() noexcept;
+
+// Records a point event ("ph":"i", thread scope) if tracing is enabled.
+void instant(const char* name, const char* category = "meissa");
+
+// One recorded event, in trace_start-relative microseconds.
+struct TraceEvent {
+  std::string name;
+  const char* category = "meissa";
+  char phase = 'X';  // 'X' complete span, 'i' instant
+  uint64_t ts_us = 0;
+  uint64_t dur_us = 0;
+  uint32_t tid = 0;  // small per-thread id, assigned on first use
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+class Span {
+ public:
+  explicit Span(const char* name, const char* category = "meissa");
+  // Dynamic names (e.g. "summary " + instance). The string is copied only
+  // when tracing is enabled.
+  explicit Span(const std::string& name, const char* category = "meissa");
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  // Attaches a key/value to the event (shown in the trace viewer's detail
+  // pane). No-op when the span is not live.
+  void arg(const char* key, uint64_t value);
+  void arg(const char* key, const std::string& value);
+
+ private:
+  bool live_ = false;  // tracing was on at construction
+  TraceEvent ev_;
+};
+
+// The buffered events of the current session, in record order.
+std::vector<TraceEvent> trace_events();
+
+// Renders the session as one Chrome trace JSON object:
+// {"traceEvents":[...],"displayTimeUnit":"ms"}.
+std::string trace_to_json();
+
+// Writes trace_to_json() to `path` (+ newline); false when unwritable.
+bool write_trace_file(const std::string& path);
+
+}  // namespace meissa::obs

@@ -45,6 +45,24 @@ uint64_t lpm_mask(int prefix_len, int width) {
 
 }  // namespace
 
+int entry_rank(const std::vector<MatchKind>& key_kinds, const TableEntry& a,
+               const TableEntry& b) {
+  // 1. Longest prefix, lexicographically over every lpm key. The old rule
+  // consulted only the first lpm key (later ones never broke ties) and, in
+  // mixed lpm+ternary tables, let the priority number override prefix
+  // length — so a /16 with a smaller priority value shadowed a /24.
+  for (size_t i = 0; i < key_kinds.size(); ++i) {
+    if (key_kinds[i] != MatchKind::kLpm) continue;
+    if (a.matches[i].prefix_len != b.matches[i].prefix_len) {
+      return a.matches[i].prefix_len > b.matches[i].prefix_len ? -1 : 1;
+    }
+  }
+  // 2. Priority number (smaller wins) for everything prefixes left tied.
+  if (a.priority != b.priority) return a.priority < b.priority ? -1 : 1;
+  // 3. Full tie: install order, owned by the caller's indexing.
+  return 0;
+}
+
 std::vector<const TableEntry*> RuleSet::ordered_entries(
     const TableDef& table) const {
   std::vector<const TableEntry*> out;
@@ -53,28 +71,19 @@ std::vector<const TableEntry*> RuleSet::ordered_entries(
   }
   bool has_lpm = false;
   bool has_ternary_or_range = false;
+  std::vector<MatchKind> kinds;
+  kinds.reserve(table.keys.size());
   for (const TableKey& k : table.keys) {
+    kinds.push_back(k.kind);
     has_lpm |= k.kind == MatchKind::kLpm;
     has_ternary_or_range |=
         k.kind == MatchKind::kTernary || k.kind == MatchKind::kRange;
   }
   if (has_lpm || has_ternary_or_range) {
-    // Stable sort keeps insertion order among equal-priority entries.
+    // Stable sort: entry_rank's full ties keep install order.
     std::stable_sort(out.begin(), out.end(),
                      [&](const TableEntry* a, const TableEntry* b) {
-                       if (has_ternary_or_range && a->priority != b->priority) {
-                         return a->priority < b->priority;
-                       }
-                       if (has_lpm) {
-                         // Longest prefix first (use the first lpm key).
-                         for (size_t i = 0; i < table.keys.size(); ++i) {
-                           if (table.keys[i].kind == MatchKind::kLpm) {
-                             return a->matches[i].prefix_len >
-                                    b->matches[i].prefix_len;
-                           }
-                         }
-                       }
-                       return false;
+                       return entry_rank(kinds, *a, *b) < 0;
                      });
   }
   return out;

@@ -51,8 +51,9 @@ struct RuleSet {
 
   void add(TableEntry e) { entries.push_back(std::move(e)); }
 
-  // Entries of one table in match order: lpm by descending prefix, ternary
-  // by ascending priority number, exact/range in insertion order.
+  // Entries of one table in match order (see entry_rank below): longest
+  // prefix first, then ascending priority number, then install order.
+  // Exact-only tables keep pure insertion order (no rank dimensions apply).
   std::vector<const TableEntry*> ordered_entries(const TableDef& table) const;
 
   // Synthetic rule-set "lines": one line per entry plus one per override —
@@ -61,6 +62,18 @@ struct RuleSet {
     return entries.size() + default_overrides.size();
   }
 };
+
+// The explicit winner rule for entries that match the same key values:
+//   1. longest prefix first — lexicographically over every lpm key, so a
+//      /24 route always beats a /16 whatever order they were installed in;
+//   2. then ascending priority number (the ternary/range tiebreak);
+//   3. then install order (the caller's index; this function returns 0).
+// Returns <0 when `a` outranks `b`, >0 when `b` outranks `a`, 0 on a full
+// tie. Shared by RuleSet::ordered_entries (which fixes the symbolic
+// engine's branch order) and sim::Device's concrete lookup, so the two
+// semantics cannot diverge on overlapping entries.
+int entry_rank(const std::vector<MatchKind>& key_kinds, const TableEntry& a,
+               const TableEntry& b);
 
 // Builds the match predicate of one key against `field_expr`.
 ir::ExprRef key_predicate(ir::ExprArena& arena, ir::ExprRef field_expr,

@@ -138,6 +138,18 @@ void Device::run_op(const DevOp& op, ExecState& st) const {
 
 void Device::apply_table(const DevInstance& inst, const DevTable& t,
                          ExecState& st) const {
+  std::vector<p4::MatchKind> kinds;
+  kinds.reserve(t.keys.size());
+  for (const DevKey& k : t.keys) kinds.push_back(k.kind);
+
+  // Scan every entry and pick the winner by the explicit rule — longest
+  // prefix, then priority, then install order (p4::entry_rank, the same
+  // rule that fixes the symbolic engine's branch order). First-hit-in-
+  // compiled-order used to stand in for this; that made overlapping lpm /
+  // ternary entries resolve by whatever order the toolchain happened to
+  // install, and any divergence from the engine's semantics surfaced as a
+  // phantom test failure.
+  const DevEntry* best = nullptr;
   for (const DevEntry& e : t.entries) {
     bool hit = true;
     for (size_t i = 0; i < t.keys.size() && hit; ++i) {
@@ -165,12 +177,18 @@ void Device::apply_table(const DevInstance& inst, const DevTable& t,
           break;
       }
     }
-    if (hit) {
-      st.trace.push_back(inst.name + ": table " + t.name + " hit -> " +
-                         e.source.action);
-      for (const DevOp& op : e.ops) run_op(op, st);
-      return;
+    // Strictly-better only: a full rank tie keeps the earlier entry, which
+    // is install order (entries preserve it among rank ties).
+    if (hit &&
+        (best == nullptr || p4::entry_rank(kinds, e.source, best->source) < 0)) {
+      best = &e;
     }
+  }
+  if (best != nullptr) {
+    st.trace.push_back(inst.name + ": table " + t.name + " hit -> " +
+                       best->source.action);
+    for (const DevOp& op : best->ops) run_op(op, st);
+    return;
   }
   st.trace.push_back(inst.name + ": table " + t.name + " miss -> " +
                      t.default_action);

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace meissa::smt {
@@ -16,6 +17,11 @@ BvSolver::BvSolver(ir::Context& ctx) : ctx_(ctx), blaster_(sat_) {
 void BvSolver::push() {
   ++stats_.pushes;
   scopes_.emplace_back();
+  if (obs::metrics_enabled()) {
+    // High-water mark of the incremental assertion stack (the DFS depth as
+    // the solver sees it). Base scope excluded.
+    obs::metrics().gauge("smt.push_depth_max").record_max(scopes_.size() - 1);
+  }
 }
 
 void BvSolver::pop() {
@@ -190,6 +196,23 @@ void BvSolver::blast_pending() {
 }
 
 CheckResult BvSolver::check() {
+  if (!obs::metrics_enabled()) return check_impl();
+  // Per-check CDCL effort: delta of the cumulative SAT-core counters
+  // around one check. Fast-path checks record zeros, which keeps the
+  // histogram an honest per-check distribution.
+  const SatSolver::Stats before = sat_.stats();
+  CheckResult r = check_impl();
+  const SatSolver::Stats& after = sat_.stats();
+  obs::metrics()
+      .histogram("smt.conflicts_per_check")
+      .observe(after.conflicts - before.conflicts);
+  obs::metrics()
+      .histogram("smt.propagations_per_check")
+      .observe(after.propagations - before.propagations);
+  return r;
+}
+
+CheckResult BvSolver::check_impl() {
   ++stats_.checks;
   model_.clear();
   model_from_fast_path_ = false;
@@ -213,11 +236,9 @@ CheckResult BvSolver::check() {
   ResourceLimits limits;
   limits.max_conflicts = budget_.max_conflicts;
   limits.max_propagations = budget_.max_propagations;
-  if (budget_.max_check_seconds > 0) {
+  if (budget_.max_wall_ms > 0) {
     limits.has_deadline = true;
-    limits.deadline = std::chrono::steady_clock::now() +
-                      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                          std::chrono::duration<double>(budget_.max_check_seconds));
+    limits.deadline = budget_.deadline_after(std::chrono::steady_clock::now());
   }
   switch (sat_.solve_limited(assumptions, limits)) {
     case SolveStatus::kSat:

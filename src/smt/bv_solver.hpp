@@ -51,6 +51,9 @@ class BvSolver final : public Solver {
   // Attempts the pure-domain decision procedure.
   CheckResult try_fast_path();
 
+  // check() minus the observability wrapper.
+  CheckResult check_impl();
+
   void blast_pending();
 
   struct Scope {

@@ -11,6 +11,7 @@
 //                 cross-check BvSolver in tests and benchmarks.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -31,12 +32,29 @@ struct Budget {
   uint64_t max_conflicts = 0;
   // Unit propagations a single check may spend (0 = unlimited).
   uint64_t max_propagations = 0;
-  // Wall-clock seconds for a single check (0 = unlimited).
-  double max_check_seconds = 0;
+  // Wall-clock milliseconds for a single check (0 = unlimited). Deadlines
+  // derived from this value must come from deadline_after(): a monotonic
+  // (steady_clock) base plus *saturating* addition, so max_wall_ms up to
+  // UINT64_MAX means "roomy" rather than overflowing into a deadline in
+  // the past.
+  uint64_t max_wall_ms = 0;
 
   bool unlimited() const noexcept {
-    return max_conflicts == 0 && max_propagations == 0 &&
-           max_check_seconds <= 0;
+    return max_conflicts == 0 && max_propagations == 0 && max_wall_ms == 0;
+  }
+
+  // `now + max_wall_ms`, clamped to time_point::max() when the addition
+  // would overflow the clock's representation.
+  std::chrono::steady_clock::time_point deadline_after(
+      std::chrono::steady_clock::time_point now) const noexcept {
+    using clock = std::chrono::steady_clock;
+    using std::chrono::milliseconds;
+    const auto headroom = std::chrono::duration_cast<milliseconds>(
+        clock::time_point::max() - now);
+    if (max_wall_ms >= static_cast<uint64_t>(headroom.count())) {
+      return clock::time_point::max();
+    }
+    return now + milliseconds(max_wall_ms);
   }
 };
 

@@ -7,8 +7,10 @@
 
 #include <z3++.h>
 
+#include <algorithm>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace meissa::smt {
@@ -22,6 +24,9 @@ class Z3Solver final : public Solver {
   void push() override {
     ++stats_.pushes;
     ++depth_;
+    if (obs::metrics_enabled()) {
+      obs::metrics().gauge("smt.push_depth_max").record_max(depth_);
+    }
     solver_.push();
   }
   void pop() override {
@@ -51,9 +56,12 @@ class Z3Solver final : public Solver {
   // same as BvSolver's exhausted budget).
   void set_budget(const Budget& budget) override {
     z3::params p(z3_);
-    if (budget.max_check_seconds > 0) {
-      auto ms = static_cast<unsigned>(budget.max_check_seconds * 1000.0);
-      p.set("timeout", ms == 0 ? 1u : ms);
+    if (budget.max_wall_ms > 0) {
+      // Z3's knob is a 32-bit ms count where UINT32_MAX means "none";
+      // saturate just below it so a huge budget stays a (huge) timeout.
+      auto ms = static_cast<unsigned>(
+          std::min<uint64_t>(budget.max_wall_ms, 4294967294u));
+      p.set("timeout", ms);
     } else {
       p.set("timeout", 4294967295u);  // Z3's "no timeout" sentinel
     }

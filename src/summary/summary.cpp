@@ -4,6 +4,8 @@
 #include <chrono>
 
 #include "analysis/dataflow.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
@@ -494,6 +496,7 @@ SummaryResult summarize(ir::Context& ctx, const cfg::Cfg& original,
   // safe to run concurrently for independent pipelines.
   auto explore = [&](size_t k, InstanceWork& w) {
     const cfg::InstanceInfo& info = g.instances()[k];
+    obs::Span span("summary " + info.name, "summary");
     auto t0 = std::chrono::steady_clock::now();
     w.ps.instance = info.name;
     w.ps.paths_before = g.count_instance_paths(static_cast<int>(k));
@@ -580,6 +583,27 @@ SummaryResult summarize(ir::Context& ctx, const cfg::Cfg& original,
     w.ps.seconds = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - t0)
                        .count();
+    span.arg("paths_after", w.ps.paths_after);
+    span.arg("smt_checks", w.ps.smt_checks);
+    if (obs::metrics_enabled()) {
+      obs::metrics().counter("summary.pipelines").add();
+      obs::metrics().counter("summary.smt_checks").add(w.ps.smt_checks);
+      obs::metrics()
+          .histogram("summary.pipeline_us")
+          .observe(static_cast<uint64_t>(w.ps.seconds * 1e6));
+      // "Paths eliminated" per pipeline: original subgraph paths minus the
+      // surviving summarized branches. The original count can exceed any
+      // fixed-width integer (that is the point of summarization), so clamp
+      // the eliminated count into a saturating uint64.
+      if (w.ps.paths_before.is_exact() &&
+          w.ps.paths_before.exact() >= w.ps.paths_after) {
+        obs::metrics()
+            .counter("summary.paths_eliminated")
+            .add(w.ps.paths_before.exact() - w.ps.paths_after);
+      } else {
+        obs::metrics().counter("summary.paths_eliminated_saturated").add();
+      }
+    }
   };
 
   // Encode one explored pipeline: replace the subgraph with the summarized

@@ -1,5 +1,8 @@
 #include "sym/engine.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/clock.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
@@ -66,9 +69,8 @@ struct Engine::ExplorationContext {
   void set_deadline(double budget_seconds) {
     if (budget_seconds <= 0) return;
     has_deadline = true;
-    deadline = std::chrono::steady_clock::now() +
-               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                   std::chrono::duration<double>(budget_seconds));
+    deadline = util::steady_deadline_after(std::chrono::steady_clock::now(),
+                                           budget_seconds);
   }
 
   // Folds the incremental solver's counters into `stats` (done once, at the
@@ -78,6 +80,7 @@ struct Engine::ExplorationContext {
   }
 
   smt::CheckResult check_current();
+  smt::CheckResult check_current_impl();
   // DFS from `id`. While `force` is set and `depth + 1 < force->size()`,
   // recursion is pinned to the forced prefix instead of fanning out over
   // all successors — this replays a shard's prefix, rebuilding V/C and the
@@ -133,6 +136,39 @@ void Engine::seed_value(ir::FieldId f, ir::ExprRef value) {
 }
 
 smt::CheckResult Engine::ExplorationContext::check_current() {
+  // Observability wrapper: per-check latency histograms keyed by verdict,
+  // and a budget-exhaustion marker on kUnknown. Clocks are read only when
+  // metrics are on; the disabled path is one relaxed load plus the check.
+  if (!obs::metrics_enabled()) {
+    smt::CheckResult r = check_current_impl();
+    if (r == smt::CheckResult::kUnknown) {
+      obs::instant("solver budget exhausted", "dfs");
+    }
+    return r;
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  smt::CheckResult r = check_current_impl();
+  const uint64_t us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  switch (r) {
+    case smt::CheckResult::kSat:
+      obs::metrics().histogram("dfs.check_us.sat").observe(us);
+      break;
+    case smt::CheckResult::kUnsat:
+      obs::metrics().histogram("dfs.check_us.unsat").observe(us);
+      break;
+    case smt::CheckResult::kUnknown:
+      obs::metrics().histogram("dfs.check_us.unknown").observe(us);
+      obs::metrics().counter("dfs.budget_exhausted").add();
+      obs::instant("solver budget exhausted", "dfs");
+      break;
+  }
+  return r;
+}
+
+smt::CheckResult Engine::ExplorationContext::check_current_impl() {
   if (eng.opts_.incremental) {
     smt::CheckResult r = solver->check();
     stats.solver = solver->stats();
@@ -226,15 +262,15 @@ void Engine::run_parallel(const Sink& sink, int threads) {
   bool has_deadline = false;
   if (opts_.time_budget_seconds > 0) {
     has_deadline = true;
-    deadline = std::chrono::steady_clock::now() +
-               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                   std::chrono::duration<double>(opts_.time_budget_seconds));
+    deadline = util::steady_deadline_after(std::chrono::steady_clock::now(),
+                                           opts_.time_budget_seconds);
   }
 
   const std::string ns_base =
       opts_.fresh_ns.empty() ? std::string() : opts_.fresh_ns + ".";
   util::ThreadPool pool(threads);
   pool.run(shards.size(), [&](size_t i) {
+    obs::Span span("shard " + std::to_string(i), "dfs");
     ExplorationContext ec(*this, ns_base + "s" + std::to_string(i));
     ec.has_deadline = has_deadline;
     ec.deadline = deadline;
@@ -243,6 +279,8 @@ void Engine::run_parallel(const Sink& sink, int threads) {
     }, &shards[i], 0);
     ec.finish();
     shard_stats[i] = ec.stats;
+    span.arg("paths", buffered[i].size());
+    span.arg("nodes_visited", ec.stats.nodes_visited);
   });
 
   // Merge in shard order = sequential DFS pre-order. valid_paths counts
@@ -253,17 +291,27 @@ void Engine::run_parallel(const Sink& sink, int threads) {
   EngineStats total;
   for (const EngineStats& s : shard_stats) total += s;
   total.valid_paths = 0;
+  auto publish = [this](const EngineStats& st) {
+    stats_ = st;
+    if (obs::metrics_enabled()) {
+      obs::metrics().counter("dfs.nodes_visited").add(st.nodes_visited);
+      obs::metrics().counter("dfs.valid_paths").add(st.valid_paths);
+      obs::metrics().counter("dfs.pruned_paths").add(st.pruned_paths);
+      obs::metrics().counter("dfs.degraded_paths").add(st.degraded_paths);
+      obs::metrics().counter("dfs.static_prunes").add(st.static_prunes);
+    }
+  };
   for (const std::vector<PathResult>& buf : buffered) {
     for (const PathResult& r : buf) {
       if (opts_.max_results != 0 && total.valid_paths >= opts_.max_results) {
-        stats_ = total;
+        publish(total);
         return;
       }
       sink(r);
       ++total.valid_paths;
     }
   }
-  stats_ = total;
+  publish(total);
 }
 
 void Engine::ExplorationContext::dfs(cfg::NodeId id, const Sink& sink,

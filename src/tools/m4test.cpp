@@ -1,0 +1,192 @@
+// m4test — the Meissa tester CLI: generate test cases for a data plane,
+// inject them into the behavioral device, check, and report.
+//
+//   m4test [options] FILE.m4      test an M4 unit (program + topology +
+//                                 optional rules; intents not supported
+//                                 from files yet)
+//   m4test [options] --app NAME   test a built-in demo app
+//                                 (router, mtag, acl, switchp4, gw-1..gw-4)
+//   m4test [options] --bug N      run bug-corpus scenario N (1..16) with
+//                                 its fault injected — expect failures
+//
+// Options:
+//   --json            machine-readable report (TestReport::to_json)
+//   --templates       generation only: print each template, skip the device
+//   --threads N       worker threads for summary + DFS (0 = hardware)
+//   --seed N          concretization seed (default 1)
+//   --metrics FILE    enable the metrics registry; write snapshot to FILE
+//   --trace FILE      enable span tracing; write Chrome trace JSON to FILE
+//
+// Exit status: 0 all cases passed, 1 failures/quarantines, 2 usage or error.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "apps/apps.hpp"
+#include "driver/tester.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "p4/dsl.hpp"
+#include "sim/toolchain.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace meissa;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: m4test [options] (FILE.m4 | --app NAME | --bug N)\n"
+               "  --app: router, mtag, acl, switchp4, gw-1, gw-2, gw-3, gw-4\n"
+               "  --bug: bug-corpus scenario 1..%d\n"
+               "  options: --json --templates --threads N --seed N\n"
+               "           --metrics FILE --trace FILE\n",
+               apps::kNumBugs);
+  return 2;
+}
+
+// Same demo configurations as m4lint (small, deterministic).
+apps::AppBundle load_app(ir::Context& ctx, const std::string& name) {
+  if (name == "router") return apps::make_router(ctx, 6);
+  if (name == "mtag") return apps::make_mtag(ctx, 4);
+  if (name == "acl") return apps::make_acl(ctx, 4, 4);
+  if (name == "switchp4") {
+    apps::SwitchP4Config cfg;
+    cfg.l2_hosts = 4;
+    cfg.routes = 4;
+    cfg.ecmp_ways = 2;
+    cfg.acls = 4;
+    cfg.mpls_labels = 4;
+    return apps::make_switchp4(ctx, cfg);
+  }
+  if (name.rfind("gw-", 0) == 0 && name.size() == 4 && name[3] >= '1' &&
+      name[3] <= '4') {
+    apps::GwConfig cfg;
+    cfg.level = name[3] - '0';
+    cfg.elastic_ips = 4;
+    return apps::make_gateway(ctx, cfg);
+  }
+  throw util::ValidationError("unknown app '" + name + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool templates_only = false;
+  int threads = 0;
+  uint64_t seed = 1;
+  std::string metrics_file;
+  std::string trace_file;
+  std::string app;
+  int bug = 0;
+  std::string file;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--templates") {
+      templates_only = true;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      metrics_file = argv[++i];
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_file = argv[++i];
+    } else if (arg == "--app" && i + 1 < argc) {
+      app = argv[++i];
+    } else if (arg == "--bug" && i + 1 < argc) {
+      bug = std::atoi(argv[++i]);
+      if (bug < 1 || bug > apps::kNumBugs) return usage();
+    } else if (!arg.empty() && arg[0] != '-' && file.empty()) {
+      file = arg;
+    } else {
+      return usage();
+    }
+  }
+  if ((app.empty() ? 0 : 1) + (bug != 0 ? 1 : 0) + (file.empty() ? 0 : 1) !=
+      1) {
+    return usage();
+  }
+
+  if (!metrics_file.empty()) obs::MetricsRegistry::set_enabled(true);
+  if (!trace_file.empty()) obs::trace_start();
+
+  int status = 0;
+  try {
+    ir::Context ctx;
+    p4::DataPlane dp;
+    p4::RuleSet rules;
+    std::vector<spec::Intent> intents;
+    sim::FaultSpec fault;
+    if (!file.empty()) {
+      std::ifstream in(file);
+      if (!in) {
+        std::fprintf(stderr, "m4test: cannot open '%s'\n", file.c_str());
+        return 2;
+      }
+      std::ostringstream src;
+      src << in.rdbuf();
+      p4::ParsedUnit unit = p4::parse_m4(src.str(), ctx);
+      dp = std::move(unit.dp);
+      rules = std::move(unit.rules);
+    } else if (!app.empty()) {
+      apps::AppBundle b = load_app(ctx, app);
+      dp = std::move(b.dp);
+      rules = std::move(b.rules);
+      intents = std::move(b.intents);
+    } else {
+      apps::BugScenario s = apps::make_bug(ctx, bug);
+      dp = std::move(s.bundle.dp);
+      rules = std::move(s.bundle.rules);
+      intents = std::move(s.bundle.intents);
+      fault = s.fault;
+    }
+
+    driver::TestRunOptions opts;
+    opts.gen.threads = threads;
+    opts.seed = seed;
+
+    if (templates_only) {
+      driver::Meissa meissa(ctx, dp, rules, opts);
+      std::vector<sym::TestCaseTemplate> ts = meissa.generate();
+      std::printf("%zu template(s)\n", ts.size());
+      for (const sym::TestCaseTemplate& t : ts) {
+        std::fputs(sym::describe(t, ctx, meissa.graph()).c_str(), stdout);
+      }
+    } else {
+      sim::DeviceProgram compiled = sim::compile(dp, rules, ctx, fault);
+      sim::Device device(compiled, ctx);
+      driver::Meissa meissa(ctx, dp, rules, opts);
+      driver::TestReport r = meissa.test(device, intents);
+      if (json) {
+        std::printf("%s\n", r.to_json().c_str());
+      } else {
+        std::fputs(r.str().c_str(), stdout);
+      }
+      if (!r.all_passed()) status = 1;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "m4test: %s\n", e.what());
+    status = 2;
+  }
+
+  if (!trace_file.empty()) {
+    obs::trace_stop();
+    if (!obs::write_trace_file(trace_file)) {
+      std::fprintf(stderr, "m4test: cannot write trace to '%s'\n",
+                   trace_file.c_str());
+      if (status == 0) status = 2;
+    }
+  }
+  if (!metrics_file.empty() && !obs::write_metrics_file(metrics_file)) {
+    std::fprintf(stderr, "m4test: cannot write metrics to '%s'\n",
+                 metrics_file.c_str());
+    if (status == 0) status = 2;
+  }
+  return status;
+}

@@ -1,0 +1,24 @@
+// Monotonic-deadline arithmetic. All wall-clock budgets in Meissa are
+// enforced against std::chrono::steady_clock (never system_clock, which
+// can jump backwards under NTP); this helper centralizes the *saturating*
+// "now + budget" so enormous budgets clamp to time_point::max() instead of
+// overflowing the clock's representation into a deadline in the past.
+#pragma once
+
+#include <chrono>
+
+namespace meissa::util {
+
+// now + seconds, saturated. `seconds` <= 0 returns `now` (callers gate on
+// "budget > 0" before arming a deadline).
+inline std::chrono::steady_clock::time_point steady_deadline_after(
+    std::chrono::steady_clock::time_point now, double seconds) noexcept {
+  using clock = std::chrono::steady_clock;
+  if (seconds <= 0) return now;
+  const std::chrono::duration<double> headroom = clock::time_point::max() - now;
+  if (seconds >= headroom.count()) return clock::time_point::max();
+  return now + std::chrono::duration_cast<clock::duration>(
+                   std::chrono::duration<double>(seconds));
+}
+
+}  // namespace meissa::util

@@ -56,4 +56,33 @@ std::string hex(uint64_t v) {
   return buf;
 }
 
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default: {
+        // Unsigned before the width test: a signed char >= 0x80 must not be
+        // mistaken for (or sign-extended into) a control escape.
+        const auto u = static_cast<unsigned char>(c);
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", u);
+          out += buf;
+        } else {
+          out += c;
+        }
+      }
+    }
+  }
+  return out;
+}
+
 }  // namespace meissa::util

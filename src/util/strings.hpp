@@ -23,4 +23,11 @@ std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 // Renders v as 0x-prefixed hex.
 std::string hex(uint64_t v);
 
+// Escapes `s` for embedding inside a JSON string literal: quotes,
+// backslashes, and every control character below 0x20 (\n, \t, \r, \b, \f
+// named; the rest as \u00XX). The one escaping routine behind all JSON the
+// tools emit (reports, m4lint --json, metrics, traces) — emitting a raw
+// string field anywhere else is a bug.
+std::string json_escape(std::string_view s);
+
 }  // namespace meissa::util

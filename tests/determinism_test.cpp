@@ -10,6 +10,8 @@
 
 #include "apps/apps.hpp"
 #include "driver/tester.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/toolchain.hpp"
 #include "sym/template.hpp"
 #include "testlib.hpp"
@@ -98,6 +100,46 @@ TEST(Determinism, GenerousTimeBudgetIdenticalAcrossThreadCounts) {
   driver::GenOptions opts;
   opts.time_budget_seconds = 300.0;
   expect_identical_across_threads(router_app, opts);
+}
+
+TEST(Determinism, ObservabilityTransparent) {
+  // The observability acceptance bar: turning metrics + tracing on may not
+  // perturb generation — the emitted templates must be byte-identical to a
+  // run with everything off (the default).
+  struct ObsOnGuard {  // exception-safe: never leaks "enabled" to other tests
+    ObsOnGuard() {
+      obs::MetricsRegistry::set_enabled(true);
+      obs::trace_start();
+    }
+    ~ObsOnGuard() {
+      obs::trace_stop();
+      obs::MetricsRegistry::set_enabled(false);
+      obs::metrics().reset_values();
+    }
+  };
+  const std::vector<std::string> base = generate_signature(nat_gateway_app, {});
+  std::vector<std::string> instrumented;
+  {
+    ObsOnGuard on;
+    instrumented = generate_signature(nat_gateway_app, {});
+    // The instruments did observe the run (this is not a vacuous pass).
+    EXPECT_GT(obs::metrics().counter("gen.templates").value(), 0u);
+    EXPECT_FALSE(obs::trace_events().empty());
+  }
+  EXPECT_FALSE(base.empty());
+  ASSERT_EQ(instrumented.size(), base.size());
+  for (size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(instrumented[i], base[i]) << "template " << i;
+  }
+}
+
+TEST(Determinism, MetricsOnIdenticalAcrossThreadCounts) {
+  // With the registry live, the multi-threaded DFS still merges to the same
+  // template set — the atomics add no ordering dependence.
+  obs::MetricsRegistry::set_enabled(true);
+  expect_identical_across_threads(nat_gateway_app, {});
+  obs::MetricsRegistry::set_enabled(false);
+  obs::metrics().reset_values();
 }
 
 TEST(Determinism, GenerousSmtBudgetTemplatesUnchanged) {

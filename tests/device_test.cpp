@@ -140,6 +140,80 @@ TEST(Device, RegistersPersistAcrossPackets) {
   EXPECT_TRUE(out.dropped);  // non-IP is rejected by the gateway parser
 }
 
+// ---- table lookup tie-breaking (the explicit p4::entry_rank rule) --------
+
+// The fig7 plane with ipv4_host's key flipped to `kind` so overlapping
+// entries are expressible.
+p4::DataPlane fig7_with_key_kind(ir::Context& ctx, p4::MatchKind kind) {
+  p4::DataPlane dp = apps::demos::make_fig7_plane(ctx);
+  for (p4::TableDef& t : dp.program.tables) {
+    if (t.name == "ipv4_host") t.keys[0].kind = kind;
+  }
+  return dp;
+}
+
+uint64_t injected_port(Device& device, const p4::Program& prog, uint64_t dst) {
+  DeviceOutput out = device.inject(
+      {0, packet::serialize(prog, fig7_packet(prog, dst))});
+  EXPECT_FALSE(out.dropped);
+  return out.port;
+}
+
+TEST(Device, LpmLongestPrefixWinsOverInstallOrder) {
+  ir::Context ctx;
+  p4::DataPlane dp = fig7_with_key_kind(ctx, p4::MatchKind::kLpm);
+  p4::RuleSet rules;
+  // Adversarial install order: the broad /16 first, the covering /24 after.
+  p4::TableEntry wide;
+  wide.table = "ipv4_host";
+  wide.matches = {p4::KeyMatch::lpm(0x0a000000, 16)};
+  wide.action = "set_port";
+  wide.args = {1};
+  rules.add(wide);
+  p4::TableEntry narrow = wide;
+  narrow.matches = {p4::KeyMatch::lpm(0x0a000200, 24)};
+  narrow.args = {2};
+  rules.add(narrow);
+  Device device(compile(dp, rules, ctx), ctx);
+  // Inside the /24: the longer prefix wins although it was installed later.
+  EXPECT_EQ(injected_port(device, dp.program, 0x0a000205), 2u);
+  // Outside the /24 but inside the /16: the wide route still applies.
+  EXPECT_EQ(injected_port(device, dp.program, 0x0a00ff05), 1u);
+}
+
+TEST(Device, TernaryPriorityThenInstallOrderBreaksTies) {
+  ir::Context ctx;
+  p4::DataPlane dp = fig7_with_key_kind(ctx, p4::MatchKind::kTernary);
+  p4::RuleSet rules;
+  p4::TableEntry a;  // matches 0x0a00****, weaker priority, installed first
+  a.table = "ipv4_host";
+  a.matches = {p4::KeyMatch::ternary(0x0a000000, 0xffff0000)};
+  a.action = "set_port";
+  a.args = {1};
+  a.priority = 5;
+  rules.add(a);
+  p4::TableEntry b = a;  // matches 0x0a******, stronger priority, second
+  b.matches = {p4::KeyMatch::ternary(0x0a000000, 0xff000000)};
+  b.args = {2};
+  b.priority = 1;
+  rules.add(b);
+  Device device(compile(dp, rules, ctx), ctx);
+  // Both hit; the smaller priority number wins regardless of install order.
+  EXPECT_EQ(injected_port(device, dp.program, 0x0a000005), 2u);
+
+  // Full rank tie (same mask shape, same priority): install order decides.
+  p4::RuleSet tied;
+  p4::TableEntry first = a;
+  first.priority = 3;
+  first.args = {7};
+  tied.add(first);
+  p4::TableEntry second = first;
+  second.args = {9};
+  tied.add(second);
+  Device dev2(compile(dp, tied, ctx), ctx);
+  EXPECT_EQ(injected_port(dev2, dp.program, 0x0a000005), 7u);
+}
+
 // ---- fault behaviours, observed directly on the device -------------------
 
 TEST(Fault, DropSetValidSuppressesVxlan) {

@@ -53,6 +53,41 @@ TEST_F(EndToEnd, Fig7WithoutSummaryAlsoPasses) {
   EXPECT_TRUE(r.all_passed()) << r.str();
 }
 
+TEST_F(EndToEnd, OverlappingRoutesAgreeAcrossEngineAndDevice) {
+  // Divergence regression: the symbolic engine's branch order
+  // (RuleSet::ordered_entries) and the device's concrete best-hit scan
+  // share p4::entry_rank, so a /24 installed after a covering /16 must
+  // yield passing cases for both routes — an install-order-first device
+  // would answer the /24's test traffic with the /16's port and fail.
+  ir::Context ctx;
+  p4::DataPlane dp = testlib::make_fig7_plane(ctx);
+  for (p4::TableDef& t : dp.program.tables) {
+    if (t.name == "ipv4_host") t.keys[0].kind = p4::MatchKind::kLpm;
+  }
+  p4::RuleSet rules;
+  p4::TableEntry wide;
+  wide.table = "ipv4_host";
+  wide.matches = {p4::KeyMatch::lpm(0x0a000000, 16)};
+  wide.action = "set_port";
+  wide.args = {1};
+  rules.add(wide);
+  p4::TableEntry narrow = wide;
+  narrow.matches = {p4::KeyMatch::lpm(0x0a000200, 24)};
+  narrow.args = {2};
+  rules.add(narrow);
+  for (uint64_t port : {uint64_t{1}, uint64_t{2}}) {
+    p4::TableEntry mac;
+    mac.table = "mac_agent";
+    mac.matches = {p4::KeyMatch::exact(port)};
+    mac.action = "set_dmac";
+    mac.args = {0xaa0000000000ull + port};
+    rules.add(mac);
+  }
+  TestReport r = run(dp, rules, ctx);
+  EXPECT_GT(r.templates, 2u);
+  EXPECT_TRUE(r.all_passed()) << r.str();
+}
+
 TEST_F(EndToEnd, DroppedAssignmentFaultIsDetected) {
   ir::Context ctx;
   p4::DataPlane dp = testlib::make_fig7_plane(ctx);

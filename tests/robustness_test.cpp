@@ -140,8 +140,26 @@ TEST(SolverBudget, GenerousBudgetLeavesVerdictsUntouched) {
   assert_hard_unsat(solver, ctx);
   smt::Budget roomy;
   roomy.max_conflicts = 1u << 30;
-  roomy.max_check_seconds = 300.0;
+  roomy.max_wall_ms = 300'000;
   solver.set_budget(roomy);
+  EXPECT_EQ(solver.check(), smt::CheckResult::kUnsat);
+  EXPECT_EQ(solver.stats().unknowns, 0u);
+}
+
+TEST(SolverBudget, MaxWallMsSaturatesInsteadOfOverflowing) {
+  // Regression: the deadline used to be now + duration_cast(seconds), which
+  // for astronomically large budgets overflowed steady_clock's range and
+  // produced a deadline in the past — every check answered kUnknown
+  // immediately. A UINT64_MAX budget must behave as "effectively unlimited".
+  ir::Context ctx;
+  smt::BvSolver solver(ctx);
+  assert_hard_unsat(solver, ctx);
+  smt::Budget huge;
+  huge.max_wall_ms = UINT64_MAX;
+  EXPECT_FALSE(huge.unlimited());  // the deadline machinery is exercised
+  EXPECT_EQ(huge.deadline_after(std::chrono::steady_clock::now()),
+            std::chrono::steady_clock::time_point::max());
+  solver.set_budget(huge);
   EXPECT_EQ(solver.check(), smt::CheckResult::kUnsat);
   EXPECT_EQ(solver.stats().unknowns, 0u);
 }

@@ -4,6 +4,10 @@
 #pragma once
 
 #include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "cfg/build.hpp"
 #include "p4/rules.hpp"
@@ -47,5 +51,39 @@ cfg::Cfg random_pipeline_cfg(ir::Context& ctx, util::Rng& rng, int k,
 
 // The fields random_pipeline_cfg draws from (interned as x0..x3, 8 bits).
 std::vector<ir::FieldId> random_cfg_fields(ir::Context& ctx);
+
+namespace json {
+
+// Strict mini JSON value/parser for round-tripping the JSON the repo
+// emits (reports, lint results, metrics snapshots, Chrome traces). Strict
+// means: exactly one top-level value, no trailing garbage, no trailing
+// commas, full string-escape validation — so a test failure points at a
+// real emitter bug, not parser leniency.
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<Value> array;
+  // Insertion order preserved (the emitters promise stable key order).
+  std::vector<std::pair<std::string, Value>> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  // Object member lookup; nullptr when absent or not an object.
+  const Value* find(const std::string& key) const;
+  // Checked accessors: test-fail (throw) on kind mismatch or missing key.
+  const Value& at(const std::string& key) const;
+  const std::string& as_string() const;
+  double as_number() const;
+  bool as_bool() const;
+};
+
+// Parses one JSON document. Throws std::runtime_error (with an offset)
+// on any syntax violation.
+Value parse(std::string_view text);
+
+}  // namespace json
 
 }  // namespace meissa::testlib
