@@ -81,8 +81,16 @@ LintResult lint_cfg(const ir::Context& ctx, const cfg::Cfg& g) {
   dom.set_meta(ValueDomain::compute_meta(ctx, g));
   ForwardResult<ValueDomain> flow = run_forward(g, g.entry(), dom);
 
+  // One finding per (detector, node, field): a diagnostic derivable along
+  // several CFG paths (or from several atoms of one predicate) must not
+  // repeat in the output.
+  std::unordered_set<std::string> emitted;
   auto emit = [&](Severity sev, std::string code, cfg::NodeId id,
-                  std::string message) {
+                  std::string field, std::string message) {
+    if (!emitted.insert(code + '\x1f' + std::to_string(id) + '\x1f' + field)
+             .second) {
+      return;
+    }
     const cfg::Node& n = g.node(id);
     Diagnostic d;
     d.severity = sev;
@@ -92,6 +100,7 @@ LintResult lint_cfg(const ir::Context& ctx, const cfg::Cfg& g) {
       d.instance = g.instances()[static_cast<size_t>(n.instance)].name;
     }
     d.location = g.label(id);
+    d.field = std::move(field);
     d.message = std::move(message);
     res.diagnostics.push_back(std::move(d));
   };
@@ -118,6 +127,48 @@ LintResult lint_cfg(const ir::Context& ctx, const cfg::Cfg& g) {
     for (const auto& [h, vf] : info.validity) vfields.insert(vf);
   }
 
+  // read-before-valid support: per validity field, the nodes lying
+  // strictly after a potential setter (an assign of a possibly-nonzero
+  // value, or a hash landing in the bit) on some path from anywhere in the
+  // graph. Lazily computed — most validity fields never face an unguarded
+  // read.
+  std::unordered_map<ir::FieldId, std::vector<bool>> set_reach;
+  auto validity_set_reaches = [&](ir::FieldId vf, cfg::NodeId at) -> bool {
+    auto it = set_reach.find(vf);
+    if (it == set_reach.end()) {
+      std::vector<bool> reach(g.size(), false);
+      std::vector<cfg::NodeId> work;
+      for (cfg::NodeId id = 0; id < g.size(); ++id) {
+        const cfg::Node& n = g.node(id);
+        const bool sets =
+            n.is_hash
+                ? n.hash.dest == vf
+                : n.stmt.kind == ir::StmtKind::kAssign &&
+                      n.stmt.target == vf &&
+                      !(n.stmt.expr->is_const() && n.stmt.expr->value == 0);
+        if (!sets) continue;
+        for (cfg::NodeId s : n.succ) {
+          if (!reach[s]) {
+            reach[s] = true;
+            work.push_back(s);
+          }
+        }
+      }
+      while (!work.empty()) {
+        const cfg::NodeId cur = work.back();
+        work.pop_back();
+        for (cfg::NodeId s : g.node(cur).succ) {
+          if (!reach[s]) {
+            reach[s] = true;
+            work.push_back(s);
+          }
+        }
+      }
+      it = set_reach.emplace(vf, std::move(reach)).first;
+    }
+    return it->second[at];
+  };
+
   for (cfg::NodeId id = 0; id < g.size(); ++id) {
     const cfg::Node& n = g.node(id);
 
@@ -127,7 +178,7 @@ LintResult lint_cfg(const ir::Context& ctx, const cfg::Cfg& g) {
     // feasible flow continues into this node).
     if (!flow.reachable[id]) {
       if (pred_count[id] == 0 && id != g.entry() && !g.label(id).empty()) {
-        emit(Severity::kWarning, "unreachable-code", id,
+        emit(Severity::kWarning, "unreachable-code", id, {},
              "node is disconnected from the program entry");
       }
       continue;
@@ -143,7 +194,7 @@ LintResult lint_cfg(const ir::Context& ctx, const cfg::Cfg& g) {
           }
         }
         if (frontier) {
-          emit(Severity::kWarning, "unreachable-code", id,
+          emit(Severity::kWarning, "unreachable-code", id, {},
                "no feasible execution reaches this point");
         }
       }
@@ -155,7 +206,7 @@ LintResult lint_cfg(const ir::Context& ctx, const cfg::Cfg& g) {
     // analysis (transfer yields no feasible outcome).
     if (!n.is_hash && n.stmt.kind == ir::StmtKind::kAssume && !n.synthetic &&
         !dom.transfer(id, in) && !is_benign_invalid_arm(g, id, vfields)) {
-      emit(Severity::kWarning, "contradictory-predicate", id,
+      emit(Severity::kWarning, "contradictory-predicate", id, {},
            "predicate is statically contradictory; this branch can never "
            "be taken");
     }
@@ -184,15 +235,25 @@ LintResult lint_cfg(const ir::Context& ctx, const cfg::Cfg& g) {
             case Ternary::kTrue:
               break;
             case Ternary::kFalse:
-              emit(Severity::kError, "invalid-header-read", id,
+              emit(Severity::kError, "invalid-header-read", id, name,
                    "reads '" + name + "' but header '" + header +
                        "' is always invalid here");
               break;
             case Ternary::kUnknown:
-              emit(Severity::kWarning, "invalid-header-read", id,
+              emit(Severity::kWarning, "invalid-header-read", id, name,
                    "reads '" + name + "' while header '" + header +
                        "' may be invalid on some path to this point");
               break;
+          }
+          // ---- read-before-valid: structural — no node that could set
+          // this validity bit reaches the read on any path, so whatever
+          // the value domain concluded, no parser state or action can
+          // have made the header valid here.
+          if (!validity_set_reaches(vit->second, id)) {
+            emit(Severity::kError, "read-before-valid", id, name,
+                 "reads '" + name + "' but no parser state or action "
+                 "setting header '" +
+                     header + "' valid reaches this point");
           }
         }
       }
@@ -207,7 +268,7 @@ LintResult lint_cfg(const ir::Context& ctx, const cfg::Cfg& g) {
             dit == in.defs.end() || dit->second == DefKind::kImplicit ||
             dit->second == DefKind::kMixed;
         if (implicit_component) {
-          emit(Severity::kWarning, "uninitialized-metadata-read", id,
+          emit(Severity::kWarning, "uninitialized-metadata-read", id, name,
                "reads metadata '" + name + "' that pipeline '" + info.name +
                    "' never writes; the value is the implicit zero");
         }
@@ -235,7 +296,7 @@ LintResult lint_cfg(const ir::Context& ctx, const cfg::Cfg& g) {
           Ternary::kFalse) {
         continue;  // provably invalid at exit: nothing lost
       }
-      emit(Severity::kWarning, "header-never-emitted", info.exit,
+      emit(Severity::kWarning, "header-never-emitted", info.exit, h,
            "header '" + h + "' can leave pipeline '" + info.name +
                "' valid but its deparser never emits it");
     }
@@ -245,6 +306,7 @@ LintResult lint_cfg(const ir::Context& ctx, const cfg::Cfg& g) {
             [](const Diagnostic& a, const Diagnostic& b) {
               if (a.node != b.node) return a.node < b.node;
               if (a.code != b.code) return a.code < b.code;
+              if (a.field != b.field) return a.field < b.field;
               return a.message < b.message;
             });
   for (const Diagnostic& d : res.diagnostics) {
@@ -300,6 +362,8 @@ std::string render_json(const LintResult& r) {
     out += util::json_escape(d.instance);
     out += "\", \"location\": \"";
     out += util::json_escape(d.location);
+    out += "\", \"field\": \"";
+    out += util::json_escape(d.field);
     out += "\", \"message\": \"";
     out += util::json_escape(d.message);
     out += "\"}";

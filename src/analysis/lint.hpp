@@ -4,6 +4,12 @@
 //   invalid-header-read         reading a content field of a header whose
 //                               validity bit is statically 0 (error) or
 //                               possibly 0 (warning) at the reading node
+//   read-before-valid           reading a content field at a node that no
+//                               parser state or action setting the header
+//                               valid can reach — structural (pure graph
+//                               reachability over validity writers), so it
+//                               holds even where the value domain loses
+//                               the validity bit at a join
 //   contradictory-predicate     an assume node statically refuted by the
 //                               value analysis (shadowed table entries,
 //                               impossible checksum guards, dead branches)
@@ -16,8 +22,10 @@
 //   header-never-emitted        a header can leave a pipeline valid but is
 //                               absent from its deparser's emit order
 //
-// Diagnostics are deterministic: sorted by (node, code, message), with
-// locations taken from the CFG's interned source labels.
+// Diagnostics are deterministic and deduplicated: a finding reachable via
+// multiple CFG paths emits once, keyed by (detector, node, field), sorted
+// by (node, code, field, message), with locations taken from the CFG's
+// interned source labels.
 #pragma once
 
 #include <cstdint>
@@ -37,6 +45,7 @@ struct Diagnostic {
   cfg::NodeId node = cfg::kNoNode;
   std::string instance;  // owning pipeline instance name; empty for glue
   std::string location;  // the node's source label (may be empty)
+  std::string field;     // subject field/header; empty for node-level codes
   std::string message;
 };
 

@@ -7,6 +7,8 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "spec/intent.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
 #include "util/thread_pool.hpp"
 
 namespace meissa::driver {
@@ -50,6 +52,32 @@ std::vector<sym::TestCaseTemplate> Generator::generate() {
     active_ = &summarized_->graph;
     span.arg("pipelines", summarized_->per_pipeline.size());
     span.arg("smt_checks", summarized_->total_smt_checks);
+
+    if (opts_.validate_summary) {
+      auto tv = std::chrono::steady_clock::now();
+      obs::Span vspan("validate summary", "gen");
+      analysis::ValidateOptions vo;
+      vo.use_z3 = opts_.use_z3;
+      vo.budget = opts_.validate_budget;
+      vo.summary = so;
+      validation_ = analysis::validate_summary(ctx_, original_,
+                                               summarized_->graph, vo);
+      stats_.validate_seconds = secs_since(tv);
+      stats_.validate_obligations = validation_->obligations;
+      stats_.validate_unsat = validation_->unsat;
+      stats_.validate_unproven = validation_->unproven;
+      stats_.validate_refuted = validation_->refuted;
+      stats_.smt_checks += validation_->smt_checks;
+      vspan.arg("obligations", validation_->obligations);
+      vspan.arg("refuted", validation_->refuted);
+      if (const analysis::Obligation* o = validation_->first_refuted()) {
+        throw util::ValidationError(util::format(
+            "summary validation refuted [%s] in pipeline '%s' at edge "
+            "%u->%u: %s",
+            analysis::obligation_kind_name(o->kind), o->pipeline.c_str(),
+            o->orig_from, o->orig_node, o->detail.c_str()));
+      }
+    }
   }
   stats_.paths_summarized = active_->count_paths();
 
@@ -105,8 +133,8 @@ std::vector<sym::TestCaseTemplate> Generator::generate() {
   stats_.smt_calls_skipped +=
       engine_->stats().static_prunes + engine_->stats().skipped_checks;
   stats_.templates = templates.size();
-  stats_.total_seconds =
-      stats_.build_seconds + stats_.summary_seconds + stats_.dfs_seconds;
+  stats_.total_seconds = stats_.build_seconds + stats_.summary_seconds +
+                         stats_.validate_seconds + stats_.dfs_seconds;
   dfs_span.arg("templates", templates.size());
   dfs_span.arg("smt_checks", engine_->stats().solver.checks);
   if (obs::metrics_enabled()) {

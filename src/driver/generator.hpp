@@ -5,6 +5,7 @@
 
 #include <memory>
 
+#include "analysis/validate.hpp"
 #include "cfg/build.hpp"
 #include "summary/summary.hpp"
 #include "sym/template.hpp"
@@ -42,6 +43,16 @@ struct GenOptions {
   // whereas a degraded final-DFS branch is visibly accounted (exact vs.
   // degraded coverage). Default = unlimited → output byte-identical.
   smt::Budget smt_budget;
+  // Translation validation of the code-summary transform: after
+  // summarize(), prove every eliminated path-fragment infeasible and the
+  // surviving summary a simulation of the original. A refuted obligation
+  // fails generation (util::ValidationError naming the pipeline and edge);
+  // budget-exhausted obligations are reported as unproven in GenStats but
+  // do not fail. Off by default: validation adds solver work and the
+  // emitted templates are identical either way.
+  bool validate_summary = false;
+  // Per-obligation solver budget for the validation pass.
+  smt::Budget validate_budget;
   // Optional cooperative stop for the whole generation (polled by the DFS
   // workers). Must outlive generate().
   const util::CancelToken* cancel = nullptr;
@@ -68,6 +79,12 @@ struct GenStats {
   uint64_t exact_paths = 0;
   uint64_t degraded_paths = 0;
   uint64_t smt_unknowns = 0;
+  // Summary translation validation (GenOptions::validate_summary).
+  uint64_t validate_obligations = 0;
+  uint64_t validate_unsat = 0;
+  uint64_t validate_unproven = 0;
+  uint64_t validate_refuted = 0;
+  double validate_seconds = 0;
   util::BigCount paths_original;    // possible paths, original CFG
   util::BigCount paths_summarized;  // possible paths after code summary
   std::vector<summary::PipelineSummary> pipelines;
@@ -88,6 +105,11 @@ struct GenStats {
     exact_paths += o.exact_paths;
     degraded_paths += o.degraded_paths;
     smt_unknowns += o.smt_unknowns;
+    validate_obligations += o.validate_obligations;
+    validate_unsat += o.validate_unsat;
+    validate_unproven += o.validate_unproven;
+    validate_refuted += o.validate_refuted;
+    validate_seconds += o.validate_seconds;
     paths_original += o.paths_original;
     paths_summarized += o.paths_summarized;
     pipelines.insert(pipelines.end(), o.pipelines.begin(), o.pipelines.end());
@@ -107,6 +129,11 @@ class Generator {
   const GenStats& stats() const { return stats_; }
   const cfg::Cfg& graph() const { return *active_; }          // DFS graph
   const cfg::Cfg& original_graph() const { return original_; }
+  // Full validation result (GenOptions::validate_summary); nullptr when
+  // validation did not run.
+  const analysis::ValidationResult* validation() const {
+    return validation_ ? &*validation_ : nullptr;
+  }
   // The engine used for the final DFS; valid after generate(). Exposes
   // solve_for_model for the sender.
   sym::Engine& engine() { return *engine_; }
@@ -119,6 +146,7 @@ class Generator {
   GenOptions opts_;
   cfg::Cfg original_;
   std::optional<summary::SummaryResult> summarized_;
+  std::optional<analysis::ValidationResult> validation_;
   const cfg::Cfg* active_ = nullptr;
   // Dataflow facts for the final-DFS graph; must outlive engine_.
   analysis::Facts facts_;

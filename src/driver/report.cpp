@@ -29,6 +29,13 @@ std::string TestReport::str() const {
   if (gen.diagnostics > 0) {
     os << "  static analysis: " << gen.diagnostics << " diagnostic(s)\n";
   }
+  if (gen.validate_obligations > 0) {
+    os << "  summary validation: " << gen.validate_obligations
+       << " obligation(s): " << gen.validate_unsat << " unsat, "
+       << gen.validate_unproven << " unproven, " << gen.validate_refuted
+       << " refuted ("
+       << util::format("%.3fs", gen.validate_seconds) << ")\n";
+  }
   if (send_retries > 0 || install_retries > 0 || !quarantined.empty()) {
     os << "  link robustness: " << send_retries << " resend(s), "
        << install_retries << " install retry(ies), " << dedup_dropped
@@ -60,6 +67,10 @@ std::string TestReport::to_json() const {
   os << ",\"exact_paths\":" << gen.exact_paths;
   os << ",\"degraded_paths\":" << gen.degraded_paths;
   os << ",\"smt_unknowns\":" << gen.smt_unknowns;
+  os << ",\"validate_obligations\":" << gen.validate_obligations;
+  os << ",\"validate_unsat\":" << gen.validate_unsat;
+  os << ",\"validate_unproven\":" << gen.validate_unproven;
+  os << ",\"validate_refuted\":" << gen.validate_refuted;
   os << ",\"send_retries\":" << send_retries;
   os << ",\"install_retries\":" << install_retries;
   os << ",\"dedup_dropped\":" << dedup_dropped;

@@ -16,6 +16,8 @@
 //   --seed N          concretization seed (default 1)
 //   --metrics FILE    enable the metrics registry; write snapshot to FILE
 //   --trace FILE      enable span tracing; write Chrome trace JSON to FILE
+//   --validate-summary  prove the code-summary transform sound before
+//                     testing; a refuted obligation aborts the run (exit 2)
 //
 // Exit status: 0 all cases passed, 1 failures/quarantines, 2 usage or error.
 #include <cstdio>
@@ -42,7 +44,7 @@ int usage() {
                "  --app: router, mtag, acl, switchp4, gw-1, gw-2, gw-3, gw-4\n"
                "  --bug: bug-corpus scenario 1..%d\n"
                "  options: --json --templates --threads N --seed N\n"
-               "           --metrics FILE --trace FILE\n",
+               "           --metrics FILE --trace FILE --validate-summary\n",
                apps::kNumBugs);
   return 2;
 }
@@ -76,6 +78,7 @@ apps::AppBundle load_app(ir::Context& ctx, const std::string& name) {
 int main(int argc, char** argv) {
   bool json = false;
   bool templates_only = false;
+  bool validate_summary = false;
   int threads = 0;
   uint64_t seed = 1;
   std::string metrics_file;
@@ -89,6 +92,8 @@ int main(int argc, char** argv) {
       json = true;
     } else if (arg == "--templates") {
       templates_only = true;
+    } else if (arg == "--validate-summary") {
+      validate_summary = true;
     } else if (arg == "--threads" && i + 1 < argc) {
       threads = std::atoi(argv[++i]);
     } else if (arg == "--seed" && i + 1 < argc) {
@@ -149,6 +154,7 @@ int main(int argc, char** argv) {
 
     driver::TestRunOptions opts;
     opts.gen.threads = threads;
+    opts.gen.validate_summary = validate_summary;
     opts.seed = seed;
 
     if (templates_only) {

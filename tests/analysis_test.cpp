@@ -4,6 +4,9 @@
 // detectors over the seeded-bug corpus.
 #include <gtest/gtest.h>
 
+#include <set>
+#include <tuple>
+
 #include "analysis/dataflow.hpp"
 #include "analysis/env.hpp"
 #include "analysis/lint.hpp"
@@ -72,6 +75,120 @@ TEST(ValueRange, RefineToBottom) {
   ir::FieldId f = 0;
   r.refine(cmp_atom(f, 8, ir::CmpOp::kEq, 6));
   EXPECT_TRUE(r.is_bottom());
+}
+
+// ---- width-boundary arithmetic: the primitives the summary validator's
+// guard-implication checks lean on must be exact at the edges of the
+// representable range.
+
+TEST(ValueRange, WrapAroundAddTruncatesIntoRange) {
+  // The shared truncating arithmetic wraps 0xff + 1 to 0 at width 8; the
+  // range built from the wrapped constant must be the wrapped value, not
+  // the 9-bit sum.
+  const uint64_t wrapped = ir::apply_arith(ir::ArithOp::kAdd, 0xff, 1, 8);
+  EXPECT_EQ(wrapped, 0u);
+  ValueRange r = ValueRange::constant(0xff + 1, 8);  // constant() truncates
+  uint64_t v = 1;
+  ASSERT_TRUE(r.is_constant(v));
+  EXPECT_EQ(v, 0u);
+  ir::FieldId f = 0;
+  EXPECT_EQ(r.eval(cmp_atom(f, 8, ir::CmpOp::kEq, 0)), Ternary::kTrue);
+}
+
+TEST(ValueRange, FullWidth64IsExactAtTheTop) {
+  const uint64_t max = ~uint64_t{0};
+  ValueRange r = ValueRange::constant(max, 64);
+  uint64_t v = 0;
+  ASSERT_TRUE(r.is_constant(v));
+  EXPECT_EQ(v, max);
+  ir::FieldId f = 0;
+  // Nothing is greater than the all-ones value; Ge against it holds.
+  EXPECT_EQ(r.eval(cmp_atom(f, 64, ir::CmpOp::kGt, max)), Ternary::kFalse);
+  EXPECT_EQ(r.eval(cmp_atom(f, 64, ir::CmpOp::kGe, max)), Ternary::kTrue);
+  // Joining {max-1} keeps the hull [max-1, max]: max-2 is provably out,
+  // and both endpoints stay plausible.
+  EXPECT_TRUE(r.join(ValueRange::constant(max - 1, 64)));
+  EXPECT_EQ(r.eval(cmp_atom(f, 64, ir::CmpOp::kEq, max - 2)),
+            Ternary::kFalse);
+  EXPECT_EQ(r.eval(cmp_atom(f, 64, ir::CmpOp::kGe, max - 1)),
+            Ternary::kTrue);
+}
+
+TEST(ValueRange, FullWidthMaskIsPlainCompare) {
+  // A ternary atom whose mask covers the whole width is an exact compare:
+  // refining with it pins the value; a conflicting full-mask refine
+  // empties the range.
+  ir::FieldId f = 0;
+  Atom a = cmp_atom(f, 32, ir::CmpOp::kEq, 0xdeadbeef);
+  EXPECT_TRUE(a.is_exact_mask());
+  ValueRange r(32);
+  EXPECT_TRUE(r.is_top());
+  r.refine(a);
+  uint64_t v = 0;
+  ASSERT_TRUE(r.is_constant(v));
+  EXPECT_EQ(v, 0xdeadbeefu);
+  r.refine(cmp_atom(f, 32, ir::CmpOp::kEq, 0xdeadbef0));
+  EXPECT_TRUE(r.is_bottom());
+}
+
+TEST(ValueRange, EmptyMeetAtWidthBoundaries) {
+  ir::FieldId f = 0;
+  // Wide representation: nothing is above the width-16 maximum.
+  ValueRange wide(16);
+  wide.refine(cmp_atom(f, 16, ir::CmpOp::kGt, 0xffff));
+  EXPECT_TRUE(wide.is_bottom());
+  // Nothing is below zero either.
+  ValueRange low(16);
+  low.refine(cmp_atom(f, 16, ir::CmpOp::kLt, 0));
+  EXPECT_TRUE(low.is_bottom());
+  // Small (bitmap) representation at the 6-bit boundary behaves the same.
+  ValueRange small6(6);
+  small6.refine(cmp_atom(f, 6, ir::CmpOp::kGt, 63));
+  EXPECT_TRUE(small6.is_bottom());
+  // eq then ne of the same value: the classic empty meet.
+  ValueRange r = ValueRange::constant(63, 6);
+  r.refine(cmp_atom(f, 6, ir::CmpOp::kNe, 63));
+  EXPECT_TRUE(r.is_bottom());
+}
+
+TEST(ValueRange, JoinWithBottomIsIdentity) {
+  ir::FieldId f = 0;
+  ValueRange bottom(8);
+  bottom.refine(cmp_atom(f, 8, ir::CmpOp::kLt, 0));  // empty
+  ASSERT_TRUE(bottom.is_bottom());
+  ValueRange r = ValueRange::constant(7, 8);
+  EXPECT_FALSE(r.join(bottom));  // no widening from an empty set
+  uint64_t v = 0;
+  ASSERT_TRUE(r.is_constant(v));
+  EXPECT_EQ(v, 7u);
+  // And bottom.join(x) adopts x wholesale.
+  EXPECT_TRUE(bottom.join(r));
+  ASSERT_TRUE(bottom.is_constant(v));
+  EXPECT_EQ(v, 7u);
+}
+
+TEST(ValueRange, BottomMakesNoClaim) {
+  // eval over an empty set is kUnknown (unreachable state, no claim) —
+  // callers prune on reachability, not on vacuous truth.
+  ir::FieldId f = 0;
+  ValueRange r = ValueRange::constant(5, 8);
+  r.refine(cmp_atom(f, 8, ir::CmpOp::kEq, 6));
+  ASSERT_TRUE(r.is_bottom());
+  EXPECT_EQ(r.eval(cmp_atom(f, 8, ir::CmpOp::kEq, 5)), Ternary::kUnknown);
+}
+
+TEST(ValueRange, SmallWidthBoundaryIsSixBits) {
+  // Width 6 is the last exact-bitmap width: the join of {1} and {62}
+  // excludes interior values exactly. Width 7 falls back to the interval
+  // hull, which cannot.
+  ir::FieldId f = 0;
+  ValueRange six = ValueRange::constant(1, 6);
+  EXPECT_TRUE(six.join(ValueRange::constant(62, 6)));
+  EXPECT_EQ(six.eval(cmp_atom(f, 6, ir::CmpOp::kEq, 30)), Ternary::kFalse);
+  ValueRange seven = ValueRange::constant(1, 7);
+  EXPECT_TRUE(seven.join(ValueRange::constant(126, 7)));
+  EXPECT_EQ(seven.eval(cmp_atom(f, 7, ir::CmpOp::kEq, 30)),
+            Ternary::kUnknown);
 }
 
 TEST(Decompose, ConjunctionOfSingleFieldCompares) {
@@ -358,6 +475,86 @@ TEST(Lint, DiagnosticsAreDeterministic) {
   EXPECT_EQ(t1, t2);
   EXPECT_EQ(j1, j2);
   EXPECT_NE(j1.find("\"diagnostics\""), std::string::npos);
+}
+
+// Minimal single-instance CFG: entry → instance entry → [vf := 1 when
+// set_valid] → assume reading hdr.h.f → instance exit. The header is in
+// the deparser emit order so header-never-emitted stays quiet either way.
+LintResult lint_tiny_validity_cfg(bool set_valid) {
+  ir::Context ctx;
+  const ir::FieldId vf = ctx.fields.intern("hdr.h.$valid@p0", 1);
+  const ir::FieldId f = ctx.fields.intern("hdr.h.f", 8);
+  cfg::Cfg g;
+  const cfg::NodeId entry = g.add(ir::Stmt::nop());
+  const cfg::NodeId ientry = g.add(ir::Stmt::nop());
+  cfg::NodeId prev = ientry;
+  if (set_valid) {
+    const cfg::NodeId setter =
+        g.add(ir::Stmt::assign(vf, ctx.arena.constant(1, 1)));
+    g.node(setter).instance = 0;
+    g.link(prev, setter);
+    prev = setter;
+  }
+  const cfg::NodeId read = g.add(ir::Stmt::assume(
+      ctx.arena.cmp(ir::CmpOp::kEq, ctx.var(f), ctx.arena.constant(1, 8))));
+  const cfg::NodeId iexit = g.add(ir::Stmt::nop());
+  g.node(ientry).instance = 0;
+  g.node(read).instance = 0;
+  g.node(iexit).instance = 0;
+  g.node(iexit).exit = cfg::ExitKind::kEmit;
+  g.node(iexit).emit_instance = 0;
+  g.link(entry, ientry);
+  g.link(prev, read);
+  g.link(read, iexit);
+  g.set_entry(entry);
+  cfg::InstanceInfo info;
+  info.name = "p0";
+  info.pipeline = "p";
+  info.entry = ientry;
+  info.exit = iexit;
+  info.emit_order = {"h"};
+  info.validity = {{"h", vf}};
+  g.instances().push_back(std::move(info));
+  return lint_cfg(ctx, g);
+}
+
+TEST(Lint, ReadBeforeValidFiresWithoutAnySetter) {
+  LintResult r = lint_tiny_validity_cfg(/*set_valid=*/false);
+  EXPECT_TRUE(has_code(r, "read-before-valid")) << render_text(r);
+  // The value domain agrees (validity is statically 0), so the plain
+  // invalid-header-read error fires too; read-before-valid is the
+  // structural claim on top of it.
+  EXPECT_TRUE(has_code(r, "invalid-header-read")) << render_text(r);
+}
+
+TEST(Lint, ReadBeforeValidQuietWhenASetterReaches) {
+  LintResult r = lint_tiny_validity_cfg(/*set_valid=*/true);
+  EXPECT_FALSE(has_code(r, "read-before-valid")) << render_text(r);
+  EXPECT_FALSE(has_code(r, "invalid-header-read")) << render_text(r);
+}
+
+TEST(Lint, DiagnosticsAreDedupedAndOrdered) {
+  ir::Context ctx;
+  cfg::Cfg g = bug_cfg(ctx, 3);
+  LintResult r = lint_cfg(ctx, g);
+  ASSERT_FALSE(r.diagnostics.empty());
+  // Dedup key: a (detector, node, field) triple appears at most once even
+  // when several CFG paths reach the same finding.
+  std::set<std::tuple<std::string, cfg::NodeId, std::string>> keys;
+  for (const Diagnostic& d : r.diagnostics) {
+    EXPECT_TRUE(keys.emplace(d.code, d.node, d.field).second)
+        << "duplicate diagnostic: " << d.code << " node " << d.node
+        << " field '" << d.field << "'";
+  }
+  // Deterministic order: sorted by (node, code, field, message).
+  for (size_t i = 1; i < r.diagnostics.size(); ++i) {
+    const Diagnostic& a = r.diagnostics[i - 1];
+    const Diagnostic& b = r.diagnostics[i];
+    EXPECT_LE(std::tie(a.node, a.code, a.field, a.message),
+              std::tie(b.node, b.code, b.field, b.message));
+  }
+  // The JSON rendering carries the dedup field.
+  EXPECT_NE(render_json(r).find("\"field\""), std::string::npos);
 }
 
 TEST(Lint, SyntheticSkipArmsAreNotReported) {
