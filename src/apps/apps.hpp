@@ -87,4 +87,10 @@ struct BugScenario {
 BugScenario make_bug(ir::Context& ctx, int index);
 inline constexpr int kNumBugs = 16;
 
+// The *intended* (bug-free) variant of scenario `index`: for code bugs the
+// corrected program/rules, for toolchain bugs the same bundle (compiled
+// without the fault). The fuzz lane's divergence oracle runs this as the
+// reference device.
+AppBundle make_bug_intended(ir::Context& ctx, int index);
+
 }  // namespace meissa::apps

@@ -661,4 +661,102 @@ BugScenario make_bug(ir::Context& ctx, int index) {
   return bug;
 }
 
+AppBundle make_bug_intended(ir::Context& ctx, int index) {
+  switch (index) {
+    case 1: {
+      // Correct rules: route 1 leaves on port 10.
+      AppBundle app = make_router(ctx, 0);
+      app.rules = fixed_router_rules();
+      return app;
+    }
+    case 2: {
+      // Correct priorities: the deny outranks the catch-all permit.
+      AppBundle app = make_acl(ctx, 0, 0);
+      app.rules = fixed_router_rules();
+      TableEntry permit;
+      permit.table = "acl";
+      permit.matches = {KeyMatch::wildcard(), KeyMatch::wildcard(),
+                        KeyMatch::exact(0)};
+      permit.action = "acl_permit";
+      permit.priority = 2;
+      app.rules.add(permit);
+      TableEntry deny;
+      deny.table = "acl";
+      deny.matches = {KeyMatch::ternary(0xcb007100u, 0xffffff00u),
+                      KeyMatch::wildcard(), KeyMatch::exact(0)};
+      deny.action = "acl_deny";
+      deny.priority = 1;
+      app.rules.add(deny);
+      return app;
+    }
+    case 3: {
+      AppBundle app = make_router(ctx, 0, /*seed=*/99);
+      app.rules = fixed_router_rules();
+      return app;
+    }
+    case 4: {
+      AppBundle app = make_router(ctx, 0, /*seed=*/98);
+      app.rules = fixed_router_rules();
+      return app;
+    }
+    case 5:
+      return make_mtag(ctx, 3, /*seed=*/2);
+    case 6: {
+      GwConfig cfg;
+      cfg.level = 2;
+      cfg.elastic_ips = 4;
+      return make_gateway(ctx, cfg);
+    }
+    // Toolchain bugs: the source bundle itself is the intended program —
+    // compiling it without the FaultSpec yields the reference behaviour.
+    case 7:
+      return mini_classifier(ctx);
+    case 8:
+      return mini_ternary(ctx);
+    case 9:
+    case 10:
+      return mini_rewrite(ctx);
+    case 11:
+      return mini_adder(ctx);
+    case 12: {
+      GwConfig cfg;
+      cfg.level = 1;
+      cfg.elastic_ips = 4;
+      AppBundle app = make_gateway(ctx, cfg);
+      add_blocklist_guard(ctx, app);
+      return app;
+    }
+    case 13: {
+      GwConfig cfg;
+      cfg.level = 1;
+      cfg.elastic_ips = 4;
+      AppBundle app = make_gateway(ctx, cfg);
+      add_tos_stamp(ctx, app);
+      return app;
+    }
+    case 14: {
+      GwConfig cfg;
+      cfg.level = 1;
+      cfg.elastic_ips = 4;
+      return make_gateway(ctx, cfg);
+    }
+    case 15: {
+      GwConfig cfg;
+      cfg.level = 2;
+      cfg.elastic_ips = 4;
+      return make_gateway(ctx, cfg);
+    }
+    case 16: {
+      GwConfig cfg;
+      cfg.level = 3;
+      cfg.elastic_ips = 4;
+      AppBundle app = make_gateway(ctx, cfg);
+      add_tenant_guard(ctx, app);
+      return app;
+    }
+    default:
+      throw util::ValidationError("make_bug_intended: index out of range");
+  }
+}
+
 }  // namespace meissa::apps

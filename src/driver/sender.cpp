@@ -6,6 +6,30 @@
 
 namespace meissa::driver {
 
+void stamp_payload(std::vector<uint8_t>& payload, uint64_t case_id) {
+  for (int i = 7; i >= 0; --i) {
+    payload.push_back(static_cast<uint8_t>(case_id >> (8 * i)));
+  }
+  for (int i = 0; i < 8; ++i) {
+    payload.push_back(static_cast<uint8_t>(0xA0 + i));
+  }
+}
+
+FrameClass classify_frame(const std::vector<uint8_t>& bytes, uint64_t want,
+                          const std::unordered_set<uint64_t>& settled) {
+  if (bytes.size() < kStampBytes) return FrameClass::kCorrupt;
+  const size_t base = bytes.size() - kStampBytes;
+  uint64_t id = 0;
+  for (int i = 0; i < 8; ++i) id = (id << 8) | bytes[base + i];
+  for (int i = 0; i < 8; ++i) {
+    if (bytes[base + 8 + i] != static_cast<uint8_t>(0xA0 + i)) {
+      return FrameClass::kCorrupt;
+    }
+  }
+  if (id == want) return FrameClass::kOurs;
+  if (settled.count(id) != 0) return FrameClass::kStale;
+  return FrameClass::kCorrupt;
+}
 
 Sender::Sender(ir::Context& ctx, const p4::DataPlane& dp,
                const cfg::Cfg& graph, uint64_t seed)
@@ -135,13 +159,7 @@ std::optional<TestCase> Sender::concretize(const sym::TestCaseTemplate& t,
     tc.input_packet.headers.push_back(std::move(hv));
   }
   // Unique id payload (paper §4): 8-byte case id + fixed filler.
-  for (int i = 7; i >= 0; --i) {
-    tc.input_packet.payload.push_back(
-        static_cast<uint8_t>(tc.case_id >> (8 * i)));
-  }
-  for (int i = 0; i < 8; ++i) {
-    tc.input_packet.payload.push_back(static_cast<uint8_t>(0xA0 + i));
-  }
+  stamp_payload(tc.input_packet.payload, tc.case_id);
 
   tc.input.port = s.at(ctx_.fields.require(std::string(p4::kIngressPort)));
   tc.input.bytes = packet::serialize(dp_.program, tc.input_packet);

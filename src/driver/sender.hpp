@@ -7,12 +7,33 @@
 #pragma once
 
 #include <optional>
+#include <unordered_set>
 
 #include "driver/generator.hpp"
 #include "sim/device.hpp"
 #include "util/rng.hpp"
 
 namespace meissa::driver {
+
+// Payload stamp protocol (paper §4): the sender appends an 8-byte
+// big-endian case id followed by 8 fixed filler bytes (0xA0..0xA7) to
+// every frame tail. Everything that relates captured frames back to cases
+// — the tester's flaky-link retry loop, the fuzz lane's seeds — shares
+// this one definition.
+inline constexpr size_t kStampBytes = 16;
+
+// Appends the stamp for `case_id` to `payload`.
+void stamp_payload(std::vector<uint8_t>& payload, uint64_t case_id);
+
+// Classification of a captured frame against the stamp.
+enum class FrameClass {
+  kOurs,     // intact stamp carrying the awaited case id
+  kStale,    // intact stamp of an already-settled case (late duplicate)
+  kCorrupt,  // stamp damaged or unknown id (payload bit flip on the link)
+};
+
+FrameClass classify_frame(const std::vector<uint8_t>& bytes, uint64_t want,
+                          const std::unordered_set<uint64_t>& settled);
 
 struct TestCase {
   uint64_t template_id = 0;

@@ -9,34 +9,6 @@
 
 namespace meissa::driver {
 
-namespace {
-
-// Classification of a captured frame against the sender's payload stamp
-// (8-byte big-endian case id + 8 fixed filler bytes at the frame tail).
-enum class FrameClass {
-  kOurs,     // intact stamp carrying the awaited case id
-  kStale,    // intact stamp of an already-settled case (late duplicate)
-  kCorrupt,  // stamp damaged or unknown id (payload bit flip on the link)
-};
-
-FrameClass classify_frame(const std::vector<uint8_t>& bytes, uint64_t want,
-                          const std::unordered_set<uint64_t>& settled) {
-  if (bytes.size() < 16) return FrameClass::kCorrupt;
-  const size_t base = bytes.size() - 16;
-  uint64_t id = 0;
-  for (int i = 0; i < 8; ++i) id = (id << 8) | bytes[base + i];
-  for (int i = 0; i < 8; ++i) {
-    if (bytes[base + 8 + i] != static_cast<uint8_t>(0xA0 + i)) {
-      return FrameClass::kCorrupt;
-    }
-  }
-  if (id == want) return FrameClass::kOurs;
-  if (settled.count(id) != 0) return FrameClass::kStale;
-  return FrameClass::kCorrupt;
-}
-
-}  // namespace
-
 Meissa::Meissa(ir::Context& ctx, const p4::DataPlane& dp,
                const p4::RuleSet& rules, TestRunOptions opts)
     : ctx_(ctx), dp_(dp), opts_(std::move(opts)), gen_(ctx, dp, rules,
@@ -78,22 +50,54 @@ TestReport Meissa::test(sim::Device& device,
       if (opts_.collect_traces) {
         rec.symbolic_trace =
             symbolic_trace(ctx_, gen_.graph(), t.path, tc.input_state, 200);
-        rec.physical_trace = out.trace;
+        rec.physical_trace = device.render_trace(out.trace);
       }
       report.failures.push_back(std::move(rec));
     }
   };
 
   if (opts_.link.none()) {
-    // Perfect link: the direct path — one install, one inject per case.
+    // Perfect link: batched submission through one recycled arena.
+    // Register installs merge into persistent device state, so a pending
+    // batch flushes before every install — each case then executes after
+    // exactly the installs that preceded it serially, which keeps verdicts
+    // byte-identical to the old one-install-one-inject loop.
+    sim::ExecArena arena;
+    arena.collect_trace = opts_.collect_traces;
+    const size_t batch = std::max<size_t>(1, opts_.batch);
+    std::vector<const sym::TestCaseTemplate*> pend_t;
+    std::vector<TestCase> pend_c;
+    std::vector<sim::DeviceInput> inputs;
+    std::vector<sim::DeviceOutput> outputs;
+
+    auto flush = [&] {
+      if (pend_c.empty()) return;
+      inputs.clear();
+      for (TestCase& tc : pend_c) inputs.push_back(std::move(tc.input));
+      outputs.resize(pend_c.size());
+      device.run_batch(inputs, outputs, arena);
+      for (size_t i = 0; i < pend_c.size(); ++i) {
+        obs::Span span("send/check", "driver");
+        span.arg("case", pend_c[i].case_id);
+        pend_c[i].input = std::move(inputs[i]);  // checker reads the input
+        record(*pend_t[i], pend_c[i], outputs[i]);
+      }
+      pend_t.clear();
+      pend_c.clear();
+    };
+
     for (const sym::TestCaseTemplate& t : templates_) {
       std::optional<TestCase> tc = sender.concretize(t, gen_.engine());
       if (!tc) continue;  // removed by hash filtering (§4)
-      obs::Span span("send/check", "driver");
-      span.arg("case", tc->case_id);
-      device.set_registers(tc->registers);
-      record(t, *tc, device.inject(tc->input));
+      if (!tc->registers.empty()) {
+        flush();
+        device.set_registers(tc->registers);
+      }
+      pend_t.push_back(&t);
+      pend_c.push_back(std::move(*tc));
+      if (pend_c.size() >= batch) flush();
     }
+    flush();
   } else {
     // Flaky link: per-case install+send with capped-backoff retry, stamp-
     // based dedup and corruption detection, quarantine on exhaustion.

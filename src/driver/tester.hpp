@@ -17,6 +17,10 @@ struct TestRunOptions {
   // in which case the driver takes the exact direct injection path (one
   // install + one inject per case, no retry machinery on the wire).
   sim::LinkFaultSpec link;
+  // Cases per run_batch submission on the perfect-link path (batches also
+  // flush at register-install boundaries, so verdicts are byte-identical
+  // to per-case injection). 0 behaves like 1.
+  size_t batch = 64;
   // Per-case resends after silence or a damaged verdict before the case is
   // quarantined. With the default 8 retries a 5%-lossy link quarantines
   // with probability ~5e-12 per case.

@@ -1,0 +1,233 @@
+#include "fuzz/mutator.hpp"
+
+#include <unordered_map>
+
+#include "packet/wire.hpp"
+#include "util/bits.hpp"
+
+namespace meissa::fuzz {
+
+namespace {
+constexpr int kMaxWalkDepth = 32;   // parser FSM walk bound (loops guard)
+constexpr size_t kMaxLayouts = 64;  // enumerated wire layouts bound
+constexpr uint8_t kInteresting[] = {0x00, 0x01, 0x7f, 0x80, 0xff};
+}  // namespace
+
+Mutator::Mutator(const p4::DataPlane& dp, const p4::RuleSet& rules)
+    : prog_(dp.program) {
+  if (!dp.topology.entries.empty()) {
+    const p4::PipeInstance* pi =
+        dp.topology.find_instance(dp.topology.entries[0].instance);
+    if (pi != nullptr) {
+      const p4::PipelineDef* pl = prog_.find_pipeline(pi->pipeline);
+      if (pl != nullptr) parser_ = &pl->parser;
+    }
+  }
+
+  // Dictionary: parser select constants (every pipeline — inner pipes gate
+  // on tunnel types the entry parser never sees) and installed-rule match
+  // values, each tagged with its field width so splices stay in range.
+  for (const p4::PipelineDef& pl : prog_.pipelines) {
+    for (const p4::ParserState& s : pl.parser.states) {
+      if (s.select_field.empty()) continue;
+      int w = prog_.field_width(s.select_field).value_or(16);
+      for (const p4::ParserTransition& t : s.cases) {
+        dict_.push_back({t.value, w});
+      }
+    }
+  }
+  for (const p4::TableEntry& e : rules.entries) {
+    const p4::TableDef* t = prog_.find_table(e.table);
+    if (t == nullptr) continue;
+    for (size_t i = 0; i < e.matches.size() && i < t->keys.size(); ++i) {
+      int w = prog_.field_width(t->keys[i].field).value_or(32);
+      const p4::KeyMatch& m = e.matches[i];
+      switch (t->keys[i].kind) {
+        case p4::MatchKind::kRange:
+          dict_.push_back({m.lo, w});
+          dict_.push_back({m.hi, w});
+          break;
+        default:
+          dict_.push_back({m.value, w});
+          break;
+      }
+    }
+  }
+
+  if (parser_ != nullptr) {
+    const p4::ParserState* start = parser_->find_state(parser_->start);
+    if (start != nullptr) enumerate_layouts(*parser_, start, {}, 0);
+  }
+}
+
+void Mutator::enumerate_layouts(const p4::Parser& parser,
+                                const p4::ParserState* s, PathLayout cur,
+                                int depth) {
+  if (s == nullptr || depth >= kMaxWalkDepth || layouts_.size() >= kMaxLayouts)
+    return;
+  for (const std::string& h : s->extracts) {
+    const p4::HeaderDef* def = prog_.find_header(h);
+    if (def == nullptr) continue;
+    for (const p4::FieldDef& f : def->fields) {
+      cur.slots.push_back({cur.total_bits, f.width});
+      cur.total_bits += static_cast<size_t>(f.width);
+    }
+  }
+  // Every walk prefix is a usable layout: a mutated frame need not reach
+  // the deepest accept to sit on these field boundaries.
+  if (cur.total_bits > 0) layouts_.push_back(cur);
+  for (const p4::ParserTransition& t : s->cases) {
+    if (layouts_.size() >= kMaxLayouts) return;
+    if (t.next == "accept" || t.next == "reject") continue;
+    enumerate_layouts(parser, parser.find_state(t.next), cur, depth + 1);
+  }
+  if (s->default_next != "accept" && s->default_next != "reject") {
+    enumerate_layouts(parser, parser.find_state(s->default_next), cur,
+                      depth + 1);
+  }
+}
+
+sim::DeviceInput Mutator::random_packet(util::Rng& rng) const {
+  sim::DeviceInput in;
+  in.port = rng.chance(3, 4) ? rng.below(8) : rng.bits(p4::kPortWidth);
+  if (parser_ == nullptr) {
+    size_t n = 16 + rng.below(48);
+    for (size_t i = 0; i < n; ++i) {
+      in.bytes.push_back(static_cast<uint8_t>(rng.bits(8)));
+    }
+    return in;
+  }
+
+  // Walk the FSM; pin each visited select to a random case's value 3/4 of
+  // the time (the remainder exercises default/reject arms). Pinned fields
+  // may live in headers extracted earlier, so serialization happens after
+  // the walk completes.
+  std::unordered_map<std::string, uint64_t> pinned;
+  std::vector<const p4::HeaderDef*> seq;
+  const p4::ParserState* s = parser_->find_state(parser_->start);
+  int depth = 0;
+  while (s != nullptr && depth++ < kMaxWalkDepth) {
+    for (const std::string& h : s->extracts) {
+      const p4::HeaderDef* def = prog_.find_header(h);
+      if (def != nullptr) seq.push_back(def);
+    }
+    std::string next = s->default_next;
+    if (!s->select_field.empty() && !s->cases.empty() && rng.chance(3, 4)) {
+      const p4::ParserTransition& t = s->cases[rng.below(s->cases.size())];
+      int w = prog_.field_width(s->select_field).value_or(16);
+      pinned[s->select_field] =
+          (t.value & t.mask) | (rng.bits(w) & ~t.mask);
+      next = t.next;
+    }
+    if (next == "accept" || next == "reject") break;
+    s = parser_->find_state(next);
+  }
+
+  packet::BitWriter w;
+  for (const p4::HeaderDef* def : seq) {
+    for (const p4::FieldDef& f : def->fields) {
+      auto it = pinned.find(p4::content_field(def->name, f.name));
+      uint64_t v = it != pinned.end() ? util::truncate(it->second, f.width)
+                                      : rng.bits(f.width);
+      w.put(v, f.width);
+    }
+  }
+  if (w.byte_aligned()) {
+    size_t n = rng.below(17);
+    std::vector<uint8_t> payload;
+    payload.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      payload.push_back(static_cast<uint8_t>(rng.bits(8)));
+    }
+    w.put_bytes(payload);
+  }
+  in.bytes = std::move(w).take();
+  return in;
+}
+
+void Mutator::overwrite_slot(std::vector<uint8_t>& bytes, const Slot& slot,
+                             uint64_t value) const {
+  for (int i = 0; i < slot.width; ++i) {
+    size_t bit = slot.bit_off + static_cast<size_t>(i);
+    size_t byte = bit / 8;
+    int sh = 7 - static_cast<int>(bit % 8);
+    uint8_t b = static_cast<uint8_t>((value >> (slot.width - 1 - i)) & 1);
+    bytes[byte] = static_cast<uint8_t>(
+        (bytes[byte] & ~(1u << sh)) | (static_cast<unsigned>(b) << sh));
+  }
+}
+
+void Mutator::mutate(sim::DeviceInput& in, util::Rng& rng) const {
+  uint64_t reps = 1 + rng.below(6);
+  for (uint64_t r = 0; r < reps; ++r) {
+    switch (rng.below(8)) {
+      case 0: {  // flip one bit
+        if (in.bytes.empty()) break;
+        size_t i = rng.below(in.bytes.size());
+        in.bytes[i] ^= static_cast<uint8_t>(1u << rng.below(8));
+        break;
+      }
+      case 1: {  // random byte
+        if (in.bytes.empty()) break;
+        in.bytes[rng.below(in.bytes.size())] =
+            static_cast<uint8_t>(rng.bits(8));
+        break;
+      }
+      case 2: {  // small +/- delta
+        if (in.bytes.empty()) break;
+        size_t i = rng.below(in.bytes.size());
+        uint8_t d = static_cast<uint8_t>(1 + rng.below(16));
+        in.bytes[i] =
+            static_cast<uint8_t>(rng.chance(1, 2) ? in.bytes[i] + d
+                                                  : in.bytes[i] - d);
+        break;
+      }
+      case 3: {  // interesting byte
+        if (in.bytes.empty()) break;
+        in.bytes[rng.below(in.bytes.size())] =
+            kInteresting[rng.below(std::size(kInteresting))];
+        break;
+      }
+      case 4: {  // dictionary splice (big-endian at a random offset)
+        if (dict_.empty() || in.bytes.empty()) break;
+        const DictEntry& d = dict_[rng.below(dict_.size())];
+        size_t n = static_cast<size_t>((d.width + 7) / 8);
+        if (n == 0 || n > in.bytes.size()) break;
+        size_t off = rng.below(in.bytes.size() - n + 1);
+        for (size_t i = 0; i < n; ++i) {
+          in.bytes[off + i] =
+              static_cast<uint8_t>(d.value >> (8 * (n - 1 - i)));
+        }
+        break;
+      }
+      case 5: {  // tail grow / trim
+        if (!in.bytes.empty() && rng.chance(1, 2)) {
+          in.bytes.pop_back();
+        } else {
+          in.bytes.push_back(static_cast<uint8_t>(rng.bits(8)));
+        }
+        break;
+      }
+      case 6:  // ingress port
+        in.port = rng.chance(3, 4) ? rng.below(8) : rng.bits(p4::kPortWidth);
+        break;
+      case 7: {  // field-aware overwrite on a known wire layout
+        if (layouts_.empty()) break;
+        const PathLayout* lay = nullptr;
+        for (int tries = 0; tries < 4 && lay == nullptr; ++tries) {
+          const PathLayout& c = layouts_[rng.below(layouts_.size())];
+          if (c.total_bits <= in.bytes.size() * 8) lay = &c;
+        }
+        if (lay == nullptr || lay->slots.empty()) break;
+        const Slot& slot = lay->slots[rng.below(lay->slots.size())];
+        uint64_t v = (!dict_.empty() && rng.chance(1, 2))
+                         ? dict_[rng.below(dict_.size())].value
+                         : rng.next();
+        overwrite_slot(in.bytes, slot, util::truncate(v, slot.width));
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace meissa::fuzz

@@ -1,0 +1,69 @@
+// Input generation and mutation for the greybox lane.
+//
+// The mutator is program-aware without being path-precise: at construction
+// it walks the entry pipeline's parser FSM to learn (a) which header
+// sequences are parseable and where each field sits on the wire, and (b) a
+// dictionary of "magic" constants — parser select values and table-key
+// match values from the installed rule set — that gate interesting
+// branches. random_packet() synthesizes structurally-valid frames by
+// replaying a random FSM walk with select fields pinned to a case's value;
+// mutate() applies AFL-style havoc stacks (bit flips, interesting bytes,
+// dictionary splices, tail resizing) plus field-aware overwrites that land
+// whole values on field boundaries of a known wire layout.
+//
+// All randomness flows through the caller's util::Rng, so a (seed, corpus)
+// pair replays the identical mutation sequence.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "p4/program.hpp"
+#include "p4/rules.hpp"
+#include "sim/device.hpp"
+#include "util/rng.hpp"
+
+namespace meissa::fuzz {
+
+class Mutator {
+ public:
+  Mutator(const p4::DataPlane& dp, const p4::RuleSet& rules);
+
+  // Synthesizes a structurally-valid random frame by walking the entry
+  // parser (select fields pinned to a random case 3/4 of the time).
+  sim::DeviceInput random_packet(util::Rng& rng) const;
+
+  // Applies a havoc stack of 1..6 mutations in place.
+  void mutate(sim::DeviceInput& in, util::Rng& rng) const;
+
+  size_t dictionary_size() const noexcept { return dict_.size(); }
+  size_t layouts() const noexcept { return layouts_.size(); }
+
+ private:
+  struct DictEntry {
+    uint64_t value = 0;
+    int width = 0;  // bits
+  };
+  // One field slot of a parseable header sequence.
+  struct Slot {
+    size_t bit_off = 0;
+    int width = 0;
+  };
+  struct PathLayout {
+    std::vector<Slot> slots;
+    size_t total_bits = 0;
+  };
+
+  void enumerate_layouts(const p4::Parser& parser, const p4::ParserState* s,
+                         PathLayout cur, int depth);
+  void overwrite_slot(std::vector<uint8_t>& bytes, const Slot& slot,
+                      uint64_t value) const;
+
+  const p4::Program& prog_;
+  const p4::Parser* parser_ = nullptr;  // entry pipeline's parser
+  std::vector<DictEntry> dict_;
+  std::vector<PathLayout> layouts_;
+};
+
+}  // namespace meissa::fuzz

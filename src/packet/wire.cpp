@@ -4,36 +4,13 @@
 
 namespace meissa::packet {
 
-void BitWriter::put(uint64_t v, int width) {
-  util::check_width(width);
-  v = util::truncate(v, width);
-  for (int i = width - 1; i >= 0; --i) {
-    if (bit_pos_ == 0) data_.push_back(0);
-    if (util::bit_at(v, i)) {
-      data_.back() |= static_cast<uint8_t>(1u << (7 - bit_pos_));
-    }
-    bit_pos_ = (bit_pos_ + 1) % 8;
-  }
-}
-
 void BitWriter::put_bytes(const std::vector<uint8_t>& bytes) {
-  util::check(byte_aligned(), "put_bytes: not byte aligned");
-  data_.insert(data_.end(), bytes.begin(), bytes.end());
+  put_bytes(bytes.data(), bytes.size());
 }
 
-std::optional<uint64_t> BitReader::get(int width) {
-  util::check_width(width);
-  if (pos_ + static_cast<size_t>(width) > data_.size() * 8) {
-    return std::nullopt;
-  }
-  uint64_t v = 0;
-  for (int i = 0; i < width; ++i) {
-    size_t byte = pos_ / 8;
-    int bit = static_cast<int>(pos_ % 8);
-    v = (v << 1) | ((data_[byte] >> (7 - bit)) & 1u);
-    ++pos_;
-  }
-  return v;
+void BitWriter::put_bytes(const uint8_t* data, size_t n) {
+  util::check(byte_aligned(), "put_bytes: not byte aligned");
+  data_.insert(data_.end(), data, data + n);
 }
 
 std::vector<uint8_t> BitReader::rest() const {

@@ -12,10 +12,43 @@ namespace meissa::packet {
 
 class BitWriter {
  public:
-  // Appends the low `width` bits of `v`, MSB first.
-  void put(uint64_t v, int width);
+  // Appends the low `width` bits of `v`, MSB first. Inline: this sits on
+  // the deparser's per-field hot path.
+  void put(uint64_t v, int width) {
+    util::check_width(width);
+    v = util::truncate(v, width);
+    int left = width;
+    // Finish the partially-filled last byte first.
+    if (bit_pos_ != 0) {
+      int take = 8 - bit_pos_ < left ? 8 - bit_pos_ : left;
+      left -= take;
+      uint64_t chunk = (v >> left) & util::mask_bits(take);
+      data_.back() |= static_cast<uint8_t>(chunk << (8 - bit_pos_ - take));
+      bit_pos_ = (bit_pos_ + take) % 8;
+    }
+    // Then whole bytes, MSB first.
+    while (left >= 8) {
+      left -= 8;
+      data_.push_back(static_cast<uint8_t>(v >> left));
+    }
+    // And a new partial byte for the tail bits.
+    if (left > 0) {
+      uint64_t chunk = v & util::mask_bits(left);
+      data_.push_back(static_cast<uint8_t>(chunk << (8 - left)));
+      bit_pos_ = left;
+    }
+  }
   // Appends raw bytes (requires byte alignment).
   void put_bytes(const std::vector<uint8_t>& bytes);
+  void put_bytes(const uint8_t* data, size_t n);
+
+  // Recycles `buf`'s capacity as the output buffer and starts a fresh
+  // write (allocation-free steady state for the batched deparser).
+  void reset(std::vector<uint8_t> buf) {
+    data_ = std::move(buf);
+    data_.clear();
+    bit_pos_ = 0;
+  }
 
   bool byte_aligned() const noexcept { return bit_pos_ == 0; }
   const std::vector<uint8_t>& bytes() const noexcept { return data_; }
@@ -31,7 +64,35 @@ class BitReader {
   explicit BitReader(const std::vector<uint8_t>& data) : data_(data) {}
 
   // Reads `width` bits MSB-first; nullopt when the buffer is exhausted.
-  std::optional<uint64_t> get(int width);
+  // Inline: this is the parser's per-field hot path.
+  std::optional<uint64_t> get(int width) {
+    util::check_width(width);
+    if (pos_ + static_cast<size_t>(width) > data_.size() * 8) {
+      return std::nullopt;
+    }
+    uint64_t v = 0;
+    int left = width;
+    // Tail of the current byte first.
+    int bit = static_cast<int>(pos_ % 8);
+    if (bit != 0) {
+      int take = 8 - bit < left ? 8 - bit : left;
+      v = (data_[pos_ / 8] >> (8 - bit - take)) & util::mask_bits(take);
+      pos_ += static_cast<size_t>(take);
+      left -= take;
+    }
+    // Then whole bytes, MSB first.
+    while (left >= 8) {
+      v = (v << 8) | data_[pos_ / 8];
+      pos_ += 8;
+      left -= 8;
+    }
+    // And the leading bits of the final byte.
+    if (left > 0) {
+      v = (v << left) | (data_[pos_ / 8] >> (8 - left));
+      pos_ += static_cast<size_t>(left);
+    }
+    return v;
+  }
 
   // Remaining bytes from the current (byte-aligned) position.
   std::vector<uint8_t> rest() const;

@@ -46,16 +46,22 @@ void FlakyLink::deliver(DeviceOutput out) {
   }
 }
 
+DeviceOutput FlakyLink::run_one(const DeviceInput& in) {
+  DeviceOutput out;
+  device_.run_batch({&in, 1}, {&out, 1}, arena_);
+  return out;
+}
+
 void FlakyLink::send(const DeviceInput& in) {
   ++stats_.frames_sent;
   if (hit(spec_.drop_rate)) {
     ++stats_.dropped;
     return;  // lost on the way to the device: pure silence
   }
-  deliver(device_.inject(in));
+  deliver(run_one(in));
   if (hit(spec_.duplicate_rate)) {
     ++stats_.duplicated;
-    deliver(device_.inject(in));
+    deliver(run_one(in));
   }
 }
 

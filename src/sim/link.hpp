@@ -61,8 +61,9 @@ class FlakyLink {
   // transient install fault fired (nothing was installed; retry).
   bool install_registers(const ir::ConcreteState& regs);
 
-  // Injects one frame. Its verdict(s) — zero on drop, two on duplication —
-  // arrive at collect(), possibly a collect() late when reordered.
+  // Injects one frame through the link's recycled arena. Its verdict(s) —
+  // zero on drop, two on duplication — arrive at collect(), possibly a
+  // collect() late when reordered.
   void send(const DeviceInput& in);
 
   // Returns every verdict that has "arrived": results of sends since the
@@ -76,8 +77,11 @@ class FlakyLink {
   bool hit(double rate);
   void deliver(DeviceOutput out);
 
+  DeviceOutput run_one(const DeviceInput& in);
+
   Device& device_;
   LinkFaultSpec spec_;
+  ExecArena arena_;  // recycled across every frame this link carries
   util::Rng rng_;
   std::vector<DeviceOutput> arrived_;     // on time, this round
   std::vector<DeviceOutput> delayed_;     // reordered, held one more round

@@ -64,7 +64,7 @@ TEST(Device, ShortPacketIsRejectedByParser) {
   DeviceOutput out = device.inject({0, packet::serialize(dp.program, in)});
   EXPECT_TRUE(out.dropped);
   bool saw = false;
-  for (const std::string& t : out.trace) {
+  for (const std::string& t : device.render_trace(out.trace)) {
     saw |= t.find("ran out of packet") != std::string::npos;
   }
   EXPECT_TRUE(saw);
@@ -88,7 +88,7 @@ TEST(Device, MultiPipeTraversalAndTrace) {
   ASSERT_FALSE(out.dropped);
   // The trace shows both pipeline instances parsing the packet.
   int parses = 0;
-  for (const std::string& t : out.trace) {
+  for (const std::string& t : device.render_trace(out.trace)) {
     parses += t.find(": parsed eth") != std::string::npos;
   }
   EXPECT_EQ(parses, 2);
