@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <unordered_set>
 
+#include "analysis/inject.hpp"
 #include "util/strings.hpp"
 
 namespace meissa::analysis {
@@ -273,6 +274,31 @@ LintResult lint_cfg(const ir::Context& ctx, const cfg::Cfg& g) {
                    "' never writes; the value is the implicit zero");
         }
       }
+    }
+  }
+
+  // ---- constant-guard: an if-statement whose guard the value analysis
+  // proves always-true or always-false (injection-analysis guard-constancy
+  // facts): one arm is dead and the test is vacuous. Complements
+  // contradictory-predicate — the constancy verdict checks *both* arms, so
+  // it fires even where only the negated arm decomposes into atoms.
+  for (const GuardFact& gf : guard_constancy(ctx, g)) {
+    const cfg::NodeId anchor =
+        gf.then_node != cfg::kNoNode ? gf.then_node : gf.else_node;
+    if (anchor == cfg::kNoNode) continue;
+    const std::string where =
+        "if #" + std::to_string(gf.ordinal) + " of pipeline '" +
+        gf.pipeline + "'";
+    if (gf.always_true()) {
+      emit(Severity::kWarning, "constant-guard", anchor, {},
+           "guard of " + where +
+               " is always true here; the else branch is dead and the "
+               "test is vacuous");
+    } else if (gf.always_false()) {
+      emit(Severity::kWarning, "constant-guard", anchor, {},
+           "guard of " + where +
+               " is always false here; the then branch is dead and the "
+               "test is vacuous");
     }
   }
 

@@ -21,6 +21,10 @@
 //                               a cross-pipeline pre-condition violation
 //   header-never-emitted        a header can leave a pipeline valid but is
 //                               absent from its deparser's emit order
+//   constant-guard              an if-statement guard the ValueRange
+//                               analysis proves always-true/always-false
+//                               (injection-analysis guard-constancy facts:
+//                               one arm dead, the test vacuous)
 //
 // Diagnostics are deterministic and deduplicated: a finding reachable via
 // multiple CFG paths emits once, keyed by (detector, node, field), sorted

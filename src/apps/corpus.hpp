@@ -1,0 +1,154 @@
+// The ground-truth bug corpus (DESIGN.md "Bug injection & survival
+// analysis"): seeded mutation of a data plane at the injection sites the
+// static analysis (analysis/inject.hpp) proved live, producing labeled
+// buggy variants with concrete trigger witnesses.
+//
+// Each variant is one mutation applied to one site:
+//
+//   program-level   the DataPlane/RuleSet itself is rewritten (guard
+//                   constants bumped, validity conjuncts dropped, parser
+//                   masks truncated, entry ranks inverted, actions
+//                   substituted, register indices skewed, ...); the buggy
+//                   device is the clean compile of the mutated program,
+//                   while the tester keeps modeling the original
+//   toolchain       the original program compiled with a sim::FaultSpec
+//                   (the site's validated Table-2-style transform)
+//   summary         a summary-transform fault (analysis/validate's
+//                   SummaryFaultKind); no device exists — the m4verify
+//                   lane is the only detector that can see it
+//
+// Every variant is *confirmed* before it enters the corpus: the covering
+// test-case templates of the site's anchor node (generated once, without
+// code summary, so template paths share node ids with the analysis graph)
+// are concretized and replayed through the buggy device against the clean
+// reference; the first diverging input is recorded as the variant's
+// trigger witness. Unconfirmed candidates are dropped (and counted) by
+// default, so witness replay re-triggers the corpus by construction.
+// Summary variants are confirmed by validate_summary refuting the
+// transform instead.
+//
+// Everything is deterministic for a fixed seed: mutation enumeration
+// follows the (stable) site ids, witness search follows template order,
+// and the manifest ("meissa-bug-corpus-v1") contains no wall-clock
+// values — the same seed yields a byte-identical manifest at any thread
+// count.
+#pragma once
+
+#include <memory>
+
+#include "analysis/inject.hpp"
+#include "apps/apps.hpp"
+
+namespace meissa::apps::corpus {
+
+enum class MutationKind : uint8_t {
+  kGuardOffByOne,       // bump a constant inside an if guard by +1
+  kGuardDropValidity,   // remove a `hdr.X.$valid == 1` conjunct of a guard
+  kParserValueBump,     // flip a masked bit of a select case value
+  kParserMaskTruncate,  // clear the lowest set bit of a select case mask
+  kEntryMaskTruncate,   // shorten an lpm prefix / clear a ternary mask bit /
+                        // bump an exact value / widen a range bound
+  kEntryWrongAction,    // substitute another permitted table action
+  kRankInversion,       // invert the rank of an overlapping entry pair
+  kChecksumDropSource,  // drop the last source of a checksum update
+  kEmitSwap,            // swap two adjacent deparser emit slots
+  kRegisterSkew,        // skew a register cell index to a neighbouring cell
+  kToolchain,           // compile with the site's sim::FaultSpec
+  kSummary,             // summary-transform fault (verify-lane only)
+  kLegacy,              // a hand-written Table-2 scenario, converted
+};
+inline constexpr int kNumMutationKinds = 13;
+
+const char* mutation_kind_name(MutationKind k) noexcept;
+
+// One labeled buggy variant. `dp`/`rules` are what the *device* is built
+// from (for kToolchain they equal the original and `fault` carries the
+// bug; for kSummary they are unused).
+struct BugVariant {
+  uint32_t id = 0;    // corpus-wide ordinal (manifest key)
+  std::string vid;    // stable string id, "<app>:s<site>:<kind>[:k]"
+  MutationKind kind = MutationKind::kGuardOffByOne;
+  uint32_t site = 0;  // InjectionSite::id this mutation was applied at
+  analysis::SiteKind site_kind = analysis::SiteKind::kGuard;
+  std::string description;  // what was mutated, human-readable
+  std::string liveness;     // the site's liveness proof
+  p4::DataPlane dp;
+  p4::RuleSet rules;
+  sim::FaultSpec fault;       // kToolchain / kLegacy (may be kNone)
+  std::string summary_fault;  // kSummary: validate's fault slug
+  bool code_bug = true;       // false: toolchain/summary-transform bug
+  // The expression universe `dp`/`rules`/`witness_registers` live in: the
+  // caller's context for build_corpus variants, a corpus-owned one (see
+  // BugCorpus::owned_contexts) for legacy scenarios.
+  ir::Context* ctx = nullptr;
+  // Reference (intended) program for the differential lanes. build_corpus
+  // variants share the app bundle's original program, so this stays unset;
+  // legacy scenarios carry their own corrected bundle.
+  bool has_reference = false;
+  p4::DataPlane ref_dp;
+  p4::RuleSet ref_rules;
+  std::vector<spec::Intent> ref_intents;
+
+  // Trigger witness (set when confirmed): replaying `witness` with
+  // `witness_registers` installed makes the buggy device diverge from the
+  // clean reference in observable output.
+  bool confirmed = false;
+  sim::DeviceInput witness;
+  ir::ConcreteState witness_registers;
+  uint64_t witness_template = 0;    // template id the witness came from
+  std::string witness_divergence;   // "accepted"|"dropped"|"port"|"bytes"
+};
+
+struct CorpusOptions {
+  uint64_t seed = 1;
+  // Worker threads for the one-off template generation (0 = hardware
+  // concurrency). Deterministic: any value yields the same corpus.
+  int threads = 0;
+  size_t max_variants = 0;       // 0 = unlimited
+  size_t max_per_site = 2;       // variants per (site, kind) pair
+  size_t witness_templates = 512;  // concretized witness pool cap
+  size_t witness_probes = 6;     // covering candidates replayed per variant
+  // Keep candidates whose mutation no replayed input could trigger
+  // (confirmed stays false). Off by default: the corpus then only holds
+  // variants with a working witness.
+  bool keep_unconfirmed = false;
+  // Skip the (solver-heavy) summary-transform variants.
+  bool summary_variants = true;
+  analysis::InjectOptions inject;
+};
+
+struct BugCorpus {
+  std::string app;
+  uint64_t seed = 1;
+  std::vector<BugVariant> variants;
+  analysis::InjectResult sites;   // the underlying site analysis
+  uint64_t candidates = 0;        // mutations attempted
+  uint64_t confirmed = 0;         // variants with a trigger witness
+  uint64_t discarded_unconfirmed = 0;
+  uint64_t witness_pool = 0;      // concretized templates available
+  uint64_t by_kind[kNumMutationKinds] = {};
+  // Keeps legacy scenarios' per-scenario expression universes alive for
+  // as long as their variants are (BugVariant::ctx points in here).
+  std::vector<std::shared_ptr<ir::Context>> owned_contexts;
+};
+
+// Builds the corpus for one app bundle. `ctx` must be the context the
+// bundle was built against.
+BugCorpus build_corpus(ir::Context& ctx, const AppBundle& app,
+                       const CorpusOptions& opts = {});
+
+// Converts the 16 hand-written Table-2 scenarios into the same corpus
+// format (kind = kLegacy, app = "legacy-table2"). Witness confirmation
+// replays the *intended* program's templates through the production
+// compile; scenarios whose bug needs fuzzing to surface stay unconfirmed
+// but are always kept (they are ground truth by construction).
+// `indices` selects rows (empty = all 1..16); each scenario gets its own
+// ir::Context, owned by the returned corpus.
+BugCorpus build_legacy_corpus(const CorpusOptions& opts = {},
+                              const std::vector<int>& indices = {});
+
+// Deterministic "meissa-bug-corpus-v1" manifest (sorted keys, no
+// wall-clock, byte-identical across thread counts for one seed).
+std::string manifest_json(const BugCorpus& c);
+
+}  // namespace meissa::apps::corpus

@@ -1,0 +1,106 @@
+// Gauntlet-style survival analysis over a ground-truth bug corpus
+// (DESIGN.md "Bug injection & survival analysis"): every variant is run
+// through the full detection stack, lane by lane, and the report records
+// which lane saw it first, how much work that took, and which variants
+// survived everything.
+//
+// Lanes, in first-detector precedence order (cheapest evidence first):
+//
+//   lint    analysis/lint over the *mutated* program's CFG, diffed against
+//           the clean baseline — a detection is a diagnostic the original
+//           program does not produce. Blind to toolchain faults (the
+//           source program is unchanged) by design.
+//   verify  summary translation validation (analysis/validate): the only
+//           lane that can see kSummary variants — a refuted obligation is
+//           the detection. Optionally run on every variant (verify_all),
+//           where it documents that program bugs summarize soundly.
+//   engine  the Meissa symbolic lane: the *intended* program is the model,
+//           the buggy compile is the device, and any failed case is a
+//           detection — the paper's headline pipeline.
+//   fuzz    the greybox differential lane: buggy device vs clean
+//           reference, corpus seeded from the engine's templates; a
+//           divergence is a detection and its execution index the latency.
+//
+// Determinism: lanes run sequentially per variant in corpus order, all
+// randomness flows from SurvivalOptions::seed, and to_json contains no
+// wall-clock values.
+#pragma once
+
+#include "apps/corpus.hpp"
+
+namespace meissa::apps::survival {
+
+enum class Detector : uint8_t { kLint, kVerify, kEngine, kFuzz, kNone };
+inline constexpr int kNumDetectors = 4;  // excluding kNone
+
+const char* detector_name(Detector d) noexcept;
+
+struct VariantOutcome {
+  uint32_t variant = 0;  // BugVariant::id
+  std::string vid;
+  corpus::MutationKind kind = corpus::MutationKind::kGuardOffByOne;
+  bool code_bug = true;
+  bool confirmed = false;  // had a replayable witness in the corpus
+  // Per-lane verdicts; false also covers "lane not run for this variant".
+  bool lint = false;
+  bool verify = false;
+  bool engine = false;
+  bool fuzz = false;
+  Detector first = Detector::kNone;
+  // Deterministic latency proxies: the engine's first failing case id
+  // (cases run when it never failed) and the fuzz lane's execution index
+  // of the first divergence (total execs when none).
+  uint64_t engine_cases = 0;
+  uint64_t fuzz_execs = 0;
+  std::string detail;  // one-line evidence from the first detector
+};
+
+struct SurvivalOptions {
+  uint64_t seed = 1;
+  int threads = 0;  // engine generation threads (deterministic at any value)
+  bool run_lint = true;
+  bool run_verify = true;
+  bool run_engine = true;
+  bool run_fuzz = true;
+  // Run the verify lane on non-summary variants too (slow; documents that
+  // program-level bugs pass translation validation).
+  bool verify_all = false;
+  uint64_t fuzz_execs = 4096;  // fuzz budget per variant
+  size_t fuzz_seeds = 64;      // template seeds handed to the fuzzer
+  // Cap on the engine lane's generated templates (0 = unlimited). The
+  // lane re-concretizes its whole case set against every buggy device,
+  // so at evaluation sizes an uncapped run is quadratic-feeling; the
+  // bench bounds this.
+  size_t engine_max_templates = 0;
+};
+
+struct SurvivalReport {
+  std::string app;
+  uint64_t seed = 1;
+  std::vector<VariantOutcome> outcomes;
+  uint64_t total = 0;
+  uint64_t detected = 0;  // by at least one lane
+  uint64_t survived = 0;
+  uint64_t first_by[kNumDetectors] = {};  // first-detector counts
+  uint64_t lane_detected[kNumDetectors] = {};  // per-lane totals
+
+  double detection_rate() const noexcept {
+    return total ? static_cast<double>(detected) / static_cast<double>(total)
+                 : 0.0;
+  }
+  // Human-readable report: aggregate block, first-detector breakdown,
+  // per-mutation-kind detection table, fuzz-latency survival curve, and
+  // the surviving variants by vid.
+  std::string render_text() const;
+  // Deterministic JSON (stable key order, no wall-clock).
+  std::string to_json() const;
+};
+
+// Runs the stack over `c`. `app` is the bundle the corpus was generated
+// from (model + reference + intents for variants without their own
+// reference); pass nullptr for the legacy corpus, whose variants carry
+// their intended bundles. Also feeds the `gauntlet.*` metrics.
+SurvivalReport run_survival(const corpus::BugCorpus& c, const AppBundle* app,
+                            const SurvivalOptions& opts = {});
+
+}  // namespace meissa::apps::survival

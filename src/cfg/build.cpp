@@ -121,14 +121,22 @@ class Builder {
   void expand_action_body(Chain& c, const InstanceInfo& inst,
                           const ActionDef& action,
                           const std::vector<uint64_t>& args) {
-    for (const ActionOp& op : action.ops) expand_op(c, inst, op, &action, &args);
+    for (size_t i = 0; i < action.ops.size(); ++i) {
+      expand_op(c, inst, action.ops[i], &action, &args);
+      g_.set_origin(c.tail, OriginKind::kActionOp, action.name,
+                    static_cast<int32_t>(i));
+    }
   }
 
   // Action body with *symbolic* parameters (action-cover mode): parameter
   // fields are left free, modeling "some entry with some arguments".
   void expand_action_body_symbolic(Chain& c, const InstanceInfo& inst,
                                    const ActionDef& action) {
-    for (const ActionOp& op : action.ops) expand_op(c, inst, op, nullptr, nullptr);
+    for (size_t i = 0; i < action.ops.size(); ++i) {
+      expand_op(c, inst, action.ops[i], nullptr, nullptr);
+      g_.set_origin(c.tail, OriginKind::kActionOp, action.name,
+                    static_cast<int32_t>(i));
+    }
   }
 
   void expand_op(Chain& c, const InstanceInfo& inst, const ActionOp& op,
@@ -212,6 +220,8 @@ class Builder {
       append_labeled(b, ir::Stmt::assume(match_preds[i]),
                      inst.name + ": table " + table.name + " entry #" +
                          std::to_string(i) + " (" + entries[i]->action + ")");
+      g_.set_origin(b.tail, OriginKind::kTableEntry, table.name,
+                    static_cast<int32_t>(i));
       const ActionDef* a = dp_.program.find_action(entries[i]->action);
       expand_action_body(b, inst, *a, entries[i]->args);
       g_.link(head, b.head);
@@ -235,6 +245,9 @@ class Builder {
     if (miss.head == kNoNode) append(miss, nop());
     g_.set_label(miss.head, inst.name + ": table " + table.name + " miss (" +
                                 def_action + ")");
+    if (g_.origin(miss.head).kind == OriginKind::kNone) {
+      g_.set_origin(miss.head, OriginKind::kTableMiss, table.name, -1);
+    }
     g_.link(head, miss.head);
     g_.link(miss.tail, tail);
     return outer;
@@ -256,12 +269,15 @@ class Builder {
         }
         case ControlStmt::Kind::kIf: {
           ir::ExprRef cond = localize(s.cond, inst);
+          const int32_t if_ord = if_count_++;
           const std::string where =
-              inst.name + ": if #" + std::to_string(if_count_++);
+              inst.name + ": if #" + std::to_string(if_ord);
           NodeId fork = nop();
           NodeId join = nop();
           Chain then_c;
           append_labeled(then_c, ir::Stmt::assume(cond), where + " then");
+          g_.set_origin(then_c.head, OriginKind::kIfGuard, inst.pipeline,
+                        if_ord, 0);
           Chain then_body = expand_control(s.then_block, inst);
           if (then_body.head != kNoNode) {
             g_.link(then_c.tail, then_body.head);
@@ -270,6 +286,8 @@ class Builder {
           Chain else_c;
           append_labeled(else_c, ir::Stmt::assume(ctx_.arena.bnot(cond)),
                          where + " else");
+          g_.set_origin(else_c.head, OriginKind::kIfGuard, inst.pipeline,
+                        if_ord, 1);
           Chain else_body = expand_control(s.else_block, inst);
           if (else_body.head != kNoNode) {
             g_.link(else_c.tail, else_body.head);
@@ -311,6 +329,7 @@ class Builder {
     Chain c;
     append(c, nop());
     g_.set_label(c.head, inst.name + ": parser state " + name);
+    g_.set_origin(c.head, OriginKind::kParserState, name);
     for (const std::string& h : s->extracts) {
       append_stmt(c, ir::Stmt::assign(valid_fid(inst, h),
                                       ctx_.arena.constant(1, 1)));
@@ -341,6 +360,8 @@ class Builder {
       append_labeled(b, ir::Stmt::assume(case_preds[i]),
                      inst.name + ": parser state " + name + " case -> " +
                          s->cases[i].next);
+      g_.set_origin(b.tail, OriginKind::kParserCase, name,
+                    static_cast<int32_t>(i));
       NodeId next = expand_parser_state(parser, s->cases[i].next, inst, accept,
                                         reject);
       g_.link(b.tail, next);
@@ -353,6 +374,7 @@ class Builder {
     if (d.head == kNoNode) append(d, nop());
     g_.set_label(d.head, inst.name + ": parser state " + name +
                              " default -> " + s->default_next);
+    g_.set_origin(d.head, OriginKind::kParserDefault, name, -1);
     NodeId next =
         expand_parser_state(parser, s->default_next, inst, accept, reject);
     g_.link(d.tail, next);
@@ -401,6 +423,7 @@ class Builder {
 
     // Deparser checksum updates, each guarded by its header's validity.
     NodeId cur = after_control;
+    int32_t cksum_idx = 0;
     for (const p4::ChecksumUpdate& u : def.deparser.checksum_updates) {
       NodeId fork = nop();
       NodeId join = nop();
@@ -413,6 +436,7 @@ class Builder {
       append_labeled(yes, ir::Stmt::assume(valid),
                      inst.name + ": deparser checksum " + u.dest + " (" +
                          u.guard_header + " valid)");
+      g_.set_origin(yes.head, OriginKind::kChecksum, u.dest, cksum_idx, 0);
       HashStmt h;
       h.dest = fid(u.dest);
       h.algo = u.algo;
@@ -422,6 +446,8 @@ class Builder {
       append_labeled(no, ir::Stmt::assume(ctx_.arena.bnot(valid)),
                      inst.name + ": deparser checksum " + u.dest + " (" +
                          u.guard_header + " invalid)");
+      g_.set_origin(no.head, OriginKind::kChecksum, u.dest, cksum_idx, 1);
+      ++cksum_idx;
       g_.link(fork, yes.head);
       g_.link(fork, no.head);
       g_.link(yes.tail, join);
@@ -517,7 +543,9 @@ Cfg Builder::build() {
     NodeId cur = alive;  // node whose "no earlier edge matched" branch hangs
     std::vector<ir::ExprRef> guards;
     bool unconditional = false;
+    int32_t edge_idx = -1;
     for (const p4::TopoEdge* e : outs) {
+      ++edge_idx;
       NodeId target = g_.instances()[static_cast<size_t>(index_of[e->to])].entry;
       if (e->guard == nullptr) {
         g_.link(cur, target);
@@ -526,6 +554,7 @@ Cfg Builder::build() {
       }
       NodeId take = g_.add(ir::Stmt::assume(e->guard));
       g_.set_label(take, name + ": link to " + e->to);
+      g_.set_origin(take, OriginKind::kTopoGuard, e->to, edge_idx);
       g_.link(cur, take);
       g_.link(take, target);
       NodeId skip = g_.add(ir::Stmt::assume(ctx_.arena.bnot(e->guard)));

@@ -42,6 +42,31 @@ enum class ExitKind : uint8_t {
   kDrop,  // packet dropped (drop flag or parser reject)
 };
 
+// What program construct a node was expanded from. Labels are free-form
+// diagnostics text; Origin is the machine-readable counterpart the
+// injection-point analysis keys on, so it never has to parse labels.
+enum class OriginKind : uint8_t {
+  kNone = 0,
+  kIfGuard,        // ref = pipeline, index = pre-order if ordinal, sub 0/1
+                   // for then/else arm
+  kTableEntry,     // ref = table name, index = entry index in RuleSet order
+  kTableMiss,      // ref = table name, index = -1
+  kParserState,    // ref = state name (structural head nop)
+  kParserCase,     // ref = state name, index = transition case index
+  kParserDefault,  // ref = state name, index = -1
+  kTopoGuard,      // ref = destination instance, index = edge index
+  kActionOp,       // ref = action name, index = op index within the action
+  kChecksum,       // ref = dest field, index = update index, sub 0/1 for
+                   // the guard-valid / guard-invalid arm
+};
+
+struct Origin {
+  OriginKind kind = OriginKind::kNone;
+  uint32_t ref = 0;  // interned string id (shares the Cfg label table)
+  int32_t index = -1;
+  int32_t sub = -1;
+};
+
 struct Node {
   ir::Stmt stmt;
   bool is_hash = false;
@@ -55,6 +80,7 @@ struct Node {
   // matched" skip chain): refuting one is by-construction, not a program
   // bug, so diagnostics skip it (the engine still prunes through it).
   bool synthetic = false;
+  Origin origin;
 };
 
 // Per-pipeline-instance metadata the generator and driver need.
@@ -73,8 +99,9 @@ struct InstanceInfo {
 class Cfg {
  public:
   NodeId add(ir::Stmt stmt) {
-    nodes_.push_back(Node{std::move(stmt), false, {}, {}, -1,
-                          ExitKind::kNone, -1});
+    Node n;
+    n.stmt = std::move(stmt);
+    nodes_.push_back(std::move(n));
     return static_cast<NodeId>(nodes_.size() - 1);
   }
   NodeId add_hash(HashStmt h) {
@@ -108,6 +135,19 @@ class Cfg {
   }
   const std::string& label(NodeId id) const {
     return labels_[nodes_[id].label];
+  }
+
+  // Machine-readable provenance; `ref` is interned in the label table.
+  void set_origin(NodeId id, OriginKind kind, const std::string& ref,
+                  int32_t index = -1, int32_t sub = -1) {
+    auto [it, fresh] =
+        label_index_.emplace(ref, static_cast<uint32_t>(labels_.size()));
+    if (fresh) labels_.push_back(ref);
+    nodes_[id].origin = Origin{kind, it->second, index, sub};
+  }
+  const Origin& origin(NodeId id) const { return nodes_[id].origin; }
+  const std::string& origin_ref(NodeId id) const {
+    return labels_[nodes_[id].origin.ref];
   }
 
   // Number of possible paths (Def. 1) from `from` to any terminal;

@@ -39,6 +39,10 @@ std::string FuzzResult::to_json() const {
   os << "{\"execs\":" << execs << ",\"seeds\":" << seeds
      << ",\"corpus\":" << corpus << ",\"coverage_edges\":" << coverage_edges
      << ",\"corpus_adds\":" << corpus_adds
+     << ",\"max_corpus\":" << max_corpus
+     << ",\"dictionary_entries\":" << dictionary_entries
+     << ",\"wire_layouts\":" << wire_layouts
+     << ",\"coverage_map_bytes\":" << coverage_map_bytes
      << ",\"divergences\":" << divergences << ",\"seconds\":" << seconds
      << ",\"execs_per_sec\":" << execs_per_sec << ",\"samples\":[";
   for (size_t i = 0; i < samples.size(); ++i) {
@@ -195,6 +199,10 @@ FuzzResult Fuzzer::run() {
   result_.execs_per_sec =
       secs > 0 ? static_cast<double>(result_.execs) / secs : 0;
   result_.corpus = corpus_.size();
+  result_.max_corpus = opts_.max_corpus;
+  result_.dictionary_entries = mutator_.dictionary_size();
+  result_.wire_layouts = mutator_.layouts();
+  result_.coverage_map_bytes = sim::CoverageMap::kSize;
 
   size_t edges = 0;
   for (uint8_t b : virgin_) edges += b != 0;

@@ -52,6 +52,10 @@ struct FuzzResult {
   size_t corpus = 0;          // final corpus size
   size_t coverage_edges = 0;  // distinct map bytes with any bucket seen
   uint64_t corpus_adds = 0;   // inputs admitted by new coverage
+  size_t max_corpus = 0;          // corpus growth cap in force
+  size_t dictionary_entries = 0;  // mutator dictionary (rule constants)
+  size_t wire_layouts = 0;        // parseable header layouts enumerated
+  size_t coverage_map_bytes = 0;  // coverage map size (CoverageMap::kSize)
   uint64_t divergences = 0;   // total divergent executions
   std::vector<Divergence> samples;
   double seconds = 0;
