@@ -1,6 +1,7 @@
 #include "apps/survival.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <set>
@@ -16,6 +17,7 @@
 #include "summary/summary.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
+#include "util/supervise.hpp"
 
 namespace meissa::apps::survival {
 
@@ -188,12 +190,13 @@ bool verify_lane(ReferenceState& ref, const BugVariant& v,
 }
 
 bool engine_lane(ReferenceState& ref, const BugVariant& v,
-                 const SurvivalOptions& opts, VariantOutcome& o) {
+                 const SurvivalOptions& opts, VariantOutcome& o,
+                 const util::CancelToken* cancel) {
   try {
     sim::Device device(sim::compile(v.dp, v.rules, *v.ctx, v.fault),
                        *v.ctx);
     driver::TestReport r =
-        ref.engine(opts).test(device, ref.intents);
+        ref.engine(opts).test(device, ref.intents, cancel);
     if (r.failed > 0) {
       const driver::CaseRecord& f = r.failures.front();
       o.engine_cases = f.case_id;
@@ -212,7 +215,8 @@ bool engine_lane(ReferenceState& ref, const BugVariant& v,
 }
 
 bool fuzz_lane(ReferenceState& ref, const BugVariant& v,
-               const SurvivalOptions& opts, VariantOutcome& o) {
+               const SurvivalOptions& opts, VariantOutcome& o,
+               const util::CancelToken* cancel) {
   try {
     sim::Device target(sim::compile(v.dp, v.rules, *v.ctx, v.fault),
                        *v.ctx);
@@ -220,6 +224,7 @@ bool fuzz_lane(ReferenceState& ref, const BugVariant& v,
     fuzz::FuzzOptions fo;
     fo.execs = opts.fuzz_execs;
     fo.seed = opts.seed;
+    fo.cancel = cancel;
     fuzz::Fuzzer fuzzer(target, reference, v.dp, v.rules, fo);
     for (const driver::TestCase& tc : ref.fuzz_seeds(opts)) {
       fuzzer.add_seed(tc.input, tc.registers);
@@ -253,6 +258,35 @@ SurvivalReport run_survival(const corpus::BugCorpus& c, const AppBundle* app,
                    app->intents);
   }
 
+  // Lane watchdog: the engine and fuzz lanes run as supervised tasks whose
+  // token they poll; lint and verify are single monolithic calls and are
+  // classified post hoc. A detection that lands before the trip is kept —
+  // timeout only replaces silence, never evidence.
+  util::SuperviseOptions so;
+  so.deadline_ms = opts.lane_deadline_ms;
+  util::Supervisor lane_watch(so);
+  auto supervised = [&](Detector d, VariantOutcome& o, auto&& lane) {
+    if (!so.enabled()) return lane(static_cast<const util::CancelToken*>(nullptr));
+    util::Supervisor::Task* task =
+        lane_watch.begin(std::string("lane.") + detector_name(d));
+    const bool hit = lane(&task->token());
+    const bool tripped = lane_watch.end(task);
+    if (tripped && !hit) o.timeout[static_cast<int>(d)] = true;
+    return hit;
+  };
+  auto post_hoc = [&](Detector d, VariantOutcome& o, auto&& lane) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const bool hit = lane();
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    if (so.enabled() && !hit &&
+        ms >= static_cast<double>(opts.lane_deadline_ms)) {
+      o.timeout[static_cast<int>(d)] = true;
+    }
+    return hit;
+  };
+
   for (const BugVariant& v : c.variants) {
     VariantOutcome o;
     o.variant = v.id;
@@ -273,18 +307,30 @@ SurvivalReport run_survival(const corpus::BugCorpus& c, const AppBundle* app,
     if (!ref || !v.ctx) continue;
 
     const bool device_lanes = v.kind != MutationKind::kSummary;
-    if (opts.run_lint && device_lanes) o.lint = lint_lane(*ref, v, o);
+    if (opts.run_lint && device_lanes) {
+      o.lint = post_hoc(Detector::kLint, o,
+                        [&] { return lint_lane(*ref, v, o); });
+    }
     std::string lint_detail = o.lint ? o.detail : "";
     if (opts.run_verify &&
         (v.kind == MutationKind::kSummary || opts.verify_all)) {
-      o.verify = verify_lane(*ref, v, o);
+      o.verify = post_hoc(Detector::kVerify, o,
+                          [&] { return verify_lane(*ref, v, o); });
     }
     std::string verify_detail = o.verify ? o.detail : "";
     if (opts.run_engine && device_lanes) {
-      o.engine = engine_lane(*ref, v, opts, o);
+      o.engine = supervised(Detector::kEngine, o,
+                            [&](const util::CancelToken* cancel) {
+                              return engine_lane(*ref, v, opts, o, cancel);
+                            });
     }
     std::string engine_detail = o.engine ? o.detail : "";
-    if (opts.run_fuzz && device_lanes) o.fuzz = fuzz_lane(*ref, v, opts, o);
+    if (opts.run_fuzz && device_lanes) {
+      o.fuzz = supervised(Detector::kFuzz, o,
+                          [&](const util::CancelToken* cancel) {
+                            return fuzz_lane(*ref, v, opts, o, cancel);
+                          });
+    }
 
     if (o.lint) {
       o.first = Detector::kLint;
@@ -313,6 +359,9 @@ SurvivalReport run_survival(const corpus::BugCorpus& c, const AppBundle* app,
     if (o.verify) ++rep.lane_detected[static_cast<int>(Detector::kVerify)];
     if (o.engine) ++rep.lane_detected[static_cast<int>(Detector::kEngine)];
     if (o.fuzz) ++rep.lane_detected[static_cast<int>(Detector::kFuzz)];
+    for (int d = 0; d < kNumDetectors; ++d) {
+      if (o.timeout[d]) ++rep.lane_timeouts[d];
+    }
     rep.outcomes.push_back(std::move(o));
   }
 
@@ -328,6 +377,10 @@ SurvivalReport run_survival(const corpus::BugCorpus& c, const AppBundle* app,
         .counter(std::string("gauntlet.lane.") +
                  detector_name(static_cast<Detector>(d)))
         .add(rep.lane_detected[d]);
+    obs::metrics()
+        .counter(std::string("gauntlet.timeout.") +
+                 detector_name(static_cast<Detector>(d)))
+        .add(rep.lane_timeouts[d]);
   }
   return rep;
 }
@@ -354,6 +407,16 @@ std::string SurvivalReport::render_text() const {
                         static_cast<unsigned long long>(lane_detected[d]));
   }
   out += "\n";
+  uint64_t any_timeouts = 0;
+  for (int d = 0; d < kNumDetectors; ++d) any_timeouts += lane_timeouts[d];
+  if (any_timeouts > 0) {
+    out += "  lane timeouts:";
+    for (int d = 0; d < kNumDetectors; ++d) {
+      out += util::format(" %s %llu", detector_name(static_cast<Detector>(d)),
+                          static_cast<unsigned long long>(lane_timeouts[d]));
+    }
+    out += "\n";
+  }
 
   // Detection by mutation kind.
   std::map<std::string, std::pair<uint64_t, uint64_t>> by_kind;  // det, tot
@@ -422,6 +485,12 @@ std::string SurvivalReport::to_json() const {
     out += std::string("\"") + detector_name(static_cast<Detector>(d)) +
            "\":" + std::to_string(lane_detected[d]);
   }
+  out += "},\"lane_timeouts\":{";
+  for (int d = 0; d < kNumDetectors; ++d) {
+    if (d) out += ",";
+    out += std::string("\"") + detector_name(static_cast<Detector>(d)) +
+           "\":" + std::to_string(lane_timeouts[d]);
+  }
   out += "},\"outcomes\":[";
   for (size_t i = 0; i < outcomes.size(); ++i) {
     const VariantOutcome& o = outcomes[i];
@@ -444,7 +513,13 @@ std::string SurvivalReport::to_json() const {
     out += o.fuzz ? "true" : "false";
     out += ",\"first\":\"";
     out += detector_name(o.first);
-    out += "\",\"engine_cases\":" + std::to_string(o.engine_cases);
+    out += "\",\"timeouts\":{";
+    for (int d = 0; d < kNumDetectors; ++d) {
+      if (d) out += ",";
+      out += std::string("\"") + detector_name(static_cast<Detector>(d)) +
+             "\":" + (o.timeout[d] ? "true" : "false");
+    }
+    out += "},\"engine_cases\":" + std::to_string(o.engine_cases);
     out += ",\"fuzz_execs\":" + std::to_string(o.fuzz_execs);
     out += ",\"detail\":\"" + util::json_escape(o.detail) + "\"}";
   }

@@ -47,6 +47,11 @@ struct VariantOutcome {
   bool engine = false;
   bool fuzz = false;
   Detector first = Detector::kNone;
+  // First-class timeout verdict, per lane: the lane hit its deadline
+  // (SurvivalOptions::lane_deadline_ms) before reaching a detection. A
+  // lane that detected *before* the deadline tripped keeps its detection;
+  // a timed-out non-detection is distinguishable from a genuine miss.
+  bool timeout[kNumDetectors] = {};
   // Deterministic latency proxies: the engine's first failing case id
   // (cases run when it never failed) and the fuzz lane's execution index
   // of the first divergence (total execs when none).
@@ -72,6 +77,12 @@ struct SurvivalOptions {
   // so at evaluation sizes an uncapped run is quadratic-feeling; the
   // bench bounds this.
   size_t engine_max_templates = 0;
+  // Per-lane wall-clock deadline in milliseconds (0 = unlimited). The
+  // engine and fuzz lanes run under a watchdog whose trip cancels them
+  // cooperatively; lint and verify (single monolithic calls) are
+  // classified post hoc. A lane that times out without detecting records
+  // a "timeout" verdict instead of counting as a survival-by-silence.
+  uint64_t lane_deadline_ms = 0;
 };
 
 struct SurvivalReport {
@@ -83,6 +94,7 @@ struct SurvivalReport {
   uint64_t survived = 0;
   uint64_t first_by[kNumDetectors] = {};  // first-detector counts
   uint64_t lane_detected[kNumDetectors] = {};  // per-lane totals
+  uint64_t lane_timeouts[kNumDetectors] = {};  // deadline trips per lane
 
   double detection_rate() const noexcept {
     return total ? static_cast<double>(detected) / static_cast<double>(total)

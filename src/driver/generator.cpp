@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "analysis/dataflow.hpp"
+#include "driver/checkpoint.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "spec/intent.hpp"
@@ -36,6 +37,31 @@ Generator::Generator(ir::Context& ctx, const p4::DataPlane& dp,
 
 std::vector<sym::TestCaseTemplate> Generator::generate() {
   const int threads = util::resolve_threads(opts_.threads);
+
+  // Crash safety: checkpoint manager + the prior run's state, when asked
+  // to resume. The content key guards against applying a checkpoint from
+  // a different program or option set — load() simply finds nothing.
+  std::unique_ptr<CheckpointManager> ckpt;
+  CheckpointData prior;
+  bool have_prior = false;
+  if (!opts_.checkpoint_dir.empty()) {
+    const uint64_t key = checkpoint_content_key(ctx_, original_, opts_);
+    ckpt = std::make_unique<CheckpointManager>(ctx_, opts_.checkpoint_dir, key,
+                                               opts_.fault);
+    if (opts_.resume) {
+      have_prior = ckpt->load(prior);
+      stats_.resumed = have_prior;
+      if (have_prior) obs::instant("checkpoint loaded", "gen");
+    }
+  }
+  summary::SummaryHooks shooks;
+  if (ckpt != nullptr) {
+    shooks.on_unit = [&](size_t, const summary::SummaryUnit& u) {
+      ckpt->add_unit(u);
+    };
+    if (have_prior) shooks.resume = &prior.units;
+  }
+
   if (opts_.code_summary && !summarized_) {
     auto t0 = std::chrono::steady_clock::now();
     obs::Span span("summary", "gen");
@@ -44,8 +70,19 @@ std::vector<sym::TestCaseTemplate> Generator::generate() {
     so.check_every_predicate = opts_.check_every_predicate;
     so.threads = threads;
     so.static_pruning = opts_.static_pruning;
+    so.cancel = opts_.cancel;
+    if (ckpt != nullptr) so.hooks = &shooks;
     summarized_ = summary::summarize(ctx_, original_, so);
     stats_.summary_seconds = secs_since(t0);
+    stats_.resumed_pipelines = summarized_->resumed_pipelines;
+    if (summarized_->cancelled) {
+      // A partially summarized graph must never be explored; report the
+      // cancel and stop before the DFS.
+      stats_.cancelled = true;
+      stats_.total_seconds = stats_.build_seconds + stats_.summary_seconds;
+      summarized_.reset();  // a later generate() re-runs the summary
+      return {};
+    }
     stats_.pipelines = summarized_->per_pipeline;
     stats_.smt_checks += summarized_->total_smt_checks;
     stats_.smt_calls_skipped += summarized_->total_smt_skipped;
@@ -105,6 +142,22 @@ std::vector<sym::TestCaseTemplate> Generator::generate() {
   obs::Span dfs_span("dfs", "gen");
   std::vector<sym::TestCaseTemplate> templates;
   const bool diagnose = opts_.detect_invalid_reads && !opts_.code_summary;
+
+  // Supervision / checkpointing hooks for the sharded DFS. The supervisor
+  // is per-run (its watchdog joins before run_parallel returns its merge).
+  util::Supervisor supervisor(opts_.supervise);
+  sym::ParallelHooks phooks;
+  phooks.checkpoint_every = opts_.checkpoint_every;
+  if (ckpt != nullptr) {
+    phooks.on_shards = [&](size_t n) { ckpt->begin_shards(n); };
+    phooks.progress = [&](size_t i, const sym::ShardProgress& p) {
+      ckpt->update_shard(i, p);
+    };
+    if (have_prior && !prior.shards.empty()) phooks.resume = &prior.shards;
+  }
+  phooks.supervisor = opts_.supervise.enabled() ? &supervisor : nullptr;
+  phooks.fault = opts_.fault;
+
   // Always the sharded exploration, whatever the thread count: threads=1
   // runs the same shards inline, so shard namespaces — and therefore the
   // emitted templates — are byte-identical across thread counts.
@@ -116,7 +169,7 @@ std::vector<sym::TestCaseTemplate> Generator::generate() {
       stats_.diagnostics += t.diagnostics.size();
     }
     templates.push_back(std::move(t));
-  }, threads);
+  }, threads, phooks);
   // Emission order is already sequential-DFS order; keep the contract
   // explicit (and robust to future sink changes).
   std::stable_sort(templates.begin(), templates.end(),
@@ -133,6 +186,10 @@ std::vector<sym::TestCaseTemplate> Generator::generate() {
   stats_.smt_calls_skipped +=
       engine_->stats().static_prunes + engine_->stats().skipped_checks;
   stats_.templates = templates.size();
+  if (ckpt != nullptr) {
+    stats_.checkpoint_writes = ckpt->writes();
+    stats_.checkpoint_failures = ckpt->failures();
+  }
   stats_.total_seconds = stats_.build_seconds + stats_.summary_seconds +
                          stats_.validate_seconds + stats_.dfs_seconds;
   dfs_span.arg("templates", templates.size());
@@ -143,6 +200,12 @@ std::vector<sym::TestCaseTemplate> Generator::generate() {
     obs::metrics()
         .counter("gen.smt_calls_skipped")
         .add(stats_.smt_calls_skipped);
+    if (ckpt != nullptr) {
+      obs::metrics().counter("checkpoint.writes").add(stats_.checkpoint_writes);
+      obs::metrics()
+          .counter("checkpoint.failures")
+          .add(stats_.checkpoint_failures);
+    }
   }
   return templates;
 }

@@ -9,6 +9,8 @@
 #include "cfg/build.hpp"
 #include "summary/summary.hpp"
 #include "sym/template.hpp"
+#include "util/faultinject.hpp"
+#include "util/supervise.hpp"
 
 namespace meissa::driver {
 
@@ -56,6 +58,23 @@ struct GenOptions {
   // Optional cooperative stop for the whole generation (polled by the DFS
   // workers). Must outlive generate().
   const util::CancelToken* cancel = nullptr;
+  // Crash safety: non-empty = write versioned work-unit checkpoints into
+  // this directory at summary wave boundaries and every `checkpoint_every`
+  // emitted results per DFS shard. With `resume`, a valid checkpoint from
+  // a prior (killed) run of the *same* program and options — content-key
+  // guarded — is loaded first, and the run continues to templates byte-
+  // identical to an uninterrupted run's.
+  std::string checkpoint_dir;
+  bool resume = false;
+  uint64_t checkpoint_every = 8;
+  // Shard supervision: when enabled, every DFS shard attempt runs under a
+  // watchdog (per-shard heartbeats; stall/deadline trips cancel the
+  // attempt). A tripped shard is re-queued once on a fresh context; a
+  // second failure degrades it (counted, never silently dropped).
+  util::SuperviseOptions supervise;
+  // Runtime fault injection (tests/stress): consulted at shard starts and
+  // checkpoint writes. Must outlive generate().
+  util::FaultInjector* fault = nullptr;
 };
 
 struct GenStats {
@@ -85,6 +104,16 @@ struct GenStats {
   uint64_t validate_unproven = 0;
   uint64_t validate_refuted = 0;
   double validate_seconds = 0;
+  // Crash safety & supervision (GenOptions::checkpoint_dir / supervise):
+  // a valid checkpoint was loaded and this run resumed from it; pipelines
+  // whose explore phase the checkpoint skipped; checkpoint persists that
+  // succeeded / failed (failures never abort the run — it just keeps the
+  // previous file). Shard-level requeue/degrade/resume counts live in
+  // `engine` (EngineStats).
+  bool resumed = false;
+  uint64_t resumed_pipelines = 0;
+  uint64_t checkpoint_writes = 0;
+  uint64_t checkpoint_failures = 0;
   util::BigCount paths_original;    // possible paths, original CFG
   util::BigCount paths_summarized;  // possible paths after code summary
   std::vector<summary::PipelineSummary> pipelines;
@@ -110,6 +139,10 @@ struct GenStats {
     validate_unproven += o.validate_unproven;
     validate_refuted += o.validate_refuted;
     validate_seconds += o.validate_seconds;
+    resumed = resumed || o.resumed;
+    resumed_pipelines += o.resumed_pipelines;
+    checkpoint_writes += o.checkpoint_writes;
+    checkpoint_failures += o.checkpoint_failures;
     paths_original += o.paths_original;
     paths_summarized += o.paths_summarized;
     pipelines.insert(pipelines.end(), o.pipelines.begin(), o.pipelines.end());

@@ -26,6 +26,22 @@ std::string TestReport::str() const {
        << gen.degraded_paths << " degraded path(s) (" << gen.smt_unknowns
        << " budget-exhausted SMT check(s))\n";
   }
+  if (gen.engine.requeued_shards > 0 || gen.engine.degraded_shards > 0) {
+    os << "  supervision: " << gen.engine.requeued_shards
+       << " shard(s) re-queued, " << gen.engine.degraded_shards
+       << " degraded (subtree coverage unknown)\n";
+  }
+  if (gen.resumed || gen.checkpoint_writes > 0 ||
+      gen.checkpoint_failures > 0) {
+    os << "  crash safety: " << gen.checkpoint_writes
+       << " checkpoint(s) written, " << gen.checkpoint_failures
+       << " failed";
+    if (gen.resumed) {
+      os << "; resumed (" << gen.resumed_pipelines << " pipeline(s), "
+         << gen.engine.resumed_shards << " shard(s) restored)";
+    }
+    os << "\n";
+  }
   if (gen.diagnostics > 0) {
     os << "  static analysis: " << gen.diagnostics << " diagnostic(s)\n";
   }
@@ -71,6 +87,13 @@ std::string TestReport::to_json() const {
   os << ",\"validate_unsat\":" << gen.validate_unsat;
   os << ",\"validate_unproven\":" << gen.validate_unproven;
   os << ",\"validate_refuted\":" << gen.validate_refuted;
+  os << ",\"requeued_shards\":" << gen.engine.requeued_shards;
+  os << ",\"degraded_shards\":" << gen.engine.degraded_shards;
+  os << ",\"resumed_shards\":" << gen.engine.resumed_shards;
+  os << ",\"resumed\":" << (gen.resumed ? "true" : "false");
+  os << ",\"resumed_pipelines\":" << gen.resumed_pipelines;
+  os << ",\"checkpoint_writes\":" << gen.checkpoint_writes;
+  os << ",\"checkpoint_failures\":" << gen.checkpoint_failures;
   os << ",\"send_retries\":" << send_retries;
   os << ",\"install_retries\":" << install_retries;
   os << ",\"dedup_dropped\":" << dedup_dropped;

@@ -40,6 +40,10 @@ struct TestReport {
   std::vector<uint64_t> quarantined;  // case ids that exhausted retries
   sim::LinkStats link;               // what the link actually did
 
+  // A cancel token handed to Meissa::test fired mid-run: the verdict
+  // counts cover only the cases settled before the stop.
+  bool cancelled = false;
+
   std::vector<CaseRecord> failures;
   GenStats gen;
 

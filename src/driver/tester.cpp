@@ -6,6 +6,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/rng.hpp"
 
 namespace meissa::driver {
 
@@ -23,7 +24,8 @@ std::vector<sym::TestCaseTemplate> Meissa::generate() {
 }
 
 TestReport Meissa::test(sim::Device& device,
-                        const std::vector<spec::Intent>& intents) {
+                        const std::vector<spec::Intent>& intents,
+                        const util::CancelToken* cancel) {
   generate();
   TestReport report;
   report.templates = templates_.size();
@@ -87,6 +89,10 @@ TestReport Meissa::test(sim::Device& device,
     };
 
     for (const sym::TestCaseTemplate& t : templates_) {
+      if (cancel != nullptr && cancel->cancelled()) {
+        report.cancelled = true;
+        break;
+      }
       std::optional<TestCase> tc = sender.concretize(t, gen_.engine());
       if (!tc) continue;  // removed by hash filtering (§4)
       if (!tc->registers.empty()) {
@@ -105,6 +111,10 @@ TestReport Meissa::test(sim::Device& device,
     std::unordered_set<uint64_t> settled;
 
     for (const sym::TestCaseTemplate& t : templates_) {
+      if (cancel != nullptr && cancel->cancelled()) {
+        report.cancelled = true;
+        break;
+      }
       std::optional<TestCase> tc = sender.concretize(t, gen_.engine());
       if (!tc) continue;
       obs::Span span("send/check", "driver");
@@ -124,9 +134,19 @@ TestReport Meissa::test(sim::Device& device,
       for (int attempt = 0; attempt <= opts_.max_send_retries; ++attempt) {
         if (attempt > 0) {
           ++report.send_retries;
-          // Capped exponential backoff, accounted in simulated units.
+          // Capped exponential backoff with *equal jitter*, accounted in
+          // simulated units: each retry waits between half and the full
+          // exponential step, so concurrent retriers decorrelate without
+          // ever collapsing to zero wait. The jitter is drawn from a
+          // (seed, case, attempt)-keyed stream — a pure function of the
+          // run's inputs, so the accounted units are byte-identical per
+          // seed, independent of wall-clock or scheduling.
           int e = std::min(attempt - 1, opts_.max_backoff_exponent);
-          report.backoff_units += uint64_t{1} << e;
+          const uint64_t base = uint64_t{1} << e;
+          util::Rng jitter(opts_.seed ^
+                           (tc->case_id * 0x9E3779B97F4A7C15ull) ^
+                           static_cast<uint64_t>(attempt));
+          report.backoff_units += (base + 1) / 2 + jitter.below(base / 2 + 1);
         }
         // (Re-)install registers before every send: installs can fail
         // transiently, and a resend must observe pristine register state.

@@ -41,7 +41,10 @@ class Meissa {
   std::vector<sym::TestCaseTemplate> generate();
 
   // Full run: generate, inject into `device`, check against `intents`.
-  TestReport test(sim::Device& device, const std::vector<spec::Intent>& intents);
+  // `cancel`, when set, is polled between cases: a fired token stops the
+  // run cleanly with the verdicts settled so far (TestReport::cancelled).
+  TestReport test(sim::Device& device, const std::vector<spec::Intent>& intents,
+                  const util::CancelToken* cancel = nullptr);
 
   const GenStats& gen_stats() const { return gen_.stats(); }
   const cfg::Cfg& graph() const { return gen_.graph(); }

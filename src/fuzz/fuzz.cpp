@@ -43,7 +43,9 @@ std::string FuzzResult::to_json() const {
      << ",\"dictionary_entries\":" << dictionary_entries
      << ",\"wire_layouts\":" << wire_layouts
      << ",\"coverage_map_bytes\":" << coverage_map_bytes
-     << ",\"divergences\":" << divergences << ",\"seconds\":" << seconds
+     << ",\"divergences\":" << divergences
+     << ",\"cancelled\":" << (cancelled ? "true" : "false")
+     << ",\"seconds\":" << seconds
      << ",\"execs_per_sec\":" << execs_per_sec << ",\"samples\":[";
   for (size_t i = 0; i < samples.size(); ++i) {
     const Divergence& d = samples[i];
@@ -160,11 +162,17 @@ FuzzResult Fuzzer::run() {
 
   auto start = std::chrono::steady_clock::now();
   std::vector<sim::DeviceInput> batch;
+  auto stop_requested = [&] {
+    if (opts_.cancel == nullptr || !opts_.cancel->cancelled()) return false;
+    result_.cancelled = true;
+    return true;
+  };
 
   // Phase 1: replay the seeds (counted against the exec budget).
   {
     obs::Span sp("fuzz/seed-replay", "fuzz");
-    for (size_t i = 0; i < corpus_.size() && result_.execs < opts_.execs;) {
+    for (size_t i = 0; i < corpus_.size() && result_.execs < opts_.execs &&
+                       !stop_requested();) {
       batch.clear();
       while (i < corpus_.size() && batch.size() < opts_.batch &&
              result_.execs + batch.size() < opts_.execs) {
@@ -179,7 +187,7 @@ FuzzResult Fuzzer::run() {
   // Phase 2: mutate until the budget runs out.
   {
     obs::Span sp("fuzz/mutate", "fuzz");
-    while (result_.execs < opts_.execs) {
+    while (result_.execs < opts_.execs && !stop_requested()) {
       batch.clear();
       while (batch.size() < opts_.batch &&
              result_.execs + batch.size() < opts_.execs) {

@@ -23,6 +23,7 @@
 #include "fuzz/mutator.hpp"
 #include "sim/coverage.hpp"
 #include "sim/device.hpp"
+#include "util/cancel.hpp"
 
 namespace meissa::fuzz {
 
@@ -33,6 +34,10 @@ struct FuzzOptions {
   size_t max_corpus = 4096;   // corpus growth cap
   size_t max_divergences = 64;  // divergence samples kept (with traces)
   size_t random_seeds = 16;   // synthesized seeds when none were added
+  // Cooperative stop, polled between batches: a fired token ends the run
+  // cleanly with the divergences found so far (FuzzResult::cancelled).
+  // Must outlive run().
+  const util::CancelToken* cancel = nullptr;
 };
 
 // One disagreement between target and reference, with traces re-rendered
@@ -57,6 +62,8 @@ struct FuzzResult {
   size_t wire_layouts = 0;        // parseable header layouts enumerated
   size_t coverage_map_bytes = 0;  // coverage map size (CoverageMap::kSize)
   uint64_t divergences = 0;   // total divergent executions
+  // FuzzOptions::cancel fired: execs stops short of the requested budget.
+  bool cancelled = false;
   std::vector<Divergence> samples;
   double seconds = 0;
   double execs_per_sec = 0;

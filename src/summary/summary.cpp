@@ -220,12 +220,14 @@ PreCondition compute_precondition(ir::Context& ctx, const cfg::Cfg& g,
 std::optional<PreCondition> compute_precondition_by_enumeration(
     ir::Context& ctx, const cfg::Cfg& g, cfg::NodeId target,
     size_t path_limit, uint64_t* smt_checks, const std::string& fresh_ns,
-    bool static_pruning, uint64_t* smt_skipped) {
+    bool static_pruning, uint64_t* smt_skipped,
+    const util::CancelToken* cancel) {
   sym::EngineOptions opts;
   opts.stop = target;
   opts.max_results = path_limit + 1;
   opts.fresh_ns = fresh_ns;
   opts.static_pruning = static_pruning;
+  opts.cancel = cancel;
   sym::Engine eng(ctx, g, opts);
   bool first = true;
   std::vector<ir::ExprRef> cond_order;  // first path's conds, in path order
@@ -451,6 +453,7 @@ struct InstanceWork {
   std::unordered_map<ir::FieldId, ir::ExprRef> seeds;
   // (@field, field) pairs, in seeding order, replayed into the encoder.
   std::vector<std::pair<ir::FieldId, ir::FieldId>> seed_snaps;
+  bool resumed = false;  // restored from SummaryHooks::resume
 };
 
 // Pipeline dependency: k depends on j when j's exit reaches k's entry in
@@ -501,6 +504,32 @@ SummaryResult summarize(ir::Context& ctx, const cfg::Cfg& original,
     w.ps.instance = info.name;
     w.ps.paths_before = g.count_instance_paths(static_cast<int>(k));
 
+    // Checkpoint resume: a prior run already explored this pipeline under
+    // an identical graph (content-key guarded by the checkpoint layer);
+    // restore its paths and seeds and let the sequential encode phase
+    // splice them as usual. paths_before is recomputed — it is a pure
+    // function of the graph and cheaper than serializing a BigCount.
+    if (opts.hooks != nullptr && opts.hooks->resume != nullptr) {
+      auto it = opts.hooks->resume->find(info.name);
+      if (it != opts.hooks->resume->end()) {
+        const SummaryUnit& u = it->second;
+        w.resumed = true;
+        w.ps.paths_after = u.paths_after;
+        w.ps.smt_checks = u.smt_checks;
+        w.ps.smt_skipped = u.smt_skipped;
+        w.ps.seconds = u.seconds;
+        w.internal = u.internal;
+        for (const SummaryUnit::SeedSnap& s : u.seed_snaps) {
+          ir::FieldId at = ctx.fields.intern(s.at, s.width);
+          ir::FieldId orig = ctx.fields.intern(s.orig, s.width);
+          w.seed_snaps.emplace_back(at, orig);
+          w.seeds.emplace(orig, ctx.arena.field(at, s.width));
+        }
+        span.arg("resumed", uint64_t{1});
+        return;
+      }
+    }
+
     // 1. Public pre-condition (Algorithm 2 lines 4–7): exact path
     // enumeration, falling back to the dataflow meet on explosion.
     PreCondition pc;
@@ -510,7 +539,8 @@ SummaryResult summarize(ir::Context& ctx, const cfg::Cfg& original,
       } else {
         std::optional<PreCondition> exact = compute_precondition_by_enumeration(
             ctx, g, info.entry, opts.max_precondition_paths, &w.ps.smt_checks,
-            "pre." + info.name, opts.static_pruning, &w.ps.smt_skipped);
+            "pre." + info.name, opts.static_pruning, &w.ps.smt_skipped,
+            opts.cancel);
         pc = exact ? std::move(*exact)
                    : compute_precondition(ctx, g, info.entry);
       }
@@ -525,6 +555,7 @@ SummaryResult summarize(ir::Context& ctx, const cfg::Cfg& original,
     eopts.check_every_predicate = opts.check_every_predicate;
     eopts.fresh_ns = info.name;
     eopts.static_pruning = opts.static_pruning;
+    eopts.cancel = opts.cancel;
     // Per-instance dataflow facts, computed from the pipeline's entry with a
     // TOP boundary — valid for any seeds/pre-conditions rooted there.
     analysis::Facts facts;
@@ -627,6 +658,26 @@ SummaryResult summarize(ir::Context& ctx, const cfg::Cfg& original,
     }
   };
 
+  // Builds the checkpointable form of one explored pipeline (names, not
+  // FieldIds — numbering is scheduling-dependent).
+  auto to_unit = [&](const InstanceWork& w) {
+    SummaryUnit u;
+    u.instance = w.ps.instance;
+    u.paths_after = w.ps.paths_after;
+    u.smt_checks = w.ps.smt_checks;
+    u.smt_skipped = w.ps.smt_skipped;
+    u.seconds = w.ps.seconds;
+    u.internal = w.internal;
+    for (const auto& [at, f] : w.seed_snaps) {
+      SummaryUnit::SeedSnap s;
+      s.at = ctx.fields.name(at);
+      s.orig = ctx.fields.name(f);
+      s.width = ctx.fields.width(at);
+      u.seed_snaps.push_back(std::move(s));
+    }
+    return u;
+  };
+
   // Process in dependency waves: explore a wave's pipelines concurrently
   // (read-only on the graph), then splice their summaries sequentially.
   const std::vector<std::vector<size_t>> deps = instance_deps(g);
@@ -634,7 +685,10 @@ SummaryResult summarize(ir::Context& ctx, const cfg::Cfg& original,
   std::vector<bool> done(n, false);
   util::ThreadPool pool(util::resolve_threads(opts.threads));
   size_t completed = 0;
-  while (completed < n) {
+  auto cancelled = [&] {
+    return opts.cancel != nullptr && opts.cancel->cancelled();
+  };
+  while (completed < n && !result.cancelled) {
     std::vector<size_t> wave;
     for (size_t k = 0; k < n; ++k) {
       if (done[k]) continue;
@@ -643,17 +697,33 @@ SummaryResult summarize(ir::Context& ctx, const cfg::Cfg& original,
       if (ready) wave.push_back(k);
     }
     util::check(!wave.empty(), "summarize: cyclic pipeline dependencies");
+    if (cancelled()) {
+      result.cancelled = true;
+      break;
+    }
     pool.run(wave.size(), [&](size_t i) { explore(wave[i], work[wave[i]]); });
+    // A cancel during the wave leaves *partial* explorations; splicing one
+    // would silently shrink the summarized graph, so the whole wave is
+    // discarded and the result marked cancelled.
+    if (cancelled()) {
+      result.cancelled = true;
+      break;
+    }
     for (size_t k : wave) {
       encode(k, work[k]);
       done[k] = true;
       ++completed;
+      if (work[k].resumed) ++result.resumed_pipelines;
+      if (opts.hooks != nullptr && opts.hooks->on_unit) {
+        opts.hooks->on_unit(k, to_unit(work[k]));
+      }
     }
   }
-  for (InstanceWork& w : work) {
-    result.total_smt_checks += w.ps.smt_checks;
-    result.total_smt_skipped += w.ps.smt_skipped;
-    result.per_pipeline.push_back(std::move(w.ps));
+  for (size_t k = 0; k < n; ++k) {
+    if (!done[k]) continue;  // cancelled before completion
+    result.total_smt_checks += work[k].ps.smt_checks;
+    result.total_smt_skipped += work[k].ps.smt_skipped;
+    result.per_pipeline.push_back(std::move(work[k].ps));
   }
   return result;
 }

@@ -19,6 +19,7 @@
 // multi-pipeline programs.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -29,6 +30,38 @@
 #include "sym/engine.hpp"
 
 namespace meissa::summary {
+
+// One pipeline's explore-phase output in checkpointable form: everything
+// the sequential encode phase needs to splice the pipeline without
+// re-exploring it. Field references are by *name* (FieldId numbering is
+// interning-order — i.e. scheduling — dependent), expressions are live
+// ExprRefs in the owning context; the driver's checkpoint layer turns
+// those into bytes and back.
+struct SummaryUnit {
+  std::string instance;
+  uint64_t paths_after = 0;
+  uint64_t smt_checks = 0;
+  uint64_t smt_skipped = 0;
+  double seconds = 0.0;  // the original explore's cost (kept over resumes)
+  std::vector<sym::PathResult> internal;
+  // (@snapshot name, original name, width), in seeding order.
+  struct SeedSnap {
+    std::string at;
+    std::string orig;
+    int width = 0;
+  };
+  std::vector<SeedSnap> seed_snaps;
+};
+
+struct SummaryHooks {
+  // Fired from the sequential encode loop — a wave-boundary point, so the
+  // unit is complete and every earlier unit has been spliced — with the
+  // pipeline's index (instance order) and its checkpointable work.
+  std::function<void(size_t, const SummaryUnit&)> on_unit;
+  // Prior units by instance name; their pipelines skip the explore phase
+  // entirely and splice the restored paths.
+  const std::unordered_map<std::string, SummaryUnit>* resume = nullptr;
+};
 
 struct SummaryOptions {
   // Inter-pipeline public pre-condition filtering (ablatable; intra-
@@ -56,6 +89,13 @@ struct SummaryOptions {
   // the per-path abstract environment decide predicates before the solver.
   // Solver-equivalent, so the summarized graph is identical on/off.
   bool static_pruning = true;
+  // Cooperative cancellation, polled by every explore engine and between
+  // waves. A cancelled wave is never spliced (a partial exploration would
+  // silently change the graph); SummaryResult::cancelled reports it and
+  // the partially-summarized graph must not be used. Must outlive the run.
+  const util::CancelToken* cancel = nullptr;
+  // Checkpoint/resume hooks (may be null). Must outlive the run.
+  const SummaryHooks* hooks = nullptr;
 };
 
 // The public pre-condition of one pipeline: constraints over program
@@ -90,7 +130,8 @@ std::optional<PreCondition> compute_precondition_by_enumeration(
     ir::Context& ctx, const cfg::Cfg& g, cfg::NodeId target,
     size_t path_limit, uint64_t* smt_checks = nullptr,
     const std::string& fresh_ns = {}, bool static_pruning = true,
-    uint64_t* smt_skipped = nullptr);
+    uint64_t* smt_skipped = nullptr,
+    const util::CancelToken* cancel = nullptr);
 
 struct PipelineSummary {
   std::string instance;
@@ -106,6 +147,11 @@ struct SummaryResult {
   std::vector<PipelineSummary> per_pipeline;
   uint64_t total_smt_checks = 0;
   uint64_t total_smt_skipped = 0;
+  // SummaryOptions::cancel fired: the graph is partially summarized and
+  // must not be explored; per_pipeline covers completed pipelines only.
+  bool cancelled = false;
+  // Pipelines restored from SummaryHooks::resume (explore skipped).
+  uint64_t resumed_pipelines = 0;
 };
 
 // Runs code summary over `g` (which must have instance metadata).

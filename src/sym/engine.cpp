@@ -1,5 +1,7 @@
 #include "sym/engine.hpp"
 
+#include <algorithm>
+
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/clock.hpp"
@@ -32,6 +34,22 @@ void collect_eq_pins(ir::ExprRef c,
 // namespace and the merge order — is identical for any number of workers.
 constexpr size_t kTargetShards = 32;
 
+// Field-wise wrapping subtraction: `a - b` for cumulative solver counters.
+// Used to rebase a resumed shard's incremental-solver stats: the snapshot
+// holds the counters *at the frontier*, the fresh solver restarts at zero
+// and spends a few pushes on the check-free replay; (saved - at_replay_end)
+// + later_cumulative reproduces the uninterrupted counters exactly (the
+// intermediate value may wrap; the sum un-wraps).
+smt::SolverStats stats_minus(smt::SolverStats a, const smt::SolverStats& b) {
+  a.checks -= b.checks;
+  a.fast_path_hits -= b.fast_path_hits;
+  a.sat_calls -= b.sat_calls;
+  a.unknowns -= b.unknowns;
+  a.pushes -= b.pushes;
+  a.pops -= b.pops;
+  return a;
+}
+
 }  // namespace
 
 // One exploration's mutable state: the paper's V and C stacks, the
@@ -50,6 +68,22 @@ struct Engine::ExplorationContext {
   bool aborted = false;
   std::chrono::steady_clock::time_point deadline{};
   bool has_deadline = false;
+  // Supervision (run_parallel): heartbeat sink + per-shard cancel token.
+  util::Supervisor::Task* watch = nullptr;
+  // Resume replay (run_parallel with ParallelHooks::resume): while
+  // `replaying`, dfs() re-executes the checkpointed frontier path —
+  // rebuilding V/C, the solver stack, the abstract env and the minted
+  // fresh symbols — without satisfiability checks, stat counts, or
+  // re-emission (the path is a known-feasible, already-emitted result).
+  // Exploration resumes with the frontier's unvisited siblings at depths
+  // >= replay_fanout_from (the shard prefix length; earlier siblings
+  // belong to other shards).
+  const cfg::Path* replay = nullptr;
+  size_t replay_fanout_from = 0;
+  bool replaying = false;
+  uint64_t saved_fresh = 0;         // frontier fresh-symbol counter
+  smt::SolverStats saved_solver;    // frontier cumulative solver counters
+  smt::SolverStats solver_base;     // rebasing offset (see stats_minus)
 
   ExplorationContext(Engine& e, const std::string& fresh_ns)
       : eng(e), state(e.ctx_) {
@@ -73,10 +107,61 @@ struct Engine::ExplorationContext {
                                            budget_seconds);
   }
 
+  // Arms the context to resume from `prior` (a mid-flight snapshot with a
+  // non-empty frontier). The frontier's minted fresh symbols are pinned to
+  // their original names: mints happen only at unpinned-hash nodes and
+  // each pushes one HashObligation, so the last result's obligation stack
+  // is exactly the current path's mint sequence, in order.
+  void arm_resume(const ShardProgress& prior, size_t prefix_len) {
+    stats = prior.stats;
+    saved_fresh = prior.fresh_counter;
+    saved_solver = prior.stats.solver;
+    replay = &prior.frontier;
+    replay_fanout_from = prefix_len;
+    replaying = true;
+    std::vector<std::pair<std::string, int>> pins;
+    for (const HashObligation& o : prior.results.back().obligations) {
+      pins.emplace_back(eng.ctx_.fields.name(o.placeholder),
+                        eng.ctx_.fields.width(o.placeholder));
+    }
+    state.pin_fresh(std::move(pins));
+  }
+
+  // Closes the replay at the frontier leaf: restore the fresh-symbol
+  // cursor and rebase the fresh solver's cumulative counters onto the
+  // snapshot's, so every later fold reports uninterrupted-run values.
+  void end_replay() {
+    replaying = false;
+    state.set_fresh_counter(saved_fresh);
+    if (eng.opts_.incremental) {
+      solver_base = stats_minus(saved_solver, solver->stats());
+    }
+  }
+
+  // The incremental solver's cumulative counters, rebased for resume.
+  smt::SolverStats folded_solver() const {
+    smt::SolverStats s = solver_base;
+    s += solver->stats();
+    return s;
+  }
+
   // Folds the incremental solver's counters into `stats` (done once, at the
   // end, because Solver::stats() is cumulative).
   void finish() {
-    if (eng.opts_.incremental) stats.solver = solver->stats();
+    if (eng.opts_.incremental) stats.solver = folded_solver();
+  }
+
+  // A consistent mid-flight snapshot, taken right after emitting the
+  // result whose full path is `frontier`.
+  ShardProgress snapshot(const std::vector<PathResult>& buffered,
+                         const cfg::Path& frontier) const {
+    ShardProgress p;
+    p.results = buffered;
+    p.frontier = frontier;
+    p.fresh_counter = state.fresh_counter();
+    p.stats = stats;
+    if (eng.opts_.incremental) p.stats.solver = folded_solver();
+    return p;
   }
 
   smt::CheckResult check_current();
@@ -171,7 +256,7 @@ smt::CheckResult Engine::ExplorationContext::check_current() {
 smt::CheckResult Engine::ExplorationContext::check_current_impl() {
   if (eng.opts_.incremental) {
     smt::CheckResult r = solver->check();
-    stats.solver = solver->stats();
+    stats.solver = folded_solver();
     return r;
   }
   // Non-incremental: fresh solver, re-assert everything (p4pktgen-style).
@@ -239,6 +324,11 @@ std::vector<cfg::Path> Engine::compute_shards(size_t target) const {
 }
 
 void Engine::run_parallel(const Sink& sink, int threads) {
+  run_parallel(sink, threads, ParallelHooks{});
+}
+
+void Engine::run_parallel(const Sink& sink, int threads,
+                          const ParallelHooks& hooks) {
   threads = util::resolve_threads(threads);
   // Precondition precheck, as in run(). kUnknown (budget exhausted) simply
   // proceeds: only a proven-unsat precondition prunes the exploration.
@@ -255,8 +345,17 @@ void Engine::run_parallel(const Sink& sink, int threads) {
   }
 
   const std::vector<cfg::Path> shards = compute_shards(kTargetShards);
+  if (hooks.on_shards) hooks.on_shards(shards.size());
   std::vector<std::vector<PathResult>> buffered(shards.size());
   std::vector<EngineStats> shard_stats(shards.size());
+  // Resume data is honored only when it matches this graph's shard
+  // decomposition (a checkpoint from another program/options combination
+  // is already rejected by its content key; this is belt-and-braces).
+  const std::vector<ShardProgress>* resume =
+      (hooks.resume != nullptr && hooks.resume->size() == shards.size())
+          ? hooks.resume
+          : nullptr;
+  const int max_attempts = std::max(1, hooks.max_attempts);
 
   std::chrono::steady_clock::time_point deadline{};
   bool has_deadline = false;
@@ -271,16 +370,108 @@ void Engine::run_parallel(const Sink& sink, int threads) {
   util::ThreadPool pool(threads);
   pool.run(shards.size(), [&](size_t i) {
     obs::Span span("shard " + std::to_string(i), "dfs");
-    ExplorationContext ec(*this, ns_base + "s" + std::to_string(i));
-    ec.has_deadline = has_deadline;
-    ec.deadline = deadline;
-    ec.dfs(shards[i].front(), [&](const PathResult& r) {
-      buffered[i].push_back(r);
-    }, &shards[i], 0);
-    ec.finish();
-    shard_stats[i] = ec.stats;
+    const ShardProgress* prior = resume != nullptr ? &(*resume)[i] : nullptr;
+    if (prior != nullptr && prior->done) {
+      // Completed before the snapshot: restore, never re-explore.
+      buffered[i] = prior->results;
+      shard_stats[i] = prior->stats;
+      ++shard_stats[i].resumed_shards;
+      if (hooks.progress) hooks.progress(i, *prior);
+      span.arg("paths", buffered[i].size());
+      span.arg("resumed", uint64_t{1});
+      return;
+    }
+    const bool mid_flight = prior != nullptr && !prior->frontier.empty() &&
+                            !prior->results.empty();
+    const std::string site = "shard." + std::to_string(i);
+    uint64_t requeues = 0;
+    for (int attempt = 1;; ++attempt) {
+      util::Supervisor::Task* task =
+          hooks.supervisor != nullptr ? hooks.supervisor->begin(site) : nullptr;
+      bool failed = false;
+      buffered[i] = mid_flight ? prior->results : std::vector<PathResult>{};
+      try {
+        if (hooks.fault != nullptr) {
+          hooks.fault->hit(site,
+                           task != nullptr ? &task->token() : opts_.cancel);
+        }
+        ExplorationContext ec(*this, ns_base + "s" + std::to_string(i));
+        ec.has_deadline = has_deadline;
+        ec.deadline = deadline;
+        ec.watch = task;
+        const cfg::Path* force = &shards[i];
+        if (mid_flight) {
+          ec.arm_resume(*prior, shards[i].size());
+          force = &prior->frontier;
+        }
+        uint64_t since_snapshot = 0;
+        ec.dfs(force->front(), [&](const PathResult& r) {
+          buffered[i].push_back(r);
+          if (hooks.progress && hooks.checkpoint_every != 0 &&
+              ++since_snapshot >= hooks.checkpoint_every) {
+            since_snapshot = 0;
+            hooks.progress(i, ec.snapshot(buffered[i], r.path));
+          }
+        }, force, 0);
+        ec.finish();
+        if (task != nullptr && task->tripped()) {
+          failed = true;  // watchdog broke this attempt: partials are junk
+        } else {
+          shard_stats[i] = ec.stats;
+          if (mid_flight) ++shard_stats[i].resumed_shards;
+        }
+      } catch (const util::InjectedFaultError&) {
+        failed = true;  // an injected crash; anything else propagates
+      }
+      if (hooks.supervisor != nullptr) hooks.supervisor->end(task);
+      if (!failed) {
+        shard_stats[i].requeued_shards += requeues;
+        // A shard is checkpointed as *done* only when its subtree is
+        // actually exhausted. A run-cancel or time-budget abort leaves the
+        // last cadence snapshot (a mid-flight frontier) as the resume
+        // point; marking it done would persist the partial result list as
+        // the shard's final truth and break resume's byte-identity.
+        if (hooks.progress && !shard_stats[i].cancelled &&
+            !shard_stats[i].timed_out) {
+          ShardProgress done_p;
+          done_p.done = true;
+          done_p.results = buffered[i];
+          done_p.stats = shard_stats[i];
+          hooks.progress(i, done_p);
+        }
+        break;
+      }
+      buffered[i].clear();
+      if (attempt >= max_attempts) {
+        // Re-queue exhausted: the shard's subtree stays unexplored. That
+        // is *degraded* coverage — counted, like budget-degraded paths,
+        // never silently dropped (and never marked run-cancelled).
+        shard_stats[i] = EngineStats{};
+        shard_stats[i].requeued_shards = requeues;
+        shard_stats[i].degraded_shards = 1;
+        if (obs::metrics_enabled()) {
+          obs::metrics().counter("supervise.shard_degraded").add();
+        }
+        obs::instant("shard degraded", "supervise");
+        if (hooks.progress) {
+          ShardProgress done_p;
+          done_p.done = true;
+          done_p.stats = shard_stats[i];
+          hooks.progress(i, done_p);
+        }
+        break;
+      }
+      // One more chance on a fresh context ("fresh shard"): injected
+      // faults are consumed per firing, so a healed environment retries
+      // to the exact result set an unfaulted run produces.
+      ++requeues;
+      if (obs::metrics_enabled()) {
+        obs::metrics().counter("supervise.shard_requeues").add();
+      }
+      obs::instant("shard requeued", "supervise");
+    }
     span.arg("paths", buffered[i].size());
-    span.arg("nodes_visited", ec.stats.nodes_visited);
+    span.arg("nodes_visited", shard_stats[i].nodes_visited);
   });
 
   // Merge in shard order = sequential DFS pre-order. valid_paths counts
@@ -320,9 +511,19 @@ void Engine::ExplorationContext::dfs(cfg::NodeId id, const Sink& sink,
   const cfg::Cfg& g = eng.g_;
   const EngineOptions& opts = eng.opts_;
   if (!eng.reaches_stop_.empty() && !eng.reaches_stop_[id]) return;
-  ++stats.nodes_visited;
+  // During resume replay the counters are frozen: the snapshot's stats
+  // already cover this re-executed prefix, and counting it again would
+  // make a resumed run's stats diverge from an uninterrupted run's.
+  if (!replaying) ++stats.nodes_visited;
+  if (watch != nullptr) watch->heartbeat();
   if (eng.opts_.cancel != nullptr && eng.opts_.cancel->cancelled()) {
     stats.cancelled = true;
+    aborted = true;
+    return;
+  }
+  // Per-shard watchdog token: unwind without marking the *run* cancelled —
+  // the supervisor decides whether this attempt is retried or degraded.
+  if (watch != nullptr && watch->token().cancelled()) {
     aborted = true;
     return;
   }
@@ -412,21 +613,25 @@ void Engine::ExplorationContext::dfs(cfg::NodeId id, const Sink& sink,
         case ir::StmtKind::kAssume: {
           // Dataflow facts: a predicate refuted from the start node with a
           // TOP boundary is unsat under every path condition rooted there.
-          if (eng.use_facts_ && eng.opts_.facts->refuted[id]) {
+          // (Never taken during replay: the frontier path was feasible.)
+          if (!replaying && eng.use_facts_ && eng.opts_.facts->refuted[id]) {
             ++stats.static_prunes;
             feasible = false;
             break;
           }
           ir::ExprRef c = state.subst(n.stmt.expr);
           if (!opts.check_every_predicate && c->is_true()) {
-            ++stats.folded_checks;
+            if (!replaying) ++stats.folded_checks;
           } else if (!opts.check_every_predicate && c->is_false()) {
             ++stats.folded_checks;
             feasible = false;
           } else {
+            // Replay still feeds the abstract env and the solver stack —
+            // post-frontier siblings depend on both — but takes no
+            // verdicts and spends no checks on the known-feasible path.
             analysis::Verdict verdict = analysis::Verdict::kUnknown;
             if (env) verdict = env->assume(c);
-            if (verdict == analysis::Verdict::kRefuted) {
+            if (!replaying && verdict == analysis::Verdict::kRefuted) {
               ++stats.static_prunes;
               feasible = false;
               break;
@@ -437,7 +642,7 @@ void Engine::ExplorationContext::dfs(cfg::NodeId id, const Sink& sink,
               solver->add(c);
             }
             pushed = true;
-            if (opts.early_termination) {
+            if (opts.early_termination && !replaying) {
               if (verdict != analysis::Verdict::kUnknown) {
                 // Statically certain (implied or field-wise satisfiable):
                 // the check's result is known, skip the call.
@@ -469,6 +674,12 @@ void Engine::ExplorationContext::dfs(cfg::NodeId id, const Sink& sink,
       // reaches the target and is not a result (it is not pruned either -
       // it simply lies outside the exploration's scope).
       ++stats.offtarget_paths;
+    } else if (is_leaf && replaying) {
+      // The frontier leaf: this result was emitted (and buffered) before
+      // the snapshot was taken. Close the replay without re-checking or
+      // re-emitting; exploration continues with the unvisited siblings as
+      // the forced recursion unwinds.
+      end_replay();
     } else if (is_leaf) {
       // Without early termination nothing has been checked yet; validate
       // the whole path condition once at the leaf.
@@ -501,6 +712,22 @@ void Engine::ExplorationContext::dfs(cfg::NodeId id, const Sink& sink,
       cur_path.push_back(id);
       if (force != nullptr && depth + 1 < force->size()) {
         dfs((*force)[depth + 1], sink, force, depth + 1);
+        // Resume: at fan-out depths (beyond the shard prefix) the forced
+        // frontier child is the one the interrupted run visited *last*;
+        // its later siblings, in successor order, are exactly the work
+        // that run had not reached. (At prefix depths the siblings belong
+        // to other shards and stay untouched.)
+        if (force == replay && depth + 1 >= replay_fanout_from && !aborted) {
+          bool after = false;
+          for (cfg::NodeId s : n.succ) {
+            if (after) {
+              dfs(s, sink, nullptr, 0);
+              if (aborted) break;
+            } else if (s == (*force)[depth + 1]) {
+              after = true;
+            }
+          }
+        }
       } else {
         for (cfg::NodeId s : n.succ) {
           dfs(s, sink, nullptr, 0);

@@ -21,6 +21,8 @@
 #include "smt/solver.hpp"
 #include "sym/state.hpp"
 #include "util/cancel.hpp"
+#include "util/faultinject.hpp"
+#include "util/supervise.hpp"
 
 namespace meissa::sym {
 
@@ -99,6 +101,14 @@ struct EngineStats {
   bool timed_out = false;
   // The run's CancelToken fired and the exploration unwound early.
   bool cancelled = false;
+  // run_parallel shard supervision/resume accounting: shards retried after
+  // a watchdog trip or injected fault, shards abandoned after the retry
+  // failed too (their subtree's coverage is unknown — degraded, like
+  // degraded_paths, not proven empty), and shards restored or replayed
+  // from a ParallelHooks::resume snapshot.
+  uint64_t requeued_shards = 0;
+  uint64_t degraded_shards = 0;
+  uint64_t resumed_shards = 0;
   smt::SolverStats solver;      // checks = the paper's "# of SMT calls"
 
   // Accumulate counters from another exploration (per-shard workers).
@@ -113,6 +123,9 @@ struct EngineStats {
     degraded_paths += o.degraded_paths;
     timed_out = timed_out || o.timed_out;
     cancelled = cancelled || o.cancelled;
+    requeued_shards += o.requeued_shards;
+    degraded_shards += o.degraded_shards;
+    resumed_shards += o.resumed_shards;
     solver += o.solver;
     return *this;
   }
@@ -126,6 +139,49 @@ struct PathResult {
   std::vector<HashObligation> obligations;
   cfg::ExitKind exit = cfg::ExitKind::kNone;
   int emit_instance = -1;
+};
+
+// Externally serializable progress of one prefix shard in run_parallel:
+// the results buffered so far, the *frontier* (the full node path of the
+// last emitted result, shard start to leaf — the DFS work-unit cursor),
+// and the fresh-symbol counter at that point. A ShardProgress round-
+// tripped through the checkpoint format and fed back via
+// ParallelHooks::resume continues the shard to the exact result set an
+// uninterrupted run produces: the frontier is replayed check-free (every
+// prefix mint pinned to its original name), then exploration proceeds
+// with the siblings the original run had not yet visited.
+struct ShardProgress {
+  bool done = false;
+  std::vector<PathResult> results;
+  cfg::Path frontier;          // empty until the first result is emitted
+  uint64_t fresh_counter = 0;  // SymState counter at the frontier
+  EngineStats stats;           // shard stats at the frontier (final if done)
+};
+
+// Optional supervision / checkpointing hooks for run_parallel.
+struct ParallelHooks {
+  // Snapshot cadence: fire `progress` after every N emitted results per
+  // shard (0 = only at shard completion, when `progress` is set).
+  uint64_t checkpoint_every = 0;
+  // Fired once, before any worker starts, with the shard count of this
+  // graph's decomposition (so a checkpoint can pre-size its shard table —
+  // every index passed to `progress` is below this count).
+  std::function<void(size_t)> on_shards;
+  // Consistent snapshot of shard `i`'s progress. Called from worker
+  // threads — the receiver synchronizes.
+  std::function<void(size_t, const ShardProgress&)> progress;
+  // Per-shard prior progress to resume from. Ignored (fresh run) unless
+  // its size matches this graph's shard decomposition.
+  const std::vector<ShardProgress>* resume = nullptr;
+  // Watchdog: every shard attempt runs as a supervised task whose token
+  // the DFS polls; a tripped attempt discards its partials and is re-run
+  // on a fresh context (max_attempts total), after which the shard is
+  // marked degraded (EngineStats::degraded_shards) and contributes no
+  // results — accounted, never silently dropped.
+  util::Supervisor* supervisor = nullptr;
+  int max_attempts = 2;
+  // Fault injection: execution sites "shard.<i>" fire at attempt start.
+  util::FaultInjector* fault = nullptr;
 };
 
 class Engine {
@@ -153,6 +209,12 @@ class Engine {
   // enough not to trigger; on timeout the result set is scheduling-
   // dependent, exactly as a timed-out sequential run is input-dependent.
   void run_parallel(const Sink& sink, int threads);
+  // As above, with checkpoint/resume snapshots, watchdog supervision and
+  // fault injection (see ParallelHooks). The emitted result set stays
+  // byte-identical across thread counts, across checkpoint cadences, and
+  // across kill/resume cycles; only degraded shards (supervision gave up)
+  // subtract from it, and those are counted.
+  void run_parallel(const Sink& sink, int threads, const ParallelHooks& hooks);
 
   const EngineStats& stats() const { return stats_; }
 

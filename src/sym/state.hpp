@@ -2,8 +2,10 @@
 // condition stack C (§3.2, Fig. 6), with O(1) undo for backtracking.
 #pragma once
 
+#include <deque>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cfg/cfg.hpp"
@@ -91,8 +93,16 @@ class SymState {
   }
 
   // Allocates a fresh, never-constrained symbol of the given width
-  // (used for unpinned hash results).
+  // (used for unpinned hash results). While pinned names are queued (see
+  // pin_fresh), those are consumed first — without advancing the counter —
+  // so a resumed exploration re-mints the exact names its checkpointed
+  // prefix minted, then continues numbering where the original left off.
   ir::FieldId fresh_symbol(int width) {
+    if (!pinned_.empty()) {
+      std::pair<std::string, int> p = std::move(pinned_.front());
+      pinned_.pop_front();
+      return ctx_.fields.intern(p.first, p.second);
+    }
     std::string name =
         fresh_ns_.empty()
             ? "$free." + std::to_string(ctx_.fresh_counter++)
@@ -100,12 +110,25 @@ class SymState {
     return ctx_.fields.intern(name, width);
   }
 
+  // Checkpoint/resume support. The local counter is monotonic across one
+  // exploration (abandoned branches bump it and never give indices back),
+  // so a work-unit snapshot must carry it; pin_fresh queues the (name,
+  // width) pairs the frontier path minted, in mint order.
+  uint64_t fresh_counter() const { return fresh_local_; }
+  void set_fresh_counter(uint64_t c) { fresh_local_ = c; }
+  void pin_fresh(std::vector<std::pair<std::string, int>> names) {
+    pinned_.assign(std::make_move_iterator(names.begin()),
+                   std::make_move_iterator(names.end()));
+  }
+  bool has_pinned_fresh() const { return !pinned_.empty(); }
+
   ir::Context& ctx() { return ctx_; }
 
  private:
   ir::Context& ctx_;
   std::string fresh_ns_;
   uint64_t fresh_local_ = 0;
+  std::deque<std::pair<std::string, int>> pinned_;
   std::unordered_map<ir::FieldId, ir::ExprRef> values_;
   std::vector<std::pair<ir::FieldId, ir::ExprRef>> undo_;
   std::vector<ir::ExprRef> conds_;

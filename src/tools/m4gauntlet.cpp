@@ -16,6 +16,11 @@
 //   --max-variants N     cap generated variants per app (0 = unlimited)
 //   --execs N            fuzz budget per variant (default 4096)
 //   --keep-unconfirmed   keep variants without a replay witness
+//   --lane-deadline-ms N wall-clock deadline per detection lane (0 =
+//                        unlimited). A lane that hits it without detecting
+//                        records a first-class "timeout" verdict (report
+//                        lane_timeouts / per-outcome timeouts) instead of
+//                        counting as a silent survival.
 //   --no-lint --no-verify --no-engine --no-fuzz   disable a lane
 //   --verify-all         run the verify lane on every variant (slow)
 //   --json               machine-readable results on stdout
@@ -50,6 +55,7 @@ int usage() {
       "usage: m4gauntlet [options] (--app NAME | --legacy | --all)\n"
       "  --app: router, mtag, acl, switchp4, gw-1, gw-2, gw-3, gw-4\n"
       "  options: --seed N --threads N --max-variants N --execs N\n"
+      "           --lane-deadline-ms N\n"
       "           --keep-unconfirmed --verify-all --json\n"
       "           --no-lint --no-verify --no-engine --no-fuzz\n"
       "           --manifest FILE --report FILE\n"
@@ -147,6 +153,8 @@ int main(int argc, char** argv) {
       copts.max_variants = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--execs" && i + 1 < argc) {
       sopts.fuzz_execs = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--lane-deadline-ms" && i + 1 < argc) {
+      sopts.lane_deadline_ms = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--keep-unconfirmed") {
       copts.keep_unconfirmed = true;
     } else if (arg == "--verify-all") {

@@ -19,12 +19,31 @@
 //   --validate-summary  prove the code-summary transform sound before
 //                     testing; a refuted obligation aborts the run (exit 2)
 //
+// Crash safety & supervision:
+//   --checkpoint DIR  write work-unit checkpoints (summary wave boundaries
+//                     + DFS frontier snapshots) into DIR; crash-atomic
+//   --resume          load DIR's newest valid checkpoint first; a killed
+//                     run resumed this way emits templates byte-identical
+//                     to an uninterrupted run
+//   --checkpoint-every N  DFS snapshot cadence in emitted results per
+//                     shard (default 8)
+//   --stall-timeout-ms N  watchdog: cancel a shard whose heartbeat stalls
+//                     this long; it is re-queued once, then degraded
+//   --shard-deadline-ms N watchdog: per-shard-attempt wall-clock deadline
+//   --inject SPEC     arm a runtime fault (repeatable). SPEC is
+//                     site:kind[:after[:param[:times]]] with kind one of
+//                     stall|abort|alloc-fail|truncate|corrupt; sites:
+//                     shard.<i> (execution), checkpoint.serialize,
+//                     checkpoint.write (data). E.g. shard.3:abort,
+//                     checkpoint.write:corrupt:2:5
+//
 // Exit status: 0 all cases passed, 1 failures/quarantines, 2 usage or error.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "apps/apps.hpp"
 #include "driver/tester.hpp"
@@ -33,6 +52,7 @@
 #include "p4/dsl.hpp"
 #include "sim/toolchain.hpp"
 #include "util/error.hpp"
+#include "util/faultinject.hpp"
 
 namespace {
 
@@ -44,7 +64,10 @@ int usage() {
                "  --app: router, mtag, acl, switchp4, gw-1, gw-2, gw-3, gw-4\n"
                "  --bug: bug-corpus scenario 1..%d\n"
                "  options: --json --templates --threads N --seed N\n"
-               "           --metrics FILE --trace FILE --validate-summary\n",
+               "           --metrics FILE --trace FILE --validate-summary\n"
+               "           --checkpoint DIR --resume --checkpoint-every N\n"
+               "           --stall-timeout-ms N --shard-deadline-ms N\n"
+               "           --inject site:kind[:after[:param[:times]]]\n",
                apps::kNumBugs);
   return 2;
 }
@@ -86,6 +109,12 @@ int main(int argc, char** argv) {
   std::string app;
   int bug = 0;
   std::string file;
+  std::string checkpoint_dir;
+  bool resume = false;
+  uint64_t checkpoint_every = 8;
+  uint64_t stall_timeout_ms = 0;
+  uint64_t shard_deadline_ms = 0;
+  std::vector<std::string> inject_specs;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
@@ -102,6 +131,18 @@ int main(int argc, char** argv) {
       metrics_file = argv[++i];
     } else if (arg == "--trace" && i + 1 < argc) {
       trace_file = argv[++i];
+    } else if (arg == "--checkpoint" && i + 1 < argc) {
+      checkpoint_dir = argv[++i];
+    } else if (arg == "--resume") {
+      resume = true;
+    } else if (arg == "--checkpoint-every" && i + 1 < argc) {
+      checkpoint_every = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--stall-timeout-ms" && i + 1 < argc) {
+      stall_timeout_ms = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--shard-deadline-ms" && i + 1 < argc) {
+      shard_deadline_ms = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--inject" && i + 1 < argc) {
+      inject_specs.emplace_back(argv[++i]);
     } else if (arg == "--app" && i + 1 < argc) {
       app = argv[++i];
     } else if (arg == "--bug" && i + 1 < argc) {
@@ -116,6 +157,10 @@ int main(int argc, char** argv) {
   if ((app.empty() ? 0 : 1) + (bug != 0 ? 1 : 0) + (file.empty() ? 0 : 1) !=
       1) {
     return usage();
+  }
+  if (resume && checkpoint_dir.empty()) {
+    std::fprintf(stderr, "m4test: --resume requires --checkpoint DIR\n");
+    return 2;
   }
 
   if (!metrics_file.empty()) obs::MetricsRegistry::set_enabled(true);
@@ -156,6 +201,16 @@ int main(int argc, char** argv) {
     opts.gen.threads = threads;
     opts.gen.validate_summary = validate_summary;
     opts.seed = seed;
+    opts.gen.checkpoint_dir = checkpoint_dir;
+    opts.gen.resume = resume;
+    opts.gen.checkpoint_every = checkpoint_every;
+    opts.gen.supervise.stall_timeout_ms = stall_timeout_ms;
+    opts.gen.supervise.deadline_ms = shard_deadline_ms;
+    util::FaultInjector injector;
+    for (const std::string& spec : inject_specs) {
+      injector.add(util::parse_fault_spec(spec));
+    }
+    if (!inject_specs.empty()) opts.gen.fault = &injector;
 
     if (templates_only) {
       driver::Meissa meissa(ctx, dp, rules, opts);

@@ -1,0 +1,189 @@
+#include "util/faultinject.hpp"
+
+#include <chrono>
+#include <new>
+#include <thread>
+
+namespace meissa::util {
+
+const char* fault_kind_name(FaultKind k) noexcept {
+  switch (k) {
+    case FaultKind::kStall:
+      return "stall";
+    case FaultKind::kAbort:
+      return "abort";
+    case FaultKind::kAllocFail:
+      return "alloc-fail";
+    case FaultKind::kTruncate:
+      return "truncate";
+    case FaultKind::kCorrupt:
+      return "corrupt";
+  }
+  return "?";
+}
+
+namespace {
+
+bool site_matches(const std::string& pattern, std::string_view site) {
+  if (!pattern.empty() && pattern.back() == '*') {
+    std::string_view prefix(pattern.data(), pattern.size() - 1);
+    return site.substr(0, prefix.size()) == prefix;
+  }
+  return site == pattern;
+}
+
+bool is_data_kind(FaultKind k) {
+  return k == FaultKind::kTruncate || k == FaultKind::kCorrupt;
+}
+
+uint64_t parse_u64(std::string_view s, std::string_view whole) {
+  uint64_t v = 0;
+  if (s.empty()) {
+    throw ValidationError("fault spec '" + std::string(whole) +
+                          "': empty numeric part");
+  }
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      throw ValidationError("fault spec '" + std::string(whole) +
+                            "': bad number '" + std::string(s) + "'");
+    }
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return v;
+}
+
+}  // namespace
+
+FaultSpec parse_fault_spec(std::string_view text) {
+  std::vector<std::string_view> parts;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == ':') {
+      parts.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  if (parts.size() < 2 || parts.size() > 5) {
+    throw ValidationError(
+        "fault spec '" + std::string(text) +
+        "': expected site:kind[:after[:param[:times]]]");
+  }
+  FaultSpec spec;
+  spec.site = std::string(parts[0]);
+  if (spec.site.empty()) {
+    throw ValidationError("fault spec '" + std::string(text) +
+                          "': empty site");
+  }
+  std::string_view kind = parts[1];
+  if (kind == "stall") {
+    spec.kind = FaultKind::kStall;
+  } else if (kind == "abort") {
+    spec.kind = FaultKind::kAbort;
+  } else if (kind == "alloc-fail") {
+    spec.kind = FaultKind::kAllocFail;
+  } else if (kind == "truncate") {
+    spec.kind = FaultKind::kTruncate;
+  } else if (kind == "corrupt") {
+    spec.kind = FaultKind::kCorrupt;
+  } else {
+    throw ValidationError(
+        "fault spec '" + std::string(text) + "': unknown kind '" +
+        std::string(kind) +
+        "' (stall|abort|alloc-fail|truncate|corrupt)");
+  }
+  if (parts.size() > 2) spec.after = parse_u64(parts[2], text);
+  if (parts.size() > 3) spec.param = parse_u64(parts[3], text);
+  if (parts.size() > 4) spec.times = parse_u64(parts[4], text);
+  return spec;
+}
+
+void FaultInjector::add(FaultSpec spec) {
+  std::lock_guard<std::mutex> lk(mu_);
+  armed_.push_back(Armed{std::move(spec), 0, 0});
+}
+
+bool FaultInjector::empty() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return armed_.empty();
+}
+
+uint64_t FaultInjector::fired() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return fired_;
+}
+
+std::vector<FaultInjector::Armed*> FaultInjector::due(std::string_view site,
+                                                      bool data_site) {
+  // Caller holds mu_.
+  std::vector<Armed*> out;
+  for (Armed& a : armed_) {
+    if (is_data_kind(a.spec.kind) != data_site) continue;
+    if (!site_matches(a.spec.site, site)) continue;
+    ++a.hits;
+    if (a.hits <= a.spec.after) continue;
+    if (a.spec.times != 0 && a.fired >= a.spec.times) continue;
+    ++a.fired;
+    ++fired_;
+    out.push_back(&a);
+  }
+  return out;
+}
+
+bool FaultInjector::hit(std::string_view site, const CancelToken* cancel) {
+  std::vector<Armed*> fire;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    fire = due(site, /*data_site=*/false);
+  }
+  bool any = false;
+  for (Armed* a : fire) {
+    any = true;
+    switch (a->spec.kind) {
+      case FaultKind::kStall: {
+        // Sleep in short slices so a watchdog-tripped CancelToken breaks
+        // the stall promptly (a stalled-for-real shard cannot do that —
+        // that is exactly the hang the supervisor's deadline covers).
+        auto end = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(a->spec.param);
+        while (std::chrono::steady_clock::now() < end) {
+          if (cancel != nullptr && cancel->cancelled()) break;
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        break;
+      }
+      case FaultKind::kAbort:
+        throw InjectedFaultError(std::string(site));
+      case FaultKind::kAllocFail:
+        throw std::bad_alloc();
+      case FaultKind::kTruncate:
+      case FaultKind::kCorrupt:
+        break;  // data kinds never reach here
+    }
+  }
+  return any;
+}
+
+bool FaultInjector::mutate(std::string_view site,
+                           std::vector<uint8_t>& bytes) {
+  std::vector<Armed*> fire;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    fire = due(site, /*data_site=*/true);
+  }
+  bool any = false;
+  for (Armed* a : fire) {
+    any = true;
+    if (a->spec.kind == FaultKind::kTruncate) {
+      size_t drop = a->spec.param == 0 ? 1 : static_cast<size_t>(a->spec.param);
+      if (drop > bytes.size()) drop = bytes.size();
+      bytes.resize(bytes.size() - drop);
+    } else {  // kCorrupt
+      if (!bytes.empty()) {
+        bytes[static_cast<size_t>(a->spec.param) % bytes.size()] ^= 0x40;
+      }
+    }
+  }
+  return any;
+}
+
+}  // namespace meissa::util

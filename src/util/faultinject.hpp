@@ -1,0 +1,89 @@
+// Runtime fault injection for the crash-safety test surface (mirrors the
+// validator fault injector of analysis/validate: faults are *requested*
+// by tests/CLI flags, never ambient).
+//
+// A FaultInjector is an instance (not a global): the owner of a run wires
+// it into GenOptions, so concurrent tests are isolated. Instrumented code
+// calls hit(site) at execution points and mutate(site, bytes) where data
+// is about to be persisted; each armed FaultSpec matches a site by name
+// (exact, or prefix with a trailing '*') and fires a bounded number of
+// times, so a retried work unit sees the world heal deterministically.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/cancel.hpp"
+#include "util/error.hpp"
+
+namespace meissa::util {
+
+enum class FaultKind : uint8_t {
+  kStall,      // sleep `param` ms at the site (polls a CancelToken)
+  kAbort,      // throw InjectedFaultError at the site
+  kAllocFail,  // throw std::bad_alloc at the site
+  kTruncate,   // drop the last `param` bytes of the site's buffer (min 1)
+  kCorrupt,    // flip a bit in the byte at offset `param` (mod size)
+};
+
+const char* fault_kind_name(FaultKind k) noexcept;
+
+// Thrown by kAbort faults; callers that supervise work units catch exactly
+// this type (anything else is a real bug and must propagate).
+class InjectedFaultError : public Error {
+ public:
+  explicit InjectedFaultError(const std::string& site)
+      : Error("injected fault at " + site) {}
+};
+
+struct FaultSpec {
+  std::string site;  // exact site name, or prefix ending in '*'
+  FaultKind kind = FaultKind::kAbort;
+  uint64_t after = 0;  // matching hits to let pass before firing
+  uint64_t param = 0;  // stall ms / truncate bytes / corrupt offset
+  uint64_t times = 1;  // firings before the spec disarms (0 = unlimited)
+};
+
+// Parses "site:kind[:after[:param[:times]]]" (the --inject flag syntax);
+// throws ValidationError on malformed input.
+FaultSpec parse_fault_spec(std::string_view text);
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  void add(FaultSpec spec);
+  bool empty() const;
+
+  // Execution-point hook. kStall sleeps in short slices, re-checking
+  // `cancel` so a watchdog can break the stall; kAbort / kAllocFail throw.
+  // Returns true when any fault fired at this site.
+  bool hit(std::string_view site, const CancelToken* cancel = nullptr);
+
+  // Data hook: applies armed kTruncate / kCorrupt faults for `site` to
+  // `bytes`. Returns true when the buffer was damaged.
+  bool mutate(std::string_view site, std::vector<uint8_t>& bytes);
+
+  // Total faults fired so far (all sites).
+  uint64_t fired() const;
+
+ private:
+  mutable std::mutex mu_;
+  struct Armed {
+    FaultSpec spec;
+    uint64_t hits = 0;
+    uint64_t fired = 0;
+  };
+  // Returns the matching spec due to fire now, bumping counters.
+  // `data_site` selects buffer faults vs execution faults.
+  std::vector<Armed*> due(std::string_view site, bool data_site);
+  std::vector<Armed> armed_;
+  uint64_t fired_ = 0;
+};
+
+}  // namespace meissa::util

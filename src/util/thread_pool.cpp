@@ -75,7 +75,19 @@ void ThreadPool::wait_idle() {
 
 void ThreadPool::run(size_t n, const std::function<void(size_t)>& fn) {
   if (size() <= 1) {
-    for (size_t i = 0; i < n; ++i) fn(i);
+    // Parity with the pooled path: a throwing task must not abort the
+    // batch (the pool runs every submitted task and rethrows the *first*
+    // exception at wait_idle), otherwise threads=1 would complete fewer
+    // tasks than threads=N for the same workload.
+    std::exception_ptr err;
+    for (size_t i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!err) err = std::current_exception();
+      }
+    }
+    if (err) std::rethrow_exception(err);
     return;
   }
   for (size_t i = 0; i < n; ++i) {

@@ -43,6 +43,8 @@ class ThreadPool {
 
   // Convenience: submit fn(0..n-1) and wait_idle(). With <= 1 total
   // threads this runs the loop inline on the calling thread, in order.
+  // Exception contract matches the pooled path at every thread count:
+  // all n tasks run, and the first exception is rethrown afterwards.
   void run(size_t n, const std::function<void(size_t)>& fn);
 
   // Total parallelism (workers + the submitting thread).

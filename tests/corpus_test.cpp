@@ -257,6 +257,63 @@ TEST(Survival, DetectsEveryVariantOfASmallCorpus) {
   EXPECT_NE(rep.render_text().find("first detector"), std::string::npos);
 }
 
+TEST(Survival, GenerousLaneDeadlineIsTransparent) {
+  // A deadline no lane comes near must change nothing: same detections,
+  // zero timeout verdicts.
+  ir::Context ctx;
+  AppBundle app = make_acl(ctx, 4, 4);
+  corpus::CorpusOptions copts = fast_opts();
+  copts.max_variants = 4;
+  corpus::BugCorpus c = corpus::build_corpus(ctx, app, copts);
+  ASSERT_FALSE(c.variants.empty());
+  survival::SurvivalOptions sopts;
+  sopts.fuzz_execs = 512;
+  survival::SurvivalReport base = survival::run_survival(c, &app, sopts);
+  sopts.lane_deadline_ms = 600000;
+  survival::SurvivalReport rep = survival::run_survival(c, &app, sopts);
+  EXPECT_EQ(rep.detected, base.detected);
+  for (int d = 0; d < survival::kNumDetectors; ++d) {
+    EXPECT_EQ(rep.lane_timeouts[d], 0u) << survival::detector_name(
+        static_cast<survival::Detector>(d));
+  }
+}
+
+TEST(Survival, TinyLaneDeadlineRecordsTimeoutVerdictsNotSilence) {
+  // Starved lanes must surface as first-class "timeout" verdicts — never
+  // as silent survivals — and a timeout never overrides a detection the
+  // lane made before its deadline tripped.
+  ir::Context ctx;
+  AppBundle app = make_acl(ctx, 4, 4);
+  corpus::CorpusOptions copts = fast_opts();
+  copts.max_variants = 4;
+  corpus::BugCorpus c = corpus::build_corpus(ctx, app, copts);
+  ASSERT_FALSE(c.variants.empty());
+  survival::SurvivalOptions sopts;
+  sopts.fuzz_execs = 512;
+  sopts.lane_deadline_ms = 1;
+  survival::SurvivalReport rep = survival::run_survival(c, &app, sopts);
+  EXPECT_EQ(rep.total, c.variants.size());
+  uint64_t timeouts = 0;
+  for (int d = 0; d < survival::kNumDetectors; ++d) {
+    timeouts += rep.lane_timeouts[d];
+  }
+  EXPECT_GT(timeouts, 0u);
+  for (const survival::VariantOutcome& o : rep.outcomes) {
+    const bool hit[survival::kNumDetectors] = {o.lint, o.verify, o.engine,
+                                               o.fuzz};
+    for (int d = 0; d < survival::kNumDetectors; ++d) {
+      if (o.timeout[d]) {
+        EXPECT_FALSE(hit[d]) << o.vid << " lane "
+                             << survival::detector_name(
+                                    static_cast<survival::Detector>(d));
+      }
+    }
+  }
+  const std::string json = rep.to_json();
+  EXPECT_NE(json.find("\"lane_timeouts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"timeouts\":{"), std::string::npos);
+}
+
 // ------------------------------------------- satellite: IntendedVariantClean
 
 // Every corrected Table-2 bundle must be self-consistent ground truth: the

@@ -5,8 +5,11 @@
 // signatures below are name-based and must not.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <filesystem>
 #include <functional>
 #include <sstream>
+#include <thread>
 
 #include "apps/apps.hpp"
 #include "driver/tester.hpp"
@@ -240,6 +243,108 @@ TEST(Determinism, ReportsIdenticalAcrossThreadCounts) {
     EXPECT_EQ(got.failures.size(), base.failures.size())
         << threads << " threads";
   }
+}
+
+// --------------------------------------------- checkpoint/resume (crash)
+
+std::string resume_dir(const std::string& name) {
+  std::filesystem::path p =
+      std::filesystem::temp_directory_path() / ("m4resume_" + name);
+  std::filesystem::remove_all(p);
+  return p.string();
+}
+
+TEST(Resume, ByteIdentical) {
+  // The crash-safety acceptance bar: a checkpointed gw-4 generation killed
+  // (cooperatively cancelled — the in-process stand-in for SIGKILL, same
+  // on-disk state) at several points, then resumed, must emit templates
+  // byte-identical to an uninterrupted run — even under a different thread
+  // count, since the content key deliberately excludes it.
+  driver::GenOptions base;
+  base.threads = 4;
+  const std::vector<std::string> expect =
+      generate_signature(multi_switch_app, base);
+  EXPECT_FALSE(expect.empty());
+
+  for (int delay_ms : {0, 5, 25}) {
+    const std::string dir = resume_dir(std::to_string(delay_ms));
+    {
+      util::CancelToken token;
+      std::thread killer([&token, delay_ms] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+        token.cancel();
+      });
+      driver::GenOptions opts = base;
+      opts.checkpoint_dir = dir;
+      opts.checkpoint_every = 1;
+      opts.cancel = &token;
+      ir::Context ctx;
+      apps::AppBundle app = multi_switch_app(ctx);
+      driver::Generator gen(ctx, app.dp, app.rules, opts);
+      (void)gen.generate();  // partial (or complete, if the cut came late)
+      killer.join();
+    }
+    driver::GenOptions opts = base;
+    opts.threads = 2;  // resume under a different thread count
+    opts.checkpoint_dir = dir;
+    opts.resume = true;
+    const std::vector<std::string> got =
+        generate_signature(multi_switch_app, opts);
+    ASSERT_EQ(got.size(), expect.size()) << "killed at " << delay_ms << "ms";
+    for (size_t i = 0; i < expect.size(); ++i) {
+      EXPECT_EQ(got[i], expect[i])
+          << "template " << i << ", killed at " << delay_ms << "ms";
+    }
+  }
+}
+
+TEST(Resume, FullCheckpointSkipsExploreAndDfs) {
+  // Resuming from a *complete* checkpoint restores every pipeline's
+  // summary unit and every DFS shard — and still emits the same bytes.
+  const std::string dir = resume_dir("full");
+  driver::GenOptions opts;
+  opts.threads = 4;
+  opts.checkpoint_dir = dir;
+  const std::vector<std::string> expect =
+      generate_signature(nat_gateway_app, opts);
+
+  opts.resume = true;
+  ir::Context ctx;
+  apps::AppBundle app = nat_gateway_app(ctx);
+  driver::Generator gen(ctx, app.dp, app.rules, opts);
+  std::vector<sym::TestCaseTemplate> templates = gen.generate();
+  EXPECT_TRUE(gen.stats().resumed);
+  EXPECT_GT(gen.stats().resumed_pipelines, 0u);
+  EXPECT_GT(gen.stats().engine.resumed_shards, 0u);
+  EXPECT_GT(gen.stats().checkpoint_writes, 0u);
+  EXPECT_EQ(gen.stats().checkpoint_failures, 0u);
+  std::vector<std::string> got;
+  for (const sym::TestCaseTemplate& t : templates) {
+    std::ostringstream os;
+    os << sym::describe(t, ctx, gen.graph()) << "\n  path:";
+    for (cfg::NodeId n : t.path) os << " " << n;
+    got.push_back(os.str());
+  }
+  EXPECT_EQ(got, expect);
+}
+
+TEST(Resume, InjectedShardCrashStillByteIdentical) {
+  // Robustness composition: an injected shard crash (re-queued once, heals
+  // on the fresh-context retry) in a checkpointing run must not perturb
+  // the emitted bytes.
+  driver::GenOptions opts;
+  opts.threads = 4;
+  const std::vector<std::string> expect =
+      generate_signature(nat_gateway_app, opts);
+
+  opts.checkpoint_dir = resume_dir("faulted");
+  util::FaultInjector inj;
+  inj.add(util::parse_fault_spec("shard.1:abort"));
+  opts.fault = &inj;
+  const std::vector<std::string> got =
+      generate_signature(nat_gateway_app, opts);
+  EXPECT_EQ(inj.fired(), 1u);
+  EXPECT_EQ(got, expect);
 }
 
 // ------------------------------------------------- static pruning (m4lint)

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Kill/resume stress for the checkpointed generator.
+#
+# For each seed: SIGKILL a checkpointed gw-4 template generation at a
+# randomized point (several rounds), then resume it to completion and
+# require the templates to be byte-identical to an uninterrupted run.
+# Injected per-shard stalls stretch the generation so the kill reliably
+# lands mid-run; the final resume runs without injection, so the output
+# comparison also covers "crash under faults, recover clean".
+#
+# usage: kill_resume_stress.sh <m4test-binary> [seed...]
+set -u
+
+M4TEST=${1:?usage: $0 <m4test-binary> [seed...]}
+shift || true
+SEEDS=("$@")
+if [ ${#SEEDS[@]} -eq 0 ]; then SEEDS=(1 2 3); fi
+
+APP=gw-4
+KILL_ROUNDS=3
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+ref="$workdir/reference.txt"
+if ! "$M4TEST" --app "$APP" --templates --threads 4 > "$ref"; then
+  echo "FAIL: reference run did not complete" >&2
+  exit 1
+fi
+
+fail=0
+for seed in "${SEEDS[@]}"; do
+  dir="$workdir/ckpt-$seed"
+  rm -rf "$dir"
+  saw_checkpoint=0
+
+  for round in $(seq 1 "$KILL_ROUNDS"); do
+    resume_flag=""
+    if [ -e "$dir/checkpoint.bin" ] || [ -e "$dir/checkpoint.bin.prev" ]; then
+      resume_flag="--resume"
+      saw_checkpoint=1
+    fi
+    # Stalls fire once per shard attempt; with 32 shards this stretches
+    # the ~0.25s run into a window the SIGKILL can reliably hit.
+    "$M4TEST" --app "$APP" --templates --threads 4 \
+      --checkpoint "$dir" $resume_flag --checkpoint-every 1 \
+      --inject 'shard.*:stall:0:20:0' \
+      > "$workdir/killed-$seed-$round.txt" 2>/dev/null &
+    pid=$!
+
+    # Deterministic pseudo-random kill point in [20, 420) ms.
+    ms=$(( (seed * 7919 + round * 104729) % 400 + 20 ))
+    sleep "0.$(printf '%03d' "$ms")"
+
+    if kill -9 "$pid" 2>/dev/null; then
+      wait "$pid" 2>/dev/null
+      echo "seed $seed round $round: killed at ${ms}ms"
+    else
+      # The run finished before the kill landed — that round still
+      # exercises the checkpoint-write path; the resume below must cope.
+      wait "$pid" 2>/dev/null
+      echo "seed $seed round $round: completed before kill (${ms}ms)"
+    fi
+  done
+
+  if [ "$saw_checkpoint" -eq 0 ] && [ ! -e "$dir/checkpoint.bin" ] \
+      && [ ! -e "$dir/checkpoint.bin.prev" ]; then
+    echo "FAIL: seed $seed never produced a checkpoint file" >&2
+    fail=1
+    continue
+  fi
+
+  out="$workdir/resumed-$seed.txt"
+  if ! "$M4TEST" --app "$APP" --templates --threads 4 \
+      --checkpoint "$dir" --resume > "$out"; then
+    echo "FAIL: seed $seed resume run did not complete" >&2
+    fail=1
+    continue
+  fi
+  if ! cmp -s "$ref" "$out"; then
+    echo "FAIL: seed $seed resumed templates differ from uninterrupted run" >&2
+    diff "$ref" "$out" | head -20 >&2
+    fail=1
+  else
+    echo "seed $seed: resumed templates byte-identical OK"
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "kill/resume stress: FAILED" >&2
+  exit 1
+fi
+echo "kill/resume stress: all ${#SEEDS[@]} seed(s) byte-identical"

@@ -6,6 +6,7 @@
 
 #include <chrono>
 #include <optional>
+#include <set>
 
 #include "apps/apps.hpp"
 #include "driver/sender.hpp"
@@ -420,6 +421,32 @@ TEST(LossyDriver, HopelessLinkQuarantinesInsteadOfHanging) {
   // Every case burned its full retry budget with exponential backoff.
   EXPECT_EQ(report.send_retries, 3 * report.cases);
   EXPECT_GT(report.backoff_units, report.send_retries / 2);
+}
+
+TEST(LossyDriver, BackoffJitterIsSeedDeterministic) {
+  // The retry backoff carries seeded jitter: byte-identical per seed (two
+  // runs agree exactly), and actually seed-dependent (across a pool of
+  // seeds the schedules differ — a constant "jitter" would be a thundering
+  // herd with extra steps).
+  auto run = [](uint64_t seed) {
+    ir::Context ctx;
+    apps::AppBundle app = apps::make_router(ctx, 4);
+    sim::Device device(sim::compile(app.dp, app.rules, ctx), ctx);
+    driver::TestRunOptions opts;
+    opts.link.drop_rate = 1.0;  // every case burns its full retry budget
+    opts.max_send_retries = 6;
+    opts.seed = seed;
+    driver::Meissa meissa(ctx, app.dp, app.rules, opts);
+    return meissa.test(device, app.intents).backoff_units;
+  };
+  std::set<uint64_t> distinct;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    const uint64_t units = run(seed);
+    EXPECT_GT(units, 0u);
+    EXPECT_EQ(units, run(seed)) << "seed " << seed;  // reproducible
+    distinct.insert(units);
+  }
+  EXPECT_GT(distinct.size(), 1u);
 }
 
 // ------------------------------------------------- report bounds & JSON

@@ -108,6 +108,28 @@ TEST(ThreadPool, RethrowsFirstTaskException) {
   EXPECT_EQ(total.load(), 4);
 }
 
+TEST(ThreadPool, InlinePathMatchesPooledExceptionSemantics) {
+  // threads=1 runs tasks inline; it must still run *every* task and
+  // rethrow the first exception afterwards, exactly like the pooled path
+  // — otherwise threads=1 would complete fewer tasks than threads=N.
+  ThreadPool pool(1);
+  std::atomic<int> ran{0};
+  try {
+    pool.run(8, [&](size_t i) {
+      ++ran;
+      if (i == 2) throw std::runtime_error("first");
+      if (i == 5) throw std::logic_error("second");
+    });
+    FAIL() << "expected the first exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+  EXPECT_EQ(ran.load(), 8);
+  // And the pool is still usable afterwards.
+  pool.run(3, [&](size_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 11);
+}
+
 TEST(Rng, DeterministicAndInRange) {
   Rng a(42), b(42);
   for (int i = 0; i < 100; ++i) {
