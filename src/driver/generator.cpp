@@ -129,6 +129,8 @@ std::vector<sym::TestCaseTemplate> Generator::generate() {
   eopts.static_pruning = opts_.static_pruning;
   eopts.budget = opts_.smt_budget;
   eopts.cancel = opts_.cancel;
+  eopts.pc_cache = opts_.pc_cache;
+  eopts.solver_portfolio = opts_.solver_portfolio;
   if (opts_.static_pruning && !opts_.check_every_predicate) {
     facts_ = analysis::compute_facts(ctx_, *active_, active_->entry());
     eopts.facts = &facts_;
@@ -182,6 +184,10 @@ std::vector<sym::TestCaseTemplate> Generator::generate() {
   stats_.exact_paths = engine_->stats().valid_paths;
   stats_.degraded_paths = engine_->stats().degraded_paths;
   stats_.smt_unknowns = engine_->stats().solver.unknowns;
+  stats_.pc_cache_hits = engine_->stats().pc_cache_hits;
+  stats_.pc_cache_misses = engine_->stats().pc_cache_misses;
+  stats_.pc_model_reuse = engine_->stats().pc_model_reuse;
+  stats_.fast_path_skipped = engine_->stats().solver.fast_path_skipped;
   stats_.smt_checks += engine_->stats().solver.checks;
   stats_.smt_calls_skipped +=
       engine_->stats().static_prunes + engine_->stats().skipped_checks;
@@ -200,6 +206,8 @@ std::vector<sym::TestCaseTemplate> Generator::generate() {
     obs::metrics()
         .counter("gen.smt_calls_skipped")
         .add(stats_.smt_calls_skipped);
+    obs::metrics().counter("gen.pc_cache_hits").add(stats_.pc_cache_hits);
+    obs::metrics().counter("gen.pc_cache_misses").add(stats_.pc_cache_misses);
     if (ckpt != nullptr) {
       obs::metrics().counter("checkpoint.writes").add(stats_.checkpoint_writes);
       obs::metrics()

@@ -55,6 +55,15 @@ struct GenOptions {
   bool validate_summary = false;
   // Per-obligation solver budget for the validation pass.
   smt::Budget validate_budget;
+  // Solver-throughput layer for the final DFS (ROADMAP "solver
+  // throughput"), both output-transparent — templates are byte-identical
+  // on or off: the canonicalized path-condition verdict cache (auto-
+  // disabled under a limited smt_budget; see EngineOptions::pc_cache) and
+  // the adaptive fast-path-vs-bit-blasting portfolio keyed by CFG region.
+  // On by default; off in the summary pass and baselines so ablations
+  // measure raw solving.
+  bool pc_cache = true;
+  bool solver_portfolio = true;
   // Optional cooperative stop for the whole generation (polled by the DFS
   // workers). Must outlive generate().
   const util::CancelToken* cancel = nullptr;
@@ -98,6 +107,14 @@ struct GenStats {
   uint64_t exact_paths = 0;
   uint64_t degraded_paths = 0;
   uint64_t smt_unknowns = 0;
+  // Solver-throughput layer (final DFS): checks answered by the path-
+  // condition cache vs. sent to a backend, sat verdicts confirmed by
+  // re-evaluating a shard's last model, and checks the adaptive portfolio
+  // routed straight to bit-blasting.
+  uint64_t pc_cache_hits = 0;
+  uint64_t pc_cache_misses = 0;
+  uint64_t pc_model_reuse = 0;
+  uint64_t fast_path_skipped = 0;
   // Summary translation validation (GenOptions::validate_summary).
   uint64_t validate_obligations = 0;
   uint64_t validate_unsat = 0;
@@ -134,6 +151,10 @@ struct GenStats {
     exact_paths += o.exact_paths;
     degraded_paths += o.degraded_paths;
     smt_unknowns += o.smt_unknowns;
+    pc_cache_hits += o.pc_cache_hits;
+    pc_cache_misses += o.pc_cache_misses;
+    pc_model_reuse += o.pc_model_reuse;
+    fast_path_skipped += o.fast_path_skipped;
     validate_obligations += o.validate_obligations;
     validate_unsat += o.validate_unsat;
     validate_unproven += o.validate_unproven;

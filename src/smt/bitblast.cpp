@@ -268,4 +268,11 @@ Lit BitBlaster::blast_bool(ir::ExprRef e) {
   return out;
 }
 
+void BitBlaster::maybe_epoch_clear(size_t max_entries) {
+  if (max_entries == 0 || cache_entries() <= max_entries) return;
+  bool_cache_.clear();
+  vec_cache_.clear();
+  ++epochs_;
+}
+
 }  // namespace meissa::smt

@@ -32,8 +32,33 @@ class BitBlaster {
   // True when the field has been mentioned in some blasted expression.
   bool knows_field(ir::FieldId f) const { return fields_.count(f) != 0; }
 
+  // Calls `fn(field)` for every field the blaster knows. Model extraction
+  // iterates this instead of probing the context-global field table,
+  // whose size grows with the whole program rather than this solver's
+  // constraint footprint.
+  template <typename Fn>
+  void for_each_known_field(Fn&& fn) const {
+    for (const auto& [f, bits] : fields_) fn(f);
+  }
+
   // Reads a field's value out of the SAT model after a satisfiable solve.
   uint64_t model_value(ir::FieldId f) const;
+
+  // Memoized translations currently held (bool + vec caches). The field
+  // map is excluded: it is identity state, not a cache (see below).
+  size_t cache_entries() const { return bool_cache_.size() + vec_cache_.size(); }
+
+  // Epoch-clears the translation caches once they exceed `max_entries`
+  // (0 = unbounded). Must only be called between blasts, never
+  // mid-recursion. Dropping a memoized translation is sound — the old
+  // definitional clauses stay in the SAT core and a re-blast just defines
+  // fresh equivalent literals — but `fields_` must NEVER be cleared: field
+  // bits are *identity*, and fresh ones would be unconstrained by every
+  // clause already referencing the old ones.
+  void maybe_epoch_clear(size_t max_entries);
+
+  // Times maybe_epoch_clear actually cleared.
+  uint64_t epochs() const { return epochs_; }
 
  private:
   Lit lit_true() const { return sat_.true_lit(); }
@@ -64,6 +89,7 @@ class BitBlaster {
   std::unordered_map<ir::ExprRef, Lit> bool_cache_;
   std::unordered_map<ir::ExprRef, std::vector<Lit>> vec_cache_;
   std::unordered_map<ir::FieldId, std::vector<Lit>> fields_;
+  uint64_t epochs_ = 0;
 };
 
 }  // namespace meissa::smt

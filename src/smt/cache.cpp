@@ -1,0 +1,74 @@
+#include "smt/cache.hpp"
+
+namespace meissa::smt {
+
+namespace {
+
+// splitmix64 finalizer: spreads pointer values (which share alignment and
+// arena-locality structure) over the full 64-bit space so the signature
+// sums behave like sums of independent uniform variables.
+uint64_t mix(uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// The two signature lanes must be independent: if hi were a function of
+// lo, the 128-bit signature would only carry 64 bits of collision
+// resistance. Tweaking the input before the second mix decorrelates them.
+uint64_t mix2(uint64_t x) noexcept {
+  return mix(x ^ 0x6a09e667f3bcc908ULL);
+}
+
+}  // namespace
+
+PathSig PathCondCache::extend(PathSig s, ir::ExprRef cond) noexcept {
+  const auto p = reinterpret_cast<uintptr_t>(cond);
+  s.lo += mix(p);
+  s.hi += mix2(p);
+  return s;
+}
+
+PathSig PathCondCache::retract(PathSig s, ir::ExprRef cond) noexcept {
+  const auto p = reinterpret_cast<uintptr_t>(cond);
+  s.lo -= mix(p);
+  s.hi -= mix2(p);
+  return s;
+}
+
+size_t PathCondCache::SigHash::operator()(const PathSig& s) const noexcept {
+  // The lanes are already mixed sums; folding them with one more mix keeps
+  // shard/bucket selection uniform even for single-conjunct sets.
+  return mix(s.lo ^ mix2(s.hi));
+}
+
+bool PathCondCache::lookup(const PathSig& key, CheckResult* out) const {
+  const Shard& s = shards_[SigHash{}(key) % kShards];
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.map.find(key);
+  if (it == s.map.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+void PathCondCache::insert(const PathSig& key, CheckResult verdict) {
+  if (verdict == CheckResult::kUnknown) return;
+  Shard& s = shards_[SigHash{}(key) % kShards];
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (per_shard_cap() != 0 && s.map.size() >= per_shard_cap()) return;
+  // emplace is a no-op if another worker already recorded this key; both
+  // workers decided the same formula, so the verdicts agree.
+  s.map.emplace(key, verdict);
+}
+
+size_t PathCondCache::size() const {
+  size_t n = 0;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    n += s.map.size();
+  }
+  return n;
+}
+
+}  // namespace meissa::smt

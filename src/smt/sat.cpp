@@ -288,30 +288,62 @@ uint32_t SatSolver::pick_branch_var() {
 }
 
 void SatSolver::reduce_learnts() {
-  // Drop the lower-activity half of the learned clauses, then rebuild the
-  // clause pool and watcher lists. Clauses currently acting as reasons are
-  // kept (identified by scanning the trail's reason references).
+  // Compact the clause database, then rebuild the pool and watcher lists.
+  // Two classes of clause go: (1) the lower-activity half of the learned
+  // clauses (binary learnts are exempt — they are cheap to keep and the
+  // usual carriers of reusable cross-query implications), and (2) any
+  // clause — learned or original — permanently satisfied at level 0.
+  // Level-0 assignments are never undone, so such clauses can no longer
+  // propagate; they are exactly the garbage a retired push/pop selector
+  // leaves behind (pop() posts ~selector as a unit, vacuously satisfying
+  // every clause of that scope), and collecting them is what keeps a
+  // long-lived incremental shard's database bounded by *useful* clauses.
+  // Clauses currently acting as reasons are kept either way (identified by
+  // scanning the trail's reason references).
+  ++stats_.reduces;
   std::vector<bool> is_reason(clauses_.size(), false);
   for (Lit l : trail_) {
     ClauseRef r = reason_[l.var()];
     if (r != kNoReason && r != kAssumptionReason) is_reason[r] = true;
   }
+  auto satisfied_at_root = [this](ClauseRef i) {
+    const Lit* ls = clause_lits(i);
+    for (uint32_t k = 0; k < clauses_[i].size; ++k) {
+      if (value(ls[k]) == LBool::kTrue && level_[ls[k].var()] == 0) {
+        return true;
+      }
+    }
+    return false;
+  };
+  std::vector<bool> remove(clauses_.size(), false);
   std::vector<ClauseRef> learned;
   for (ClauseRef i = 0; i < clauses_.size(); ++i) {
-    if (clauses_[i].learned && !is_reason[i]) learned.push_back(i);
+    if (is_reason[i]) continue;
+    if (satisfied_at_root(i)) {
+      remove[i] = true;
+      ++stats_.removed_satisfied;
+      continue;
+    }
+    if (clauses_[i].learned && clauses_[i].size > 2) learned.push_back(i);
   }
   std::sort(learned.begin(), learned.end(), [this](ClauseRef a, ClauseRef b) {
     return clauses_[a].activity < clauses_[b].activity;
   });
-  std::vector<bool> remove(clauses_.size(), false);
-  for (size_t k = 0; k < learned.size() / 2; ++k) remove[learned[k]] = true;
+  for (size_t k = 0; k < learned.size() / 2; ++k) {
+    remove[learned[k]] = true;
+    ++stats_.removed_low_activity;
+  }
 
   std::vector<Lit> new_pool;
   std::vector<Clause> new_clauses;
   std::vector<ClauseRef> remap(clauses_.size(), kNoReason);
   new_pool.reserve(pool_.size());
+  uint32_t removed_learned = 0;
   for (ClauseRef i = 0; i < clauses_.size(); ++i) {
-    if (remove[i]) continue;
+    if (remove[i]) {
+      removed_learned += clauses_[i].learned ? 1u : 0u;
+      continue;
+    }
     Clause c = clauses_[i];
     uint32_t new_start = static_cast<uint32_t>(new_pool.size());
     new_pool.insert(new_pool.end(), pool_.begin() + c.start,
@@ -322,13 +354,22 @@ void SatSolver::reduce_learnts() {
   }
   pool_ = std::move(new_pool);
   clauses_ = std::move(new_clauses);
-  num_learned_ /= 2;
+  // Decrement by the count actually dropped. Halving the counter here
+  // would drift it low over a long shard: `learned` excludes reason-pinned
+  // and binary clauses, so learned.size()/2 is less than num_learned_/2 —
+  // and a drifted-low counter stretches the reduction cadence until the
+  // database has ballooned far past the threshold.
+  num_learned_ -= removed_learned;
   for (Lit l : trail_) {
     ClauseRef& r = reason_[l.var()];
     if (r != kNoReason && r != kAssumptionReason) r = remap[r];
   }
   for (auto& ws : watches_) ws.clear();
   for (ClauseRef i = 0; i < clauses_.size(); ++i) attach_clause(i);
+  // Cache-aware cadence: grow the threshold by half after every reduction
+  // so surviving (high-activity, cross-query) clauses stay warm instead of
+  // being churned at a fixed cap as the shard's incremental history grows.
+  reduce_threshold_ += reduce_threshold_ / 2;
 }
 
 bool SatSolver::solve(const std::vector<Lit>& assumptions) {
@@ -428,7 +469,8 @@ SolveStatus SatSolver::solve_limited(const std::vector<Lit>& assumptions,
         ++stats_.learned;
       }
       decay_activities();
-      if (num_learned_ > 8192 && trail_lim_.size() <= assumptions.size()) {
+      if (num_learned_ > reduce_threshold_ &&
+          trail_lim_.size() <= assumptions.size()) {
         reduce_learnts();
       }
       if (conflicts_this_solve > restart_budget) {

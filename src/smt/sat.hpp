@@ -90,8 +90,35 @@ class SatSolver {
     uint64_t propagations = 0;
     uint64_t learned = 0;
     uint64_t restarts = 0;
+    // reduce_learnts invocations, and the clauses they dropped split by
+    // why: low activity vs. permanently satisfied at level 0 (the garbage
+    // a retired push/pop selector leaves behind).
+    uint64_t reduces = 0;
+    uint64_t removed_low_activity = 0;
+    uint64_t removed_satisfied = 0;
   };
   const Stats& stats() const noexcept { return stats_; }
+
+  // Learned clauses currently in the database (not cumulative). Drives the
+  // reduce_learnts cadence; exposed so tests can pin it to the real count.
+  uint32_t num_learned() const noexcept { return num_learned_; }
+  // Learned clauses actually present in the clause database — O(clauses).
+  // Test-only invariant probe for the num_learned() bookkeeping.
+  size_t learned_in_db() const noexcept {
+    size_t n = 0;
+    for (const Clause& c : clauses_) n += c.learned ? 1 : 0;
+    return n;
+  }
+
+  // Learned-clause reduction cadence: a reduction is considered once the
+  // database holds more than `threshold` learned clauses (default 8192).
+  // After each reduction the threshold grows by half, so clauses learned
+  // early in a long incremental shard stay warm instead of being churned
+  // at a fixed cap. Tests use a tiny threshold to force reductions.
+  void set_reduce_threshold(uint32_t threshold) noexcept {
+    reduce_threshold_ = threshold;
+  }
+  uint32_t reduce_threshold() const noexcept { return reduce_threshold_; }
 
  private:
   struct Clause {
@@ -149,6 +176,7 @@ class SatSolver {
   std::vector<Clause> clauses_;
   std::vector<std::vector<Watcher>> watches_;  // indexed by literal
   uint32_t num_learned_ = 0;
+  uint32_t reduce_threshold_ = 8192;
 
   // Heuristics.
   std::vector<double> activity_;

@@ -18,6 +18,7 @@
 #include "analysis/dataflow.hpp"
 #include "analysis/env.hpp"
 #include "cfg/cfg.hpp"
+#include "smt/cache.hpp"
 #include "smt/solver.hpp"
 #include "sym/state.hpp"
 #include "util/cancel.hpp"
@@ -78,6 +79,16 @@ struct EngineOptions {
   // and fired, the exploration unwinds cleanly with partial results and
   // EngineStats::cancelled = true. Must outlive the run.
   const util::CancelToken* cancel = nullptr;
+  // Canonicalized path-condition result cache (smt/cache.hpp), consulted
+  // before any backend runs and shared by all shards of a parallel
+  // exploration. Only takes effect under an unlimited per-check budget —
+  // with a limited budget a cached definite verdict could mask a budget-
+  // dependent kUnknown and make the degraded-coverage split scheduling-
+  // dependent. Off by default so ablations/baselines measure raw solving.
+  bool pc_cache = false;
+  // Adaptive fast-path-vs-bit-blasting portfolio in the BvSolver, keyed by
+  // CFG region (predicate node). Off by default for the same reason.
+  bool solver_portfolio = false;
 };
 
 struct EngineStats {
@@ -109,6 +120,13 @@ struct EngineStats {
   uint64_t requeued_shards = 0;
   uint64_t degraded_shards = 0;
   uint64_t resumed_shards = 0;
+  // Path-condition cache traffic (pc_cache on): checks answered from the
+  // cache vs. sent to a backend, and backend-reaching sat checks whose
+  // verdict was instead confirmed by re-evaluating the shard's last model
+  // against the (few) new conjuncts.
+  uint64_t pc_cache_hits = 0;
+  uint64_t pc_cache_misses = 0;
+  uint64_t pc_model_reuse = 0;
   smt::SolverStats solver;      // checks = the paper's "# of SMT calls"
 
   // Accumulate counters from another exploration (per-shard workers).
@@ -126,6 +144,9 @@ struct EngineStats {
     requeued_shards += o.requeued_shards;
     degraded_shards += o.degraded_shards;
     resumed_shards += o.resumed_shards;
+    pc_cache_hits += o.pc_cache_hits;
+    pc_cache_misses += o.pc_cache_misses;
+    pc_model_reuse += o.pc_model_reuse;
     solver += o.solver;
     return *this;
   }
@@ -246,6 +267,10 @@ class Engine {
   // and the facts (if any) cover this graph.
   bool gates_ = false;
   bool use_facts_ = false;
+  // Shared verdict cache (pc_cache on AND budget unlimited — see
+  // EngineOptions::pc_cache). One instance serves run() and every shard of
+  // run_parallel(); null when disabled.
+  std::unique_ptr<smt::PathCondCache> pc_cache_;
   EngineStats stats_;
 };
 

@@ -12,6 +12,7 @@ TEST(StatsMerge, SolverStatsSumsAllCounters) {
   a.checks = 10;
   a.fast_path_hits = 4;
   a.sat_calls = 6;
+  a.fast_path_skipped = 3;
   a.unknowns = 1;
   a.pushes = 20;
   a.pops = 18;
@@ -19,6 +20,7 @@ TEST(StatsMerge, SolverStatsSumsAllCounters) {
   b.checks = 1;
   b.fast_path_hits = 1;
   b.sat_calls = 0;
+  b.fast_path_skipped = 2;
   b.unknowns = 2;
   b.pushes = 2;
   b.pops = 2;
@@ -26,6 +28,7 @@ TEST(StatsMerge, SolverStatsSumsAllCounters) {
   EXPECT_EQ(a.checks, 11u);
   EXPECT_EQ(a.fast_path_hits, 5u);
   EXPECT_EQ(a.sat_calls, 6u);
+  EXPECT_EQ(a.fast_path_skipped, 5u);
   EXPECT_EQ(a.unknowns, 3u);
   EXPECT_EQ(a.pushes, 22u);
   EXPECT_EQ(a.pops, 20u);
@@ -41,6 +44,9 @@ TEST(StatsMerge, EngineStatsSumsAndOrsTimeout) {
   a.static_prunes = 4;
   a.skipped_checks = 6;
   a.degraded_paths = 2;
+  a.pc_cache_hits = 8;
+  a.pc_cache_misses = 12;
+  a.pc_model_reuse = 2;
   a.solver.checks = 5;
   sym::EngineStats b;
   b.valid_paths = 2;
@@ -53,6 +59,9 @@ TEST(StatsMerge, EngineStatsSumsAndOrsTimeout) {
   b.static_prunes = 1;
   b.skipped_checks = 2;
   b.timed_out = true;
+  b.pc_cache_hits = 2;
+  b.pc_cache_misses = 3;
+  b.pc_model_reuse = 1;
   b.solver.checks = 4;
   a += b;
   EXPECT_EQ(a.valid_paths, 5u);
@@ -65,6 +74,9 @@ TEST(StatsMerge, EngineStatsSumsAndOrsTimeout) {
   EXPECT_EQ(a.degraded_paths, 5u);
   EXPECT_TRUE(a.timed_out);
   EXPECT_TRUE(a.cancelled);
+  EXPECT_EQ(a.pc_cache_hits, 10u);
+  EXPECT_EQ(a.pc_cache_misses, 15u);
+  EXPECT_EQ(a.pc_model_reuse, 3u);
   EXPECT_EQ(a.solver.checks, 9u);
   // timed_out and cancelled are sticky in both directions.
   sym::EngineStats c;
