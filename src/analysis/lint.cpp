@@ -328,6 +328,81 @@ LintResult lint_cfg(const ir::Context& ctx, const cfg::Cfg& g) {
     }
   }
 
+  // ---- unused-write: a flow-reachable, non-synthetic pipeline node
+  // writes a header/metadata field that no node downstream of it — in any
+  // region or the inter-pipeline glue — ever reads, and (for header
+  // content) that no downstream deparser emits. Same def-use notion as
+  // analysis/impact's dependency graph: a write nothing consumes is
+  // either dead code or a missing read. Validity bits, '@' summary
+  // snapshots and architecture intrinsics (ports, drop flags — consumed
+  // outside the program) are out of scope.
+  {
+    // Use sites per field: reading nodes, plus each emitting instance's
+    // exit for the fields of headers its deparser serializes.
+    std::unordered_map<ir::FieldId, std::unordered_set<cfg::NodeId>> uses;
+    for (cfg::NodeId id = 0; id < g.size(); ++id) {
+      std::unordered_set<ir::FieldId> r;
+      node_reads(g, id, r);
+      for (ir::FieldId f : r) uses[f].insert(id);
+    }
+    for (const cfg::InstanceInfo& info : g.instances()) {
+      if (info.exit == cfg::kNoNode) continue;
+      for (ir::FieldId f = 0; f < ctx.fields.size(); ++f) {
+        const std::string h = content_header(ctx.fields.name(f));
+        if (h.empty()) continue;
+        if (std::find(info.emit_order.begin(), info.emit_order.end(), h) !=
+            info.emit_order.end()) {
+          uses[f].insert(info.exit);
+        }
+      }
+    }
+    const std::unordered_set<std::string> telemetry(g.telemetry().begin(),
+                                                    g.telemetry().end());
+    auto eligible = [&](ir::FieldId f) {
+      if (vfields.count(f) != 0) return false;
+      const std::string& name = ctx.fields.name(f);
+      if (!name.empty() && name[0] == '@') return false;
+      if (name.find(".$") != std::string::npos) return false;
+      if (telemetry.count(name) != 0) return false;
+      return name.rfind("hdr.", 0) == 0 || name.rfind("meta.", 0) == 0;
+    };
+    auto used_downstream = [&](cfg::NodeId from, ir::FieldId f) {
+      auto it = uses.find(f);
+      if (it == uses.end()) return false;
+      const std::unordered_set<cfg::NodeId>& sinks = it->second;
+      std::vector<bool> seen(g.size(), false);
+      std::vector<cfg::NodeId> work(g.node(from).succ.begin(),
+                                    g.node(from).succ.end());
+      for (cfg::NodeId s : work) seen[s] = true;
+      while (!work.empty()) {
+        const cfg::NodeId cur = work.back();
+        work.pop_back();
+        if (sinks.count(cur) != 0) return true;
+        for (cfg::NodeId s : g.node(cur).succ) {
+          if (!seen[s]) {
+            seen[s] = true;
+            work.push_back(s);
+          }
+        }
+      }
+      return false;
+    };
+    for (cfg::NodeId id = 0; id < g.size(); ++id) {
+      const cfg::Node& n = g.node(id);
+      if (n.instance < 0 || n.synthetic || !flow.reachable[id]) continue;
+      const ir::FieldId f = n.is_hash ? n.hash.dest
+                            : n.stmt.kind == ir::StmtKind::kAssign
+                                ? n.stmt.target
+                                : ir::kInvalidField;
+      if (f == ir::kInvalidField || !eligible(f)) continue;
+      if (used_downstream(id, f)) continue;
+      emit(Severity::kWarning, "unused-write", id, ctx.fields.name(f),
+           "field '" + ctx.fields.name(f) +
+               "' is written here but nothing downstream reads it and no "
+               "deparser emits it");
+    }
+  }
+
   std::sort(res.diagnostics.begin(), res.diagnostics.end(),
             [](const Diagnostic& a, const Diagnostic& b) {
               if (a.node != b.node) return a.node < b.node;

@@ -20,7 +20,9 @@ AppBundle make_acl(ir::Context& ctx, int n_routes, int n_acls, uint64_t seed) {
   app.name = "ACL";
   p4::Program& prog = app.dp.program;
 
-  prog.metadata.push_back({"meta.acl_hit", 8});
+  // Telemetry: records which verdict matched (1 permit / 2 deny) for the
+  // control plane; no pipeline stage reads it back.
+  prog.metadata.push_back({"meta.acl_hit", 8, /*telemetry=*/true});
   ctx.fields.intern("meta.acl_hit", 8);
 
   ActionDef permit;

@@ -40,9 +40,14 @@ AppBundle make_gateway(ir::Context& ctx, const GwConfig& cfg) {
   b.header("inner_tcp", tcp_header("inner_tcp").fields);
   if (cfg.level >= 3) b.header("prop", prop_header().fields);
   b.metadata_field("meta.direction", 2);  // 1 = outbound, 2 = inbound
-  b.metadata_field("meta.tenant", 24);
-  b.metadata_field("meta.flow_class", 8);
-  b.metadata_field("meta.policed", 2);
+  // Telemetry markers: the classifier/policer/decap stages record what they
+  // decided for the control plane; the pipeline's own matching deliberately
+  // re-keys on packet fields (the Fig. 7 constraint chain), so nothing
+  // downstream reads these. The bug corpus's injected guards do read
+  // meta.tenant, which is why it exists at every level.
+  b.metadata_field("meta.tenant", 24, /*telemetry=*/true);
+  b.metadata_field("meta.flow_class", 8, /*telemetry=*/true);
+  b.metadata_field("meta.policed", 2, /*telemetry=*/true);
   b.register_array("gw_stats", 32, 4);
 
   // ------------------------------------------------------------- actions

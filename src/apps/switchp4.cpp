@@ -26,11 +26,13 @@ AppBundle make_switchp4(ir::Context& ctx, const SwitchP4Config& cfg) {
   b.header("udp", udp_header().fields);
   b.header("vxlan", vxlan_header().fields);
   b.header("inner_ipv4", ipv4_header("inner_ipv4").fields);
-  b.metadata_field("meta.l2_ok", 1);
+  // l2_ok and pkt_count are telemetry: the source-MAC learning marker and
+  // the per-port packet counter feed the control plane, not the pipeline.
+  b.metadata_field("meta.l2_ok", 1, /*telemetry=*/true);
   b.metadata_field("meta.nexthop", 16);
   b.metadata_field("meta.ecmp_hash", 16);
   b.metadata_field("meta.tunnel_terminated", 1);
-  b.metadata_field("meta.pkt_count", 32);
+  b.metadata_field("meta.pkt_count", 32, /*telemetry=*/true);
 
   // ---- actions -----------------------------------------------------------
   ActionDef smac_ok;

@@ -502,6 +502,7 @@ Cfg Builder::build() {
   for (const p4::FieldDef& m : dp_.program.metadata) {
     append_stmt(init, ir::Stmt::assign(fid(m.name),
                                        ctx_.arena.constant(0, m.width)));
+    if (m.telemetry) g_.telemetry().push_back(m.name);
   }
   append_stmt(init, ir::Stmt::assign(fid(p4::kDropFlag),
                                      ctx_.arena.constant(0, 1)));

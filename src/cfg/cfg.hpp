@@ -124,6 +124,13 @@ class Cfg {
   std::vector<InstanceInfo>& instances() { return instances_; }
   const std::vector<InstanceInfo>& instances() const { return instances_; }
 
+  // Names of metadata fields the program declared write-only telemetry
+  // (mirrored to the control plane; never read in the pipeline). Carried
+  // from p4::FieldDef so diagnostics like lint's unused-write can tell an
+  // annotated counter from a genuinely dead store.
+  std::vector<std::string>& telemetry() { return telemetry_; }
+  const std::vector<std::string>& telemetry() const { return telemetry_; }
+
   // Source-location labels for diagnostics ("table acl entry #2 (deny)").
   // Interned so identical labels (shared across expanded branches) cost one
   // string; label 0 is the empty string.
@@ -165,6 +172,7 @@ class Cfg {
   std::vector<Node> nodes_;
   NodeId entry_ = kNoNode;
   std::vector<InstanceInfo> instances_;
+  std::vector<std::string> telemetry_;
   std::vector<std::string> labels_{std::string()};
   std::unordered_map<std::string, uint32_t> label_index_{{std::string(), 0}};
 };

@@ -16,7 +16,9 @@ constexpr char kMagic[8] = {'M', '4', 'C', 'K', 'P', 'T', '0', '1'};
 // v2: solver-throughput counters (SolverStats::fast_path_skipped,
 // EngineStats::pc_cache_* / pc_model_reuse). A v1 checkpoint simply fails
 // the version guard and the run starts fresh — never misparsed.
-constexpr uint32_t kVersion = 2;
+// v3: payload carries region fingerprints (graph/glue/per-region) and the
+// content key covers options only — readers of v2 and earlier reject.
+constexpr uint32_t kVersion = 3;
 
 // --- primitive byte streams (little-endian) -------------------------------
 
@@ -402,6 +404,18 @@ uint32_t crc32(const uint8_t* data, size_t n) {
 std::vector<uint8_t> serialize_checkpoint(const ir::Context& ctx,
                                           const CheckpointData& data) {
   ByteWriter w;
+  // Region fingerprints first: load() filters units against them before
+  // anything else is interpreted.
+  w.u64(data.graph_fp);
+  w.u64(data.glue_fp);
+  std::vector<std::pair<std::string, uint64_t>> fps(data.region_fps.begin(),
+                                                    data.region_fps.end());
+  std::sort(fps.begin(), fps.end());
+  w.u64(fps.size());
+  for (const auto& [name, fp] : fps) {
+    w.str(name);
+    w.u64(fp);
+  }
   // Units in sorted instance order: the file bytes are a pure function of
   // the state, not of map iteration order.
   std::vector<const summary::SummaryUnit*> units;
@@ -422,6 +436,14 @@ CheckpointData deserialize_checkpoint(ir::Context& ctx,
                                       const std::vector<uint8_t>& payload) {
   ByteReader r{payload.data(), payload.data() + payload.size()};
   CheckpointData data;
+  data.graph_fp = r.u64();
+  data.glue_fp = r.u64();
+  uint64_t nfps = r.u64();
+  for (uint64_t i = 0; i < nfps; ++i) {
+    std::string name = r.str();
+    uint64_t fp = r.u64();
+    data.region_fps.emplace(std::move(name), fp);
+  }
   uint64_t nunits = r.u64();
   for (uint64_t i = 0; i < nunits; ++i) {
     summary::SummaryUnit u = get_unit(r, ctx);
@@ -476,45 +498,15 @@ std::optional<CheckpointData> decode_checkpoint_file(
 uint64_t checkpoint_content_key(const ir::Context& ctx, const cfg::Cfg& g,
                                 const GenOptions& opts) {
   uint64_t h = kFnvOffset;
-  // The graph: every node's statement, hash, successors and exits, plus
-  // instance metadata — rendered with field *names* so the key is stable
-  // across processes.
-  h = key_u64(h, g.size());
-  h = key_u64(h, g.entry());
-  for (cfg::NodeId n = 0; n < g.size(); ++n) {
-    const cfg::Node& node = g.node(n);
-    h = key_u64(h, static_cast<uint64_t>(node.stmt.kind));
-    if (node.stmt.target != ir::kInvalidField) {
-      h = key_str(h, ctx.fields.name(node.stmt.target));
-    }
-    if (node.stmt.expr != nullptr) {
-      h = key_str(h, ir::to_string(node.stmt.expr, ctx.fields));
-    }
-    h = key_u64(h, node.is_hash ? 1 : 0);
-    if (node.is_hash) {
-      h = key_str(h, ctx.fields.name(node.hash.dest));
-      h = key_u64(h, static_cast<uint64_t>(node.hash.algo));
-      h = key_u64(h, node.hash.keys.size());
-      for (ir::FieldId k : node.hash.keys) h = key_str(h, ctx.fields.name(k));
-      h = key_u64(h, node.hash.key_exprs.size());
-      for (ir::ExprRef k : node.hash.key_exprs) {
-        h = key_str(h, ir::to_string(k, ctx.fields));
-      }
-    }
-    h = key_u64(h, node.succ.size());
-    for (cfg::NodeId s : node.succ) h = key_u64(h, s);
-    h = key_u64(h, static_cast<uint64_t>(node.exit));
-    h = key_u64(h, static_cast<uint64_t>(node.emit_instance));
-    h = key_u64(h, static_cast<uint64_t>(node.instance));
-  }
+  // The instance inventory only — program *content* lives in the payload's
+  // per-region fingerprints (analysis::fingerprint_regions), so an edited
+  // region degrades the checkpoint instead of discarding it. The whole-CFG
+  // hash that used to live here moved verbatim to
+  // analysis::fingerprint_graph and now gates just the shard frontiers.
   h = key_u64(h, g.instances().size());
   for (const cfg::InstanceInfo& info : g.instances()) {
     h = key_str(h, info.name);
     h = key_str(h, info.pipeline);
-    h = key_u64(h, static_cast<uint64_t>(info.switch_id));
-    h = key_u64(h, info.entry);
-    h = key_u64(h, info.exit);
-    for (const std::string& e : info.emit_order) h = key_str(h, e);
   }
   // Output-affecting options. Thread count, static pruning, cadence and
   // supervision are excluded: solver-equivalent or schedule-only.
@@ -539,14 +531,24 @@ uint64_t checkpoint_content_key(const ir::Context& ctx, const cfg::Cfg& g,
 
 CheckpointManager::CheckpointManager(ir::Context& ctx, std::string dir,
                                      uint64_t content_key,
-                                     util::FaultInjector* fault)
+                                     util::FaultInjector* fault,
+                                     analysis::RegionFingerprints fps)
     : ctx_(ctx),
       dir_(std::move(dir)),
       path_(dir_ + "/checkpoint.bin"),
       key_(content_key),
-      fault_(fault) {
+      fault_(fault),
+      fps_(std::move(fps)) {
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);  // best-effort; write fails
+  stamp_fps_locked();
+}
+
+void CheckpointManager::stamp_fps_locked() {
+  data_.graph_fp = fps_.whole;
+  data_.glue_fp = fps_.glue;
+  data_.region_fps.clear();
+  for (const auto& [name, fp] : fps_.region) data_.region_fps.emplace(name, fp);
 }
 
 bool CheckpointManager::load(CheckpointData& out) {
@@ -556,11 +558,39 @@ bool CheckpointManager::load(CheckpointData& out) {
     if (!read_file(candidate, bytes)) continue;
     std::optional<CheckpointData> data =
         decode_checkpoint_file(ctx_, key_, bytes);
-    if (data.has_value()) {
-      out = std::move(*data);
-      data_ = out;
-      return true;
+    if (!data.has_value()) continue;
+    if (!fps_.empty()) {
+      // Per-region filtering: a summary unit is reusable only if its own
+      // region, every upstream region (its public pre-condition depends on
+      // them), and the inter-pipeline glue are byte-for-byte the program
+      // the unit was computed for. Shard frontiers embed absolute node
+      // ids, so they additionally require an identical whole-graph hash.
+      auto region_matches = [&](const std::string& name) {
+        auto cur = fps_.region.find(name);
+        auto old = data->region_fps.find(name);
+        return cur != fps_.region.end() && old != data->region_fps.end() &&
+               cur->second == old->second;
+      };
+      auto unit_reusable = [&](const std::string& name) {
+        if (data->glue_fp != fps_.glue || !region_matches(name)) return false;
+        auto ups = fps_.upstream.find(name);
+        if (ups == fps_.upstream.end()) return false;
+        for (const std::string& u : ups->second) {
+          if (!region_matches(u)) return false;
+        }
+        return true;
+      };
+      for (auto it = data->units.begin(); it != data->units.end();) {
+        it = unit_reusable(it->first) ? std::next(it) : data->units.erase(it);
+      }
+      if (data->graph_fp != fps_.whole) data->shards.clear();
+      if (data->units.empty() && data->shards.empty()) continue;
     }
+    out = std::move(*data);
+    data_ = out;
+    // Subsequent persists describe the CURRENT program, not the loaded one.
+    stamp_fps_locked();
+    return true;
   }
   return false;
 }

@@ -17,9 +17,18 @@
 // Writes are atomic (tmp + rename) and rotate the previous file to
 // `<name>.prev`; loads validate magic/version/key/CRC and fall back to
 // `.prev`, so a write truncated or corrupted mid-crash costs at most one
-// checkpoint interval, never the run. The content key fingerprints the CFG
-// and every output-affecting option: a checkpoint from a different program
-// or configuration is rejected, not misapplied.
+// checkpoint interval, never the run.
+//
+// Program identity is two-tier. The content key fingerprints every
+// output-affecting *option* (plus the instance inventory): a checkpoint
+// from a different configuration is rejected wholesale, not misapplied.
+// Program *content* is tracked per region (analysis/impact fingerprints,
+// stored in the payload): on load, a summary unit survives only if its
+// region, every upstream region, and the glue hash-match the current
+// build, and DFS shard frontiers survive only under an identical whole-
+// graph hash (frontiers embed absolute node ids). A localized edit
+// therefore invalidates just the mismatched regions' work units instead of
+// the entire checkpoint.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +38,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/impact.hpp"
 #include "summary/summary.hpp"
 #include "sym/engine.hpp"
 #include "util/faultinject.hpp"
@@ -54,6 +64,13 @@ struct CheckpointData {
   std::unordered_map<std::string, summary::SummaryUnit> units;
   // Final-DFS shard progress, indexed by shard. Empty until the DFS starts.
   std::vector<sym::ShardProgress> shards;
+  // Region fingerprints of the program this checkpoint was written for
+  // (analysis/impact): whole-graph hash gating shard frontiers, glue hash,
+  // and one content hash per region keyed by instance name. All zero/empty
+  // when the writer had no fingerprints (legacy callers).
+  uint64_t graph_fp = 0;
+  uint64_t glue_fp = 0;
+  std::unordered_map<std::string, uint64_t> region_fps;
 };
 
 // Serialized payload (no file header) — exposed for tests.
@@ -73,10 +90,13 @@ std::optional<CheckpointData> decode_checkpoint_file(
 
 struct GenOptions;  // driver/generator.hpp
 
-// Fingerprint of the CFG plus every output-affecting generation option.
-// Thread count, checkpoint cadence and static pruning are deliberately
-// excluded: they never change the emitted templates, and a checkpoint must
-// be resumable under a different thread count.
+// Fingerprint of every output-affecting generation option plus the
+// instance inventory. Thread count, checkpoint cadence and static pruning
+// are deliberately excluded: they never change the emitted templates, and
+// a checkpoint must be resumable under a different thread count. Program
+// *content* is intentionally absent — it is tracked per region by the
+// payload fingerprints so a localized edit degrades, not discards, the
+// checkpoint.
 uint64_t checkpoint_content_key(const ir::Context& ctx, const cfg::Cfg& g,
                                 const GenOptions& opts);
 
@@ -90,12 +110,18 @@ class CheckpointManager {
  public:
   // Creates `dir` if missing. `fault`, when set, is consulted at the
   // "checkpoint.serialize" (execution) and "checkpoint.write" (data)
-  // sites.
+  // sites. `fps`, when non-empty, are the current build's region
+  // fingerprints: they are stamped into every write and used by load() to
+  // filter stale work units (empty = accept whole checkpoints, the
+  // pre-impact behavior).
   CheckpointManager(ir::Context& ctx, std::string dir, uint64_t content_key,
-                    util::FaultInjector* fault = nullptr);
+                    util::FaultInjector* fault = nullptr,
+                    analysis::RegionFingerprints fps = {});
 
   // Loads the newest valid checkpoint (current file, else `.prev`) into
-  // `out`. False when neither exists or neither validates.
+  // `out`, dropping work units whose region fingerprints (or whose
+  // upstream regions' fingerprints) no longer match the current build.
+  // False when neither file validates or nothing survives filtering.
   bool load(CheckpointData& out);
 
   // Records one encoded pipeline (summary wave boundary) and persists.
@@ -112,12 +138,16 @@ class CheckpointManager {
 
  private:
   void persist_locked();
+  // Copies fps_ into data_'s fingerprint fields (writes always carry the
+  // current build's fingerprints).
+  void stamp_fps_locked();
 
   ir::Context& ctx_;
   std::string dir_;
   std::string path_;  // dir_ + "/checkpoint.bin"
   uint64_t key_;
   util::FaultInjector* fault_;
+  analysis::RegionFingerprints fps_;
   mutable std::mutex mu_;
   CheckpointData data_;
   uint64_t writes_ = 0;

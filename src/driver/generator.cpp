@@ -40,14 +40,17 @@ std::vector<sym::TestCaseTemplate> Generator::generate() {
 
   // Crash safety: checkpoint manager + the prior run's state, when asked
   // to resume. The content key guards against applying a checkpoint from
-  // a different program or option set — load() simply finds nothing.
+  // a different option set — load() simply finds nothing — while region
+  // fingerprints filter stale work units when the *program* changed, so a
+  // localized edit keeps the untouched regions' summaries.
   std::unique_ptr<CheckpointManager> ckpt;
   CheckpointData prior;
   bool have_prior = false;
   if (!opts_.checkpoint_dir.empty()) {
     const uint64_t key = checkpoint_content_key(ctx_, original_, opts_);
-    ckpt = std::make_unique<CheckpointManager>(ctx_, opts_.checkpoint_dir, key,
-                                               opts_.fault);
+    ckpt = std::make_unique<CheckpointManager>(
+        ctx_, opts_.checkpoint_dir, key, opts_.fault,
+        analysis::fingerprint_regions(ctx_, original_));
     if (opts_.resume) {
       have_prior = ckpt->load(prior);
       stats_.resumed = have_prior;
@@ -71,6 +74,7 @@ std::vector<sym::TestCaseTemplate> Generator::generate() {
     so.threads = threads;
     so.static_pruning = opts_.static_pruning;
     so.cancel = opts_.cancel;
+    so.shared_pc_cache = opts_.shared_pc_cache;
     if (ckpt != nullptr) so.hooks = &shooks;
     summarized_ = summary::summarize(ctx_, original_, so);
     stats_.summary_seconds = secs_since(t0);
@@ -131,6 +135,7 @@ std::vector<sym::TestCaseTemplate> Generator::generate() {
   eopts.cancel = opts_.cancel;
   eopts.pc_cache = opts_.pc_cache;
   eopts.solver_portfolio = opts_.solver_portfolio;
+  eopts.shared_pc_cache = opts_.shared_pc_cache;
   if (opts_.static_pruning && !opts_.check_every_predicate) {
     facts_ = analysis::compute_facts(ctx_, *active_, active_->entry());
     eopts.facts = &facts_;

@@ -64,6 +64,11 @@ struct GenOptions {
   // measure raw solving.
   bool pc_cache = true;
   bool solver_portfolio = true;
+  // Externally-owned verdict cache shared across Generator runs (the
+  // incremental session warms it on the baseline and reuses it per
+  // update). Forwarded to EngineOptions::shared_pc_cache — see the
+  // precondition contract there. Must outlive generate().
+  smt::PathCondCache* shared_pc_cache = nullptr;
   // Optional cooperative stop for the whole generation (polled by the DFS
   // workers). Must outlive generate().
   const util::CancelToken* cancel = nullptr;

@@ -343,9 +343,9 @@ ProgramBuilder& ProgramBuilder::header(std::string name,
 }
 
 ProgramBuilder& ProgramBuilder::metadata_field(std::string full_name,
-                                               int width) {
+                                               int width, bool telemetry) {
   ctx_.fields.intern(full_name, width);
-  prog_.metadata.push_back({std::move(full_name), width});
+  prog_.metadata.push_back({std::move(full_name), width, telemetry});
   return *this;
 }
 

@@ -41,6 +41,11 @@ inline constexpr int kPortWidth = 9;
 struct FieldDef {
   std::string name;
   int width = 0;
+  // Metadata only: the field is mirrored to the control plane (counters,
+  // match markers) and the pipeline itself never reads it. Annotating it
+  // keeps the lint unused-write detector quiet about the intentional
+  // write-only use without widening the detector's blind spot.
+  bool telemetry = false;
 };
 
 struct HeaderDef {
@@ -269,7 +274,8 @@ class ProgramBuilder {
   ir::Context& ctx() { return ctx_; }
 
   ProgramBuilder& header(std::string name, std::vector<FieldDef> fields);
-  ProgramBuilder& metadata_field(std::string full_name, int width);
+  ProgramBuilder& metadata_field(std::string full_name, int width,
+                                 bool telemetry = false);
   ProgramBuilder& register_array(std::string name, int width, size_t cells);
   ProgramBuilder& action(ActionDef a);
   ProgramBuilder& table(TableDef t);

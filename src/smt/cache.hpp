@@ -42,9 +42,11 @@
 //     under a limited per-check budget — a cached definite verdict could
 //     mask a budget-dependent kUnknown and make the degraded-coverage
 //     split scheduling-dependent (see Engine::ExplorationContext).
-//   * Keys say nothing about the engine's preconditions, so verdicts are
-//     valid only while the precondition set is unchanged — the Engine owns
-//     the cache and discards it when a precondition is added.
+//   * Keys cover the engine's preconditions too: every exploration's
+//     signature starts from the precondition signature base, so a verdict
+//     is a property of the *full* asserted formula — portable across
+//     engines with different preconditions and across runs, as long as
+//     they share one ir::Context (pointer identity is the canonical form).
 //
 // Thread safety: lock-sharded by signature hash, like ir::ExprArena.
 // Workers of one parallel exploration share a cache; which shard warms an

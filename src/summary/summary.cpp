@@ -221,13 +221,17 @@ std::optional<PreCondition> compute_precondition_by_enumeration(
     ir::Context& ctx, const cfg::Cfg& g, cfg::NodeId target,
     size_t path_limit, uint64_t* smt_checks, const std::string& fresh_ns,
     bool static_pruning, uint64_t* smt_skipped,
-    const util::CancelToken* cancel) {
+    const util::CancelToken* cancel, smt::PathCondCache* shared_pc_cache) {
   sym::EngineOptions opts;
   opts.stop = target;
   opts.max_results = path_limit + 1;
   opts.fresh_ns = fresh_ns;
   opts.static_pruning = static_pruning;
   opts.cancel = cancel;
+  if (shared_pc_cache != nullptr) {
+    opts.pc_cache = true;
+    opts.shared_pc_cache = shared_pc_cache;
+  }
   sym::Engine eng(ctx, g, opts);
   bool first = true;
   std::vector<ir::ExprRef> cond_order;  // first path's conds, in path order
@@ -540,7 +544,7 @@ SummaryResult summarize(ir::Context& ctx, const cfg::Cfg& original,
         std::optional<PreCondition> exact = compute_precondition_by_enumeration(
             ctx, g, info.entry, opts.max_precondition_paths, &w.ps.smt_checks,
             "pre." + info.name, opts.static_pruning, &w.ps.smt_skipped,
-            opts.cancel);
+            opts.cancel, opts.shared_pc_cache);
         pc = exact ? std::move(*exact)
                    : compute_precondition(ctx, g, info.entry);
       }
@@ -556,6 +560,10 @@ SummaryResult summarize(ir::Context& ctx, const cfg::Cfg& original,
     eopts.fresh_ns = info.name;
     eopts.static_pruning = opts.static_pruning;
     eopts.cancel = opts.cancel;
+    if (opts.shared_pc_cache != nullptr) {
+      eopts.pc_cache = true;
+      eopts.shared_pc_cache = opts.shared_pc_cache;
+    }
     // Per-instance dataflow facts, computed from the pipeline's entry with a
     // TOP boundary — valid for any seeds/pre-conditions rooted there.
     analysis::Facts facts;

@@ -96,6 +96,12 @@ struct SummaryOptions {
   const util::CancelToken* cancel = nullptr;
   // Checkpoint/resume hooks (may be null). Must outlive the run.
   const SummaryHooks* hooks = nullptr;
+  // Externally-owned path-condition verdict cache, handed to every
+  // pre-condition and body engine (see sym::EngineOptions::shared_pc_cache
+  // for the cross-engine soundness argument). The incremental re-testing
+  // session warms it on the baseline run so updates re-pay only the checks
+  // a change actually altered. Must outlive the run.
+  smt::PathCondCache* shared_pc_cache = nullptr;
 };
 
 // The public pre-condition of one pipeline: constraints over program
@@ -131,7 +137,8 @@ std::optional<PreCondition> compute_precondition_by_enumeration(
     size_t path_limit, uint64_t* smt_checks = nullptr,
     const std::string& fresh_ns = {}, bool static_pruning = true,
     uint64_t* smt_skipped = nullptr,
-    const util::CancelToken* cancel = nullptr);
+    const util::CancelToken* cancel = nullptr,
+    smt::PathCondCache* shared_pc_cache = nullptr);
 
 struct PipelineSummary {
   std::string instance;

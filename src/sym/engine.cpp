@@ -110,6 +110,10 @@ struct Engine::ExplorationContext {
 
   ExplorationContext(Engine& e, const std::string& fresh_ns)
       : eng(e), state(e.ctx_) {
+    // Start from the precondition signature: keys then cover the full
+    // asserted formula, making verdicts portable across engines and runs
+    // (retracts only ever unwind conds folded on top of this base).
+    sig = e.precond_sig_;
     if (!fresh_ns.empty()) state.set_fresh_ns(fresh_ns);
     for (const auto& [f, v] : e.seeds_) state.assign(f, v);
     if (e.opts_.incremental) {
@@ -205,7 +209,13 @@ Engine::Engine(ir::Context& ctx, const cfg::Cfg& g, EngineOptions opts)
   // (a cached definite verdict would otherwise mask a budget-dependent
   // kUnknown and make the degraded split scheduling-dependent).
   if (opts_.pc_cache && opts_.budget.unlimited()) {
-    pc_cache_ = std::make_unique<smt::PathCondCache>();
+    if (opts_.shared_pc_cache == nullptr) {
+      pc_cache_ = std::make_unique<smt::PathCondCache>();
+    }
+  } else {
+    // Gating failed: a caller-provided shared cache may not be consulted
+    // either (same budget-soundness argument).
+    opts_.shared_pc_cache = nullptr;
   }
   use_facts_ = gates_ && opts_.facts != nullptr &&
                opts_.facts->refuted.size() == g_.size();
@@ -244,11 +254,12 @@ std::unique_ptr<smt::Solver> Engine::make_solver() const {
 void Engine::add_precondition(ir::ExprRef c) {
   util::check(c != nullptr && c->is_bool(), "precondition must be boolean");
   preconds_.push_back(c);
-  // Cache keys cover only the conds stack; verdicts recorded under the old
-  // precondition set are invalid under the extended one. Start fresh.
-  if (pc_cache_ != nullptr) {
-    pc_cache_ = std::make_unique<smt::PathCondCache>();
-  }
+  // Fold the precondition into the signature base: cache keys cover the
+  // full asserted conjunct set, so entries recorded under the old
+  // precondition set stay valid (their keys are simply never produced
+  // again) and nothing needs to be discarded — not even a cache shared
+  // with engines holding different preconditions.
+  precond_sig_ = smt::PathCondCache::extend(precond_sig_, c);
 }
 
 void Engine::seed_value(ir::FieldId f, ir::ExprRef value) {
@@ -297,7 +308,9 @@ smt::CheckResult Engine::ExplorationContext::check_current_impl() {
   // the condition vector — and only over conjuncts *entering* the set:
   // re-asserting a guard the path already carries leaves the formula (and
   // therefore the key) unchanged, which is where most repeats come from.
-  smt::PathCondCache* cache = eng.pc_cache_.get();
+  smt::PathCondCache* cache = eng.opts_.shared_pc_cache != nullptr
+                                  ? eng.opts_.shared_pc_cache
+                                  : eng.pc_cache_.get();
   if (cache != nullptr) {
     const std::vector<ir::ExprRef>& conds = state.conds();
     while (folded.size() < conds.size()) {

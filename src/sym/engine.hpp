@@ -89,6 +89,17 @@ struct EngineOptions {
   // Adaptive fast-path-vs-bit-blasting portfolio in the BvSolver, keyed by
   // CFG region (predicate node). Off by default for the same reason.
   bool solver_portfolio = false;
+  // Externally-owned verdict cache shared ACROSS engine instances (the
+  // incremental re-testing session warms it on the baseline run and reuses
+  // it for every update). Same gating as pc_cache (which must also be on);
+  // when set, the engine creates no cache of its own. Sharing across
+  // engines with different preconditions — and across runs — is sound
+  // because cache keys cover the *full* asserted conjunct set: every
+  // exploration's signature starts from the engine's precondition
+  // signature, so a verdict is a pure semantic property of the formula,
+  // valid for any engine over the same ir::Context. Must outlive every
+  // sharing engine.
+  smt::PathCondCache* shared_pc_cache = nullptr;
 };
 
 struct EngineStats {
@@ -261,6 +272,11 @@ class Engine {
   const cfg::Cfg& g_;
   EngineOptions opts_;
   std::vector<ir::ExprRef> preconds_;
+  // Commutative signature of the asserted preconditions (multiset — a
+  // re-added conjunct shifts the key but never the verdict). Every
+  // exploration's path signature starts here, so cache keys cover the full
+  // formula and verdicts transfer across engines and runs.
+  smt::PathSig precond_sig_;
   std::vector<std::pair<ir::FieldId, ir::ExprRef>> seeds_;
   std::vector<bool> reaches_stop_;  // stop mode: region that reaches stop
   // Static gates active: pruning on, not in the paper-faithful ablation,

@@ -557,6 +557,45 @@ TEST(Lint, DiagnosticsAreDedupedAndOrdered) {
   EXPECT_NE(render_json(r).find("\"field\""), std::string::npos);
 }
 
+// Minimal CFG with a dead store: entry → instance entry → meta.scratch :=
+// 1 (never read, metadata so never emitted) → instance exit.
+LintResult lint_dead_store_cfg(bool telemetry) {
+  ir::Context ctx;
+  const ir::FieldId f = ctx.fields.intern("meta.scratch", 8);
+  cfg::Cfg g;
+  const cfg::NodeId entry = g.add(ir::Stmt::nop());
+  const cfg::NodeId ientry = g.add(ir::Stmt::nop());
+  const cfg::NodeId wr = g.add(ir::Stmt::assign(f, ctx.arena.constant(1, 8)));
+  const cfg::NodeId iexit = g.add(ir::Stmt::nop());
+  g.node(ientry).instance = 0;
+  g.node(wr).instance = 0;
+  g.node(iexit).instance = 0;
+  g.node(iexit).exit = cfg::ExitKind::kEmit;
+  g.node(iexit).emit_instance = 0;
+  g.link(entry, ientry);
+  g.link(ientry, wr);
+  g.link(wr, iexit);
+  g.set_entry(entry);
+  cfg::InstanceInfo info;
+  info.name = "p0";
+  info.pipeline = "p";
+  info.entry = ientry;
+  info.exit = iexit;
+  g.instances().push_back(std::move(info));
+  if (telemetry) g.telemetry().push_back("meta.scratch");
+  return lint_cfg(ctx, g);
+}
+
+TEST(Lint, UnusedWriteFiresOnDeadStore) {
+  LintResult r = lint_dead_store_cfg(/*telemetry=*/false);
+  EXPECT_TRUE(has_code(r, "unused-write")) << render_text(r);
+}
+
+TEST(Lint, UnusedWriteQuietOnTelemetryAnnotation) {
+  LintResult r = lint_dead_store_cfg(/*telemetry=*/true);
+  EXPECT_FALSE(has_code(r, "unused-write")) << render_text(r);
+}
+
 TEST(Lint, SyntheticSkipArmsAreNotReported) {
   // gw-4's exhaustive topology guards make every skip-chain fall-through
   // statically dead; those are builder artifacts, not findings.

@@ -290,7 +290,7 @@ TEST(Checkpoint, InjectedSerializeAbortCountsAsFailure) {
   EXPECT_EQ(m.failures(), 1u);
 }
 
-TEST(ContentKey, DiscriminatesProgramAndOutputAffectingOptions) {
+TEST(ContentKey, DiscriminatesInventoryAndOutputAffectingOptions) {
   ir::Context ctx;
   apps::AppBundle app = apps::make_router(ctx, 6);
   driver::GenOptions opts;
@@ -299,11 +299,20 @@ TEST(ContentKey, DiscriminatesProgramAndOutputAffectingOptions) {
   const uint64_t base = driver::checkpoint_content_key(ctx, g, opts);
   EXPECT_EQ(driver::checkpoint_content_key(ctx, g, opts), base);
 
-  // A different program → a different key.
+  // A different pipeline inventory → a different key.
   ir::Context ctx2;
-  apps::AppBundle app2 = apps::make_router(ctx2, 4);
+  apps::AppBundle app2 = apps::make_mtag(ctx2, 4);
   cfg::Cfg g2 = cfg::build_cfg(app2.dp, app2.rules, ctx2, opts.build);
   EXPECT_NE(driver::checkpoint_content_key(ctx2, g2, opts), base);
+
+  // A *content* change with the same inventory (fewer routes installed)
+  // keeps the key: program content is tracked per region by the payload
+  // fingerprints, so a localized edit degrades the checkpoint instead of
+  // rejecting it wholesale.
+  ir::Context ctx3;
+  apps::AppBundle app3 = apps::make_router(ctx3, 4);
+  cfg::Cfg g3 = cfg::build_cfg(app3.dp, app3.rules, ctx3, opts.build);
+  EXPECT_EQ(driver::checkpoint_content_key(ctx3, g3, opts), base);
 
   // Output-affecting options change the key...
   driver::GenOptions changed = opts;
@@ -323,6 +332,83 @@ TEST(ContentKey, DiscriminatesProgramAndOutputAffectingOptions) {
   changed.checkpoint_every = 1;
   changed.static_pruning = !opts.static_pruning;
   EXPECT_EQ(driver::checkpoint_content_key(ctx, g, changed), base);
+}
+
+TEST(Fingerprints, LoadFiltersStaleUnitsAndFrontiers) {
+  const std::string dir = temp_dir("fpfilter");
+  const uint64_t key = 42;
+
+  // Hand-built fingerprints: two regions, B downstream of A.
+  analysis::RegionFingerprints fps;
+  fps.instances = {"A", "B"};
+  fps.region = {{"A", 11}, {"B", 22}};
+  fps.upstream = {{"A", {}}, {"B", {"A"}}};
+  fps.glue = 7;
+  fps.whole = 100;
+
+  ir::Context ctx;
+  {
+    driver::CheckpointManager m(ctx, dir, key, nullptr, fps);
+    summary::SummaryUnit ua;
+    ua.instance = "A";
+    m.add_unit(ua);
+    summary::SummaryUnit ub;
+    ub.instance = "B";
+    m.add_unit(ub);
+    m.begin_shards(1);
+    m.update_shard(0, {});
+    EXPECT_GT(m.writes(), 0u);
+  }
+
+  // Same build: everything survives.
+  {
+    ir::Context fresh;
+    driver::CheckpointManager m(fresh, dir, key, nullptr, fps);
+    driver::CheckpointData out;
+    ASSERT_TRUE(m.load(out));
+    EXPECT_EQ(out.units.size(), 2u);
+    EXPECT_EQ(out.shards.size(), 1u);
+  }
+
+  // B's region changed (content edit): B's unit is dropped, A's — whose
+  // region and (empty) upstream still match — survives. The whole-graph
+  // hash moved too, so the DFS frontier (absolute node ids) is cleared.
+  {
+    analysis::RegionFingerprints cur = fps;
+    cur.region["B"] = 33;
+    cur.whole = 101;
+    ir::Context fresh;
+    driver::CheckpointManager m(fresh, dir, key, nullptr, cur);
+    driver::CheckpointData out;
+    ASSERT_TRUE(m.load(out));
+    EXPECT_EQ(out.units.size(), 1u);
+    EXPECT_EQ(out.units.count("A"), 1u);
+    EXPECT_TRUE(out.shards.empty());
+  }
+
+  // A's region changed: A is dropped directly, and B is dropped because
+  // its *upstream* no longer matches — a changed upstream region changes
+  // the pre-conditions B was summarized under.
+  {
+    analysis::RegionFingerprints cur = fps;
+    cur.region["A"] = 99;
+    cur.whole = 102;
+    ir::Context fresh;
+    driver::CheckpointManager m(fresh, dir, key, nullptr, cur);
+    driver::CheckpointData out;
+    EXPECT_FALSE(m.load(out));
+  }
+
+  // Glue changed: inter-pipeline hand-off is suspect — nothing survives.
+  {
+    analysis::RegionFingerprints cur = fps;
+    cur.glue = 8;
+    cur.whole = 103;
+    ir::Context fresh;
+    driver::CheckpointManager m(fresh, dir, key, nullptr, cur);
+    driver::CheckpointData out;
+    EXPECT_FALSE(m.load(out));
+  }
 }
 
 TEST(Resume, EngineMidFlightFrontierMatchesUninterrupted) {

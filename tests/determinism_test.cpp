@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "apps/apps.hpp"
+#include "driver/incremental.hpp"
 #include "driver/tester.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -490,6 +491,35 @@ TEST(StaticPruning, ReducesSolverCallsOnRouter) {
 
 TEST(StaticPruning, ReducesSolverCallsOnNatGateway) {
   expect_fewer_solver_calls(nat_gateway_app);
+}
+
+// ------------------------------------------------- incremental re-testing
+
+// An incremental update must emit templates byte-identical to a
+// from-scratch run of the updated program, for every thread count — the
+// reuse machinery (summary-unit replay + shared verdict cache) may only
+// change what the run *costs*, never what it produces.
+TEST(Incremental, ByteIdenticalAcrossThreadCounts) {
+  auto run_session = [](int threads) {
+    ir::Context ctx;
+    apps::AppBundle app = nat_gateway_app(ctx);
+    driver::IncrementalOptions opts;
+    opts.gen.threads = threads;
+    driver::IncrementalSession session(ctx, app.dp, opts);
+    p4::RuleSet rules = app.rules;
+    std::vector<std::vector<std::string>> sigs;
+    sigs.push_back(session.run(rules).full_sigs);
+    // Drop the last installed rule (a tail-of-pipeline table).
+    rules.entries.pop_back();
+    sigs.push_back(session.run(rules).full_sigs);
+    return sigs;
+  };
+  const auto base = run_session(1);
+  EXPECT_FALSE(base[0].empty());
+  EXPECT_FALSE(base[1].empty());
+  for (int threads : {2, 8}) {
+    EXPECT_EQ(run_session(threads), base) << threads << " threads";
+  }
 }
 
 }  // namespace
